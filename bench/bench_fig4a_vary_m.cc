@@ -1,0 +1,43 @@
+// Figure 4a: decision-tree training time vs. the number of clients m.
+// Series: Pivot-Basic, Pivot-Basic-PP, Pivot-Enhanced, Pivot-Enhanced-PP.
+// Expected shape (paper): all series grow with m; Enhanced > Basic; the
+// -PP variants cut the threshold-decryption time.
+
+#include "bench/bench_util.h"
+
+using namespace pivot;
+using namespace pivot::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<int> ms = args.full ? std::vector<int>{2, 3, 4, 6, 8, 10}
+                                        : std::vector<int>{2, 3, 4};
+  const std::vector<System> systems = {
+      System::kPivotBasic, System::kPivotBasicPP, System::kPivotEnhanced,
+      System::kPivotEnhancedPP};
+
+  std::printf("# Figure 4a: training time vs m (n=%d, d=%d/client, b=%d, "
+              "h=%d, c=%d)\n",
+              Workload::Default(args).n, Workload::Default(args).d,
+              Workload::Default(args).b, Workload::Default(args).h,
+              Workload::Default(args).c);
+  PrintSeriesHeader("m", systems);
+  for (int m : ms) {
+    Workload w = Workload::Default(args);
+    w.m = m;
+    Dataset data = MakeWorkloadData(w);
+    FederationConfig cfg = MakeFederationConfig(w, args, 256);
+    std::vector<double> row;
+    for (System s : systems) {
+      Result<TrainResult> r = TimeTreeTraining(data, cfg, s);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", SystemName(s),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(r.value().seconds);
+    }
+    PrintSeriesRow(m, row);
+  }
+  return 0;
+}

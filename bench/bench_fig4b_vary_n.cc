@@ -1,0 +1,42 @@
+// Figure 4b: decision-tree training time vs. the number of samples n.
+// Expected shape (paper): Pivot-Basic grows only mildly with n (the
+// per-node MPC conversion of O(c·d·b) statistics dominates); Pivot-
+// Enhanced grows linearly in n because of the O(n) threshold decryptions
+// in the encrypted mask update.
+
+#include "bench/bench_util.h"
+
+using namespace pivot;
+using namespace pivot::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<int> ns = args.full
+                                  ? std::vector<int>{5000, 10000, 50000,
+                                                     100000, 200000}
+                                  : std::vector<int>{100, 200, 400};
+  const std::vector<System> systems = {
+      System::kPivotBasic, System::kPivotBasicPP, System::kPivotEnhanced,
+      System::kPivotEnhancedPP};
+
+  std::printf("# Figure 4b: training time vs n\n");
+  PrintSeriesHeader("n", systems);
+  for (int n : ns) {
+    Workload w = Workload::Default(args);
+    w.n = n;
+    Dataset data = MakeWorkloadData(w);
+    FederationConfig cfg = MakeFederationConfig(w, args, 256);
+    std::vector<double> row;
+    for (System s : systems) {
+      Result<TrainResult> r = TimeTreeTraining(data, cfg, s);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", SystemName(s),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(r.value().seconds);
+    }
+    PrintSeriesRow(n, row);
+  }
+  return 0;
+}

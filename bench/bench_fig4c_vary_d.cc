@@ -1,0 +1,40 @@
+// Figure 4c: decision-tree training time vs. per-client feature count d.
+// Expected shape (paper): all variants scale linearly in d (the number of
+// total splits is O(d·b)); the Basic/Enhanced gap stays constant because
+// the enhanced protocol's extra costs do not depend on d.
+
+#include "bench/bench_util.h"
+
+using namespace pivot;
+using namespace pivot::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<int> ds = args.full
+                                  ? std::vector<int>{5, 15, 30, 60, 120}
+                                  : std::vector<int>{2, 4, 8, 12};
+  const std::vector<System> systems = {
+      System::kPivotBasic, System::kPivotBasicPP, System::kPivotEnhanced,
+      System::kPivotEnhancedPP};
+
+  std::printf("# Figure 4c: training time vs d (features per client)\n");
+  PrintSeriesHeader("d", systems);
+  for (int d : ds) {
+    Workload w = Workload::Default(args);
+    w.d = d;
+    Dataset data = MakeWorkloadData(w);
+    FederationConfig cfg = MakeFederationConfig(w, args, 256);
+    std::vector<double> row;
+    for (System s : systems) {
+      Result<TrainResult> r = TimeTreeTraining(data, cfg, s);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", SystemName(s),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(r.value().seconds);
+    }
+    PrintSeriesRow(d, row);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 4d: decision-tree training time vs. the split budget b.
+// Expected shape (paper): linear in b for all variants (O(d·b) total
+// splits); the Basic/Enhanced gap stays roughly stable since the private
+// split selection's O(n·b) ciphertext work is small next to the O(n)
+// threshold decryptions of the mask update.
+
+#include "bench/bench_util.h"
+
+using namespace pivot;
+using namespace pivot::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<int> bs = args.full ? std::vector<int>{2, 4, 8, 16, 32}
+                                        : std::vector<int>{2, 4, 8};
+  const std::vector<System> systems = {
+      System::kPivotBasic, System::kPivotBasicPP, System::kPivotEnhanced,
+      System::kPivotEnhancedPP};
+
+  std::printf("# Figure 4d: training time vs b (max splits per feature)\n");
+  PrintSeriesHeader("b", systems);
+  for (int b : bs) {
+    Workload w = Workload::Default(args);
+    w.b = b;
+    Dataset data = MakeWorkloadData(w);
+    FederationConfig cfg = MakeFederationConfig(w, args, 256);
+    std::vector<double> row;
+    for (System s : systems) {
+      Result<TrainResult> r = TimeTreeTraining(data, cfg, s);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", SystemName(s),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(r.value().seconds);
+    }
+    PrintSeriesRow(b, row);
+  }
+  return 0;
+}

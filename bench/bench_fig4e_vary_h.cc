@@ -1,0 +1,39 @@
+// Figure 4e: decision-tree training time vs. the maximum depth h.
+// Expected shape (paper): training time roughly doubles per extra level
+// (the trained trees are near-complete, so the internal node count is
+// ~2^h - 1).
+
+#include "bench/bench_util.h"
+
+using namespace pivot;
+using namespace pivot::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<int> hs = args.full ? std::vector<int>{2, 3, 4, 5, 6}
+                                        : std::vector<int>{2, 3, 4};
+  const std::vector<System> systems = {
+      System::kPivotBasic, System::kPivotBasicPP, System::kPivotEnhanced,
+      System::kPivotEnhancedPP};
+
+  std::printf("# Figure 4e: training time vs h (max tree depth)\n");
+  PrintSeriesHeader("h", systems);
+  for (int h : hs) {
+    Workload w = Workload::Default(args);
+    w.h = h;
+    Dataset data = MakeWorkloadData(w);
+    FederationConfig cfg = MakeFederationConfig(w, args, 256);
+    std::vector<double> row;
+    for (System s : systems) {
+      Result<TrainResult> r = TimeTreeTraining(data, cfg, s);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", SystemName(s),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(r.value().seconds);
+    }
+    PrintSeriesRow(h, row);
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 4g: per-sample prediction time vs. the number of clients m.
+// Series: Pivot-Basic (round-robin over encrypted prediction vector),
+// Pivot-Enhanced (secret-shared model, secure comparisons), NPD-DT
+// (plaintext hops; the no-privacy floor).
+// Expected shape (paper): Basic grows with m (the chain has m hops);
+// Enhanced is nearly flat in m (the comparison count depends on the tree,
+// not on m); NPD-DT is orders of magnitude cheaper.
+
+#include "bench/bench_util.h"
+
+using namespace pivot;
+using namespace pivot::bench;
+
+namespace {
+
+struct PredictTimes {
+  double basic_ms = 0, enhanced_ms = 0, npd_ms = 0;
+};
+
+PredictTimes MeasurePrediction(const BenchArgs& args, Workload w,
+                               int probes) {
+  Dataset data = MakeWorkloadData(w, 21);
+  FederationConfig cfg = MakeFederationConfig(w, args, 256);
+  PredictTimes times;
+  std::mutex mu;
+
+  // Enhanced models need a larger key.
+  FederationConfig cfg_enh = cfg;
+  cfg_enh.params.key_bits = std::max(cfg.params.key_bits, 512);
+
+  Status st = RunFederation(data, cfg_enh, [&](PartyContext& ctx) -> Status {
+    TrainTreeOptions basic_opts;
+    PIVOT_ASSIGN_OR_RETURN(PivotTree basic, TrainPivotTree(ctx, basic_opts));
+    TrainTreeOptions enh_opts;
+    enh_opts.protocol = Protocol::kEnhanced;
+    PIVOT_ASSIGN_OR_RETURN(PivotTree enhanced, TrainPivotTree(ctx, enh_opts));
+    PIVOT_ASSIGN_OR_RETURN(PivotTree npd, TrainNpdDt(ctx));
+
+    auto rows = SliceRowsForParty(data, ctx.id(), ctx.num_parties());
+    WallTimer timer;
+    for (int i = 0; i < probes; ++i) {
+      PIVOT_RETURN_IF_ERROR(PredictPivot(ctx, basic, rows[i]).status());
+    }
+    const double basic_ms = timer.ElapsedMillis() / probes;
+    timer.Restart();
+    for (int i = 0; i < probes; ++i) {
+      PIVOT_RETURN_IF_ERROR(PredictPivot(ctx, enhanced, rows[i]).status());
+    }
+    const double enh_ms = timer.ElapsedMillis() / probes;
+    timer.Restart();
+    for (int i = 0; i < probes; ++i) {
+      PIVOT_RETURN_IF_ERROR(PredictNpdDt(ctx, npd, rows[i]).status());
+    }
+    const double npd_ms = timer.ElapsedMillis() / probes;
+    if (ctx.id() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      times.basic_ms = basic_ms;
+      times.enhanced_ms = enh_ms;
+      times.npd_ms = npd_ms;
+    }
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "prediction bench failed: %s\n",
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  return times;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<int> ms = args.full ? std::vector<int>{2, 3, 4, 6, 8, 10}
+                                        : std::vector<int>{2, 3, 4};
+  const int probes = args.full ? 50 : 10;
+
+  std::printf("# Figure 4g: prediction time per sample vs m\n");
+  std::printf("%-8s %16s %16s %16s\n", "m", "Pivot-Basic", "Pivot-Enhanced",
+              "NPD-DT");
+  for (int m : ms) {
+    Workload w = Workload::Default(args);
+    w.m = m;
+    if (!args.full) w.n = 200;
+    PredictTimes t = MeasurePrediction(args, w, probes);
+    std::printf("%-8d %14.2fms %14.2fms %14.3fms\n", m, t.basic_ms,
+                t.enhanced_ms, t.npd_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 4h: per-sample prediction time vs. tree depth h.
+// Expected shape (paper): Enhanced wins at h=2 (few secure comparisons),
+// Basic wins for h >= 3 and the gap widens with depth (the number of
+// internal nodes — and hence secure comparisons — grows as 2^h - 1, while
+// Basic's cost is dominated by the m-hop chain).
+
+#include "bench/bench_util.h"
+
+using namespace pivot;
+using namespace pivot::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<int> hs = args.full ? std::vector<int>{2, 3, 4, 5, 6}
+                                        : std::vector<int>{2, 3, 4};
+  const int probes = args.full ? 50 : 10;
+
+  std::printf("# Figure 4h: prediction time per sample vs h\n");
+  std::printf("%-8s %16s %16s %16s\n", "h", "Pivot-Basic", "Pivot-Enhanced",
+              "NPD-DT");
+  for (int h : hs) {
+    Workload w = Workload::Default(args);
+    w.h = h;
+    if (!args.full) w.n = 200;
+    Dataset data = MakeWorkloadData(w, 22);
+    FederationConfig cfg = MakeFederationConfig(w, args, 256);
+    cfg.params.key_bits = std::max(cfg.params.key_bits, 384);
+
+    double basic_ms = 0, enh_ms = 0, npd_ms = 0;
+    std::mutex mu;
+    Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+      TrainTreeOptions basic_opts;
+      PIVOT_ASSIGN_OR_RETURN(PivotTree basic, TrainPivotTree(ctx, basic_opts));
+      TrainTreeOptions enh_opts;
+      enh_opts.protocol = Protocol::kEnhanced;
+      PIVOT_ASSIGN_OR_RETURN(PivotTree enhanced,
+                             TrainPivotTree(ctx, enh_opts));
+      PIVOT_ASSIGN_OR_RETURN(PivotTree npd, TrainNpdDt(ctx));
+      auto rows = SliceRowsForParty(data, ctx.id(), ctx.num_parties());
+      WallTimer timer;
+      for (int i = 0; i < probes; ++i) {
+        PIVOT_RETURN_IF_ERROR(PredictPivot(ctx, basic, rows[i]).status());
+      }
+      const double t_basic = timer.ElapsedMillis() / probes;
+      timer.Restart();
+      for (int i = 0; i < probes; ++i) {
+        PIVOT_RETURN_IF_ERROR(PredictPivot(ctx, enhanced, rows[i]).status());
+      }
+      const double t_enh = timer.ElapsedMillis() / probes;
+      timer.Restart();
+      for (int i = 0; i < probes; ++i) {
+        PIVOT_RETURN_IF_ERROR(PredictNpdDt(ctx, npd, rows[i]).status());
+      }
+      const double t_npd = timer.ElapsedMillis() / probes;
+      if (ctx.id() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        basic_ms = t_basic;
+        enh_ms = t_enh;
+        npd_ms = t_npd;
+      }
+      return Status::Ok();
+    });
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%-8d %14.2fms %14.2fms %14.3fms\n", h, basic_ms, enh_ms,
+                npd_ms);
+  }
+  return 0;
+}

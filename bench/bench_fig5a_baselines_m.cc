@@ -1,0 +1,40 @@
+// Figure 5a: training time vs m, Pivot vs the baselines.
+// Series: Pivot-Basic, Pivot-Enhanced, SPDZ-DT, NPD-DT.
+// Expected shape (paper): SPDZ-DT grows the fastest in m (almost every
+// secure computation involves all-to-all communication), NPD-DT is near
+// zero, the Pivot protocols sit in between.
+
+#include "bench/bench_util.h"
+
+using namespace pivot;
+using namespace pivot::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<int> ms = args.full ? std::vector<int>{2, 3, 4, 6, 8, 10}
+                                        : std::vector<int>{2, 3, 4};
+  const std::vector<System> systems = {System::kPivotBasic,
+                                       System::kPivotEnhanced,
+                                       System::kSpdzDt, System::kNpdDt};
+
+  std::printf("# Figure 5a: training time vs m, Pivot vs baselines\n");
+  PrintSeriesHeader("m", systems);
+  for (int m : ms) {
+    Workload w = Workload::Default(args);
+    w.m = m;
+    Dataset data = MakeWorkloadData(w, 31);
+    FederationConfig cfg = MakeFederationConfig(w, args, 256);
+    std::vector<double> row;
+    for (System s : systems) {
+      Result<TrainResult> r = TimeTreeTraining(data, cfg, s);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", SystemName(s),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(r.value().seconds);
+    }
+    PrintSeriesRow(m, row);
+  }
+  return 0;
+}

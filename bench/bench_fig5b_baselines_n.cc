@@ -1,0 +1,44 @@
+// Figure 5b: training time vs n, Pivot vs the baselines.
+// Expected shape (paper): SPDZ-DT scales linearly in n with the steepest
+// slope (O(n·d·b) secure multiplications per node), Pivot-Enhanced scales
+// linearly with a smaller slope (O(n) threshold decryptions), Pivot-Basic
+// is the flattest of the private systems, and the Basic/SPDZ-DT speedup
+// widens as n grows (paper: up to 37.5x at n = 200K).
+
+#include "bench/bench_util.h"
+
+using namespace pivot;
+using namespace pivot::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const std::vector<int> ns = args.full
+                                  ? std::vector<int>{5000, 10000, 50000,
+                                                     100000, 200000}
+                                  : std::vector<int>{100, 200, 400};
+  const std::vector<System> systems = {System::kPivotBasic,
+                                       System::kPivotEnhanced,
+                                       System::kSpdzDt, System::kNpdDt};
+
+  std::printf("# Figure 5b: training time vs n, Pivot vs baselines\n");
+  PrintSeriesHeader("n", systems);
+  for (int n : ns) {
+    Workload w = Workload::Default(args);
+    w.n = n;
+    Dataset data = MakeWorkloadData(w, 32);
+    FederationConfig cfg = MakeFederationConfig(w, args, 256);
+    std::vector<double> row;
+    for (System s : systems) {
+      Result<TrainResult> r = TimeTreeTraining(data, cfg, s);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", SystemName(s),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(r.value().seconds);
+    }
+    PrintSeriesRow(n, row);
+  }
+  std::printf("\n# speedup of Pivot-Basic over SPDZ-DT should grow with n\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Micro-benchmarks of the from-scratch bignum substrate (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "bigint/bigint.h"
+#include "bigint/prime.h"
+#include "common/rng.h"
+
+namespace pivot {
+namespace {
+
+BigInt RandomOdd(int bits, Rng& rng) {
+  BigInt v = BigInt::RandomBits(bits, rng);
+  if (!v.IsOdd()) v = v + BigInt(1);
+  if (v < BigInt(3)) v = BigInt(3);
+  return v;
+}
+
+void BM_BigIntMul(benchmark::State& state) {
+  Rng rng(1);
+  const int bits = static_cast<int>(state.range(0));
+  BigInt a = BigInt::RandomBits(bits, rng);
+  BigInt b = BigInt::RandomBits(bits, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_BigIntDivMod(benchmark::State& state) {
+  Rng rng(2);
+  const int bits = static_cast<int>(state.range(0));
+  BigInt a = BigInt::RandomBits(2 * bits, rng);
+  BigInt b = BigInt::RandomBits(bits, rng) + BigInt(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.DivMod(b));
+  }
+}
+BENCHMARK(BM_BigIntDivMod)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_MontgomeryModExp(benchmark::State& state) {
+  Rng rng(3);
+  const int bits = static_cast<int>(state.range(0));
+  BigInt m = RandomOdd(bits, rng);
+  MontgomeryContext ctx(m);
+  BigInt base = BigInt::RandomBelow(m, rng);
+  BigInt exp = BigInt::RandomBits(bits, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.ModExp(base, exp));
+  }
+}
+BENCHMARK(BM_MontgomeryModExp)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_ModInverse(benchmark::State& state) {
+  Rng rng(4);
+  BigInt m = RandomOdd(512, rng);
+  BigInt a = BigInt::RandomBelow(m, rng) + BigInt(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.ModInverse(m));
+  }
+}
+BENCHMARK(BM_ModInverse);
+
+void BM_MillerRabin(benchmark::State& state) {
+  Rng rng(5);
+  BigInt p = GeneratePrime(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsProbablePrime(p, 10, rng));
+  }
+}
+BENCHMARK(BM_MillerRabin)->Arg(128)->Arg(256);
+
+}  // namespace
+}  // namespace pivot
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Micro-benchmarks of the MPC engine primitives: the Cs and Cc of the
+// paper's cost model, with communication rounds, measured across a live
+// in-process party group.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "mpc/engine.h"
+
+using namespace pivot;
+
+namespace {
+
+struct OpStats {
+  double micros_per_op = 0;
+  double rounds_per_op = 0;
+};
+
+template <typename Fn>
+OpStats MeasureOp(int m, int batch, int iters, Fn&& op) {
+  OpStats stats;
+  std::mutex mu;
+  InMemoryNetwork net(m, 600'000);
+  Status st = RunParties(net, [&](int id, Endpoint& ep) -> Status {
+    Preprocessing prep(id, m, 99);
+    MpcEngine eng(&ep, &prep, 7 + id);
+    // Warm-up + shared inputs.
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> xs,
+                           eng.InputVector(0, std::vector<i128>(batch, 3 << 16),
+                                           batch));
+    const uint64_t rounds_before = eng.rounds();
+    WallTimer timer;
+    for (int i = 0; i < iters; ++i) {
+      PIVOT_RETURN_IF_ERROR(op(eng, xs));
+    }
+    if (id == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      stats.micros_per_op = timer.ElapsedSeconds() * 1e6 / (iters * batch);
+      stats.rounds_per_op =
+          static_cast<double>(eng.rounds() - rounds_before) / iters;
+    }
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "mpc bench failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return stats;
+}
+
+void Report(const char* name, const OpStats& s) {
+  std::printf("%-24s %12.2f us/op %10.1f rounds/call\n", name,
+              s.micros_per_op, s.rounds_per_op);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int m = 3;
+  const int batch = 64;
+  std::printf("# MPC primitive costs (m=%d, batch=%d, in-process network)\n",
+              m, batch);
+
+  Report("Open", MeasureOp(m, batch, 50, [](MpcEngine& eng, auto& xs) {
+           return eng.OpenVec(xs).status();
+         }));
+  Report("Mul (Beaver)", MeasureOp(m, batch, 50, [](MpcEngine& eng, auto& xs) {
+           return eng.MulVec(xs, xs).status();
+         }));
+  Report("MulFixed", MeasureOp(m, batch, 20, [](MpcEngine& eng, auto& xs) {
+           return eng.MulFixedVec(xs, xs).status();
+         }));
+  Report("TruncPr", MeasureOp(m, batch, 20, [](MpcEngine& eng, auto& xs) {
+           return eng.TruncPrVec(xs, 16, 64).status();
+         }));
+  Report("TruncExact", MeasureOp(m, batch, 5, [](MpcEngine& eng, auto& xs) {
+           return eng.TruncExactVec(xs, 16, 64).status();
+         }));
+  Report("LessThanZero (Cc)", MeasureOp(m, batch, 5,
+                                        [](MpcEngine& eng, auto& xs) {
+                                          return eng.LessThanZeroVec(xs, 64)
+                                              .status();
+                                        }));
+  Report("Reciprocal", MeasureOp(m, batch, 2, [](MpcEngine& eng, auto& xs) {
+           return eng.ReciprocalVec(xs).status();
+         }));
+  Report("ExpFixed", MeasureOp(m, batch, 5, [](MpcEngine& eng, auto& xs) {
+           return eng.ExpFixedVec(xs).status();
+         }));
+  Report("LogFixed", MeasureOp(m, batch, 2, [](MpcEngine& eng, auto& xs) {
+           return eng.LogFixedVec(xs).status();
+         }));
+  Report("Argmax(8)", MeasureOp(m, 8, 5, [](MpcEngine& eng, auto& xs) {
+           return eng.Argmax(xs, 48).status();
+         }));
+  return 0;
+}

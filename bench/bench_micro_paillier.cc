@@ -1,0 +1,86 @@
+// Micro-benchmarks of the threshold-Paillier substrate: the Ce and Cd of
+// the paper's cost model, per key size (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/threshold_paillier.h"
+
+namespace pivot {
+namespace {
+
+struct Fixture {
+  Rng rng{7};
+  ThresholdPaillier keys;
+  Ciphertext ct;
+
+  explicit Fixture(int bits, int parties = 3)
+      : keys(GenerateThresholdPaillier(bits, parties, rng)),
+        ct(keys.pk.Encrypt(BigInt(12345), rng)) {}
+};
+
+Fixture& GetFixture(int bits) {
+  static Fixture* f256 = new Fixture(256);
+  static Fixture* f512 = new Fixture(512);
+  static Fixture* f1024 = new Fixture(1024);
+  switch (bits) {
+    case 256: return *f256;
+    case 512: return *f512;
+    default: return *f1024;
+  }
+}
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.keys.pk.Encrypt(BigInt(42), f.rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_PaillierAdd(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.keys.pk.Add(f.ct, f.ct));
+  }
+}
+BENCHMARK(BM_PaillierAdd)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_PaillierScalarMul(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  const BigInt k = (BigInt(1) << 100) + BigInt(17);  // share-sized scalar
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.keys.pk.ScalarMul(k, f.ct));
+  }
+}
+BENCHMARK(BM_PaillierScalarMul)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_PaillierRerandomize(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.keys.pk.Rerandomize(f.ct, f.rng));
+  }
+}
+BENCHMARK(BM_PaillierRerandomize)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_ThresholdPartialDecrypt(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PartialDecrypt(f.keys.pk, f.keys.partial_keys[0], f.ct));
+  }
+}
+BENCHMARK(BM_ThresholdPartialDecrypt)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_ThresholdFullDecrypt(benchmark::State& state) {
+  // A complete Cd: all parties' partials plus the combination.
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JointDecrypt(f.keys, f.ct));
+  }
+}
+BENCHMARK(BM_ThresholdFullDecrypt)->Arg(256)->Arg(512)->Arg(1024);
+
+}  // namespace
+}  // namespace pivot
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// Table 2: the theoretical cost model, validated empirically.
+//
+// The paper expresses per-iteration training cost as counts of four
+// operation classes: Ce (ciphertext ops), Cd (threshold decryptions),
+// Cs (secure ops), Cc (secure comparisons):
+//   Basic    training: O(n·c·d̄·b·t)·Ce + O(c·d·b·t)(Cd + Cs) + O(d·b·t)·Cc
+//   Enhanced training: adds O(n·t)·Cd (encrypted mask updating) and
+//                      O(n·b·t)·Ce (private split selection)
+// This bench trains both protocols on scaled workloads and reports the
+// measured operation counts (aggregated over all parties), then checks
+// the scaling ratios the model predicts: doubling b (or d) roughly
+// doubles Cd/Cs/Cc; doubling n roughly doubles Ce but leaves Cd nearly
+// unchanged for Basic while doubling the enhanced protocol's Cd.
+
+#include "bench/bench_util.h"
+
+using namespace pivot;
+using namespace pivot::bench;
+
+namespace {
+
+OpSnapshot CountOps(const BenchArgs& args, Workload w, System system) {
+  Dataset data = MakeWorkloadData(w, 41);
+  FederationConfig cfg = MakeFederationConfig(w, args, 256);
+  cfg.network_sim = NetworkSim();  // counting ops, not time
+  Result<TrainResult> r = TimeTreeTraining(data, cfg, system);
+  if (!r.ok()) {
+    std::fprintf(stderr, "failed: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r.value().ops;
+}
+
+void PrintRow(const char* label, const OpSnapshot& ops) {
+  std::printf("%-28s %12llu %10llu %12llu %10llu\n", label,
+              static_cast<unsigned long long>(ops.ce),
+              static_cast<unsigned long long>(ops.cd),
+              static_cast<unsigned long long>(ops.cs),
+              static_cast<unsigned long long>(ops.cc));
+}
+
+double Ratio(uint64_t a, uint64_t b) {
+  return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  Workload base = Workload::Default(args);
+  if (!args.full) {
+    base.n = 200;
+    base.d = 3;
+    base.b = 4;
+    base.h = 3;
+  }
+
+  std::printf("# Table 2: measured operation counts per training run\n");
+  std::printf("%-28s %12s %10s %12s %10s\n", "configuration", "Ce", "Cd",
+              "Cs", "Cc");
+
+  const OpSnapshot basic = CountOps(args, base, System::kPivotBasic);
+  PrintRow("Basic  (base)", basic);
+  Workload w2n = base;
+  w2n.n *= 2;
+  const OpSnapshot basic_2n = CountOps(args, w2n, System::kPivotBasic);
+  PrintRow("Basic  (2x n)", basic_2n);
+  Workload w2b = base;
+  w2b.b *= 2;
+  const OpSnapshot basic_2b = CountOps(args, w2b, System::kPivotBasic);
+  PrintRow("Basic  (2x b)", basic_2b);
+
+  const OpSnapshot enh = CountOps(args, base, System::kPivotEnhanced);
+  PrintRow("Enhanced (base)", enh);
+  const OpSnapshot enh_2n = CountOps(args, w2n, System::kPivotEnhanced);
+  PrintRow("Enhanced (2x n)", enh_2n);
+
+  std::printf("\n# model checks (ratios; trees may differ slightly in "
+              "shape, so expect ~2x, not exactly 2x)\n");
+  std::printf("Basic    Ce(2n)/Ce   = %.2f  (model: ~2, O(n c d b t) Ce)\n",
+              Ratio(basic_2n.ce, basic.ce));
+  std::printf("Basic    Cd(2n)/Cd   = %.2f  (model: ~1, Cd independent of "
+              "n)\n",
+              Ratio(basic_2n.cd, basic.cd));
+  std::printf("Basic    Cd(2b)/Cd   = %.2f  (model: ~2, O(c d b t) Cd)\n",
+              Ratio(basic_2b.cd, basic.cd));
+  std::printf("Basic    Cc(2b)/Cc   = %.2f  (model: ~2, O(d b t) Cc)\n",
+              Ratio(basic_2b.cc, basic.cc));
+  std::printf("Enhanced Cd(2n)/Cd   = %.2f  (model: ~2, O(c d b t + n t) "
+              "Cd with the n-term dominating)\n",
+              Ratio(enh_2n.cd, enh.cd));
+  std::printf("Enhanced Cd / Basic Cd (base) = %.2f  (model: > 1; the "
+              "enhanced mask update adds O(n t) Cd)\n",
+              Ratio(enh.cd, basic.cd));
+
+  // ----- Prediction costs (Table 2, bottom rows) -----
+  std::printf("\n# prediction (per sample): Basic O(m t) Ce + O(1) Cd; "
+              "Enhanced O(t)(Cs + Cc)\n");
+  Dataset data = MakeWorkloadData(base, 41);
+  FederationConfig cfg = MakeFederationConfig(base, args, 256);
+  cfg.network_sim = NetworkSim();
+  cfg.params.key_bits = 384;
+  Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+    TrainTreeOptions bopts;
+    PIVOT_ASSIGN_OR_RETURN(PivotTree btree, TrainPivotTree(ctx, bopts));
+    TrainTreeOptions eopts;
+    eopts.protocol = Protocol::kEnhanced;
+    PIVOT_ASSIGN_OR_RETURN(PivotTree etree, TrainPivotTree(ctx, eopts));
+    auto rows = SliceRowsForParty(data, ctx.id(), ctx.num_parties());
+
+    OpSnapshot s0 = OpSnapshot::Take();
+    PIVOT_RETURN_IF_ERROR(PredictPivot(ctx, btree, rows[0]).status());
+    OpSnapshot s1 = OpSnapshot::Take();
+    PIVOT_RETURN_IF_ERROR(PredictPivot(ctx, etree, rows[0]).status());
+    OpSnapshot s2 = OpSnapshot::Take();
+    if (ctx.id() == 0) {
+      PrintRow("Predict basic (1 sample)", s1.Delta(s0));
+      PrintRow("Predict enhanced (1 sample)", s2.Delta(s1));
+    }
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "prediction count failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,186 @@
+#ifndef PIVOT_BENCH_BENCH_UTIL_H_
+#define PIVOT_BENCH_BENCH_UTIL_H_
+
+// Shared harness for the table/figure reproduction benches. Every bench
+// binary prints the same rows/series as the corresponding paper artifact
+// (see DESIGN.md §2). Default parameters are scaled down from the paper's
+// Table 4 so the full suite completes on a laptop; pass --full for
+// paper-scale parameters (long-running).
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "baselines/npd_dt.h"
+#include "baselines/spdz_dt.h"
+#include "common/op_counters.h"
+#include "common/timer.h"
+#include "data/synthetic.h"
+#include "pivot/ensemble.h"
+#include "pivot/prediction.h"
+#include "pivot/runner.h"
+#include "pivot/trainer.h"
+
+namespace pivot {
+namespace bench {
+
+struct BenchArgs {
+  bool full = false;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) args.full = true;
+  }
+  return args;
+}
+
+// The evaluated parameters of the paper's Table 4 (defaults scaled down;
+// --full restores the paper's defaults).
+struct Workload {
+  int m = 3;    // clients                 (paper default 3)
+  int n = 200;  // samples                 (paper default 50000)
+  int d = 3;    // features per client     (paper default 15)
+  int b = 4;    // max splits per feature  (paper default 8)
+  int h = 3;    // max tree depth          (paper default 4)
+  int c = 4;    // classes                 (paper default 4)
+  TreeTask task = TreeTask::kClassification;
+
+  static Workload Default(const BenchArgs& args) {
+    Workload w;
+    if (args.full) {
+      w.n = 50000;
+      w.d = 15;
+      w.b = 8;
+      w.h = 4;
+    }
+    return w;
+  }
+};
+
+inline Dataset MakeWorkloadData(const Workload& w, uint64_t seed = 1) {
+  if (w.task == TreeTask::kRegression) {
+    RegressionSpec spec;
+    spec.num_samples = w.n;
+    spec.num_features = w.d * w.m;
+    spec.seed = seed;
+    return MakeRegression(spec);
+  }
+  ClassificationSpec spec;
+  spec.num_samples = w.n;
+  spec.num_features = w.d * w.m;
+  spec.num_classes = w.c;
+  spec.seed = seed;
+  return MakeClassification(spec);
+}
+
+inline FederationConfig MakeFederationConfig(const Workload& w,
+                                             const BenchArgs& args,
+                                             int key_bits) {
+  FederationConfig cfg;
+  cfg.num_parties = w.m;
+  cfg.params.tree.task = w.task;
+  cfg.params.tree.num_classes = w.c;
+  cfg.params.tree.max_depth = w.h;
+  cfg.params.tree.max_splits = w.b;
+  cfg.params.tree.min_samples_split = 5;
+  cfg.params.key_bits = args.full ? 1024 : key_bits;
+  // LAN emulation: the paper's testbed is a LAN cluster; without delay the
+  // in-memory mesh would hide all communication costs (DESIGN.md).
+  cfg.network_sim.latency_us = 20;
+  cfg.network_sim.bandwidth_gbps = 1.0;
+  return cfg;
+}
+
+enum class System {
+  kPivotBasic,
+  kPivotBasicPP,     // parallel threshold decryption
+  kPivotEnhanced,
+  kPivotEnhancedPP,
+  kSpdzDt,
+  kNpdDt,
+};
+
+inline const char* SystemName(System s) {
+  switch (s) {
+    case System::kPivotBasic: return "Pivot-Basic";
+    case System::kPivotBasicPP: return "Pivot-Basic-PP";
+    case System::kPivotEnhanced: return "Pivot-Enhanced";
+    case System::kPivotEnhancedPP: return "Pivot-Enhanced-PP";
+    case System::kSpdzDt: return "SPDZ-DT";
+    case System::kNpdDt: return "NPD-DT";
+  }
+  return "?";
+}
+
+struct TrainResult {
+  double seconds = 0.0;
+  OpSnapshot ops;  // delta over the training run (all parties aggregated)
+};
+
+// Trains one tree with the given system and reports party-0 wall time plus
+// the operation-count delta. Key generation / data partitioning excluded.
+inline Result<TrainResult> TimeTreeTraining(const Dataset& data,
+                                            FederationConfig cfg,
+                                            System system) {
+  if (system == System::kPivotBasicPP || system == System::kPivotEnhancedPP) {
+    cfg.params.decryption_threads = 6;
+  }
+  if (system == System::kPivotEnhanced || system == System::kPivotEnhancedPP) {
+    cfg.params.key_bits = std::max(cfg.params.key_bits, 384);
+  }
+  TrainResult result;
+  std::mutex mu;
+  OpSnapshot before = OpSnapshot::Take();
+  Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+    WallTimer timer;
+    switch (system) {
+      case System::kPivotBasic:
+      case System::kPivotBasicPP: {
+        TrainTreeOptions opts;
+        PIVOT_RETURN_IF_ERROR(TrainPivotTree(ctx, opts).status());
+        break;
+      }
+      case System::kPivotEnhanced:
+      case System::kPivotEnhancedPP: {
+        TrainTreeOptions opts;
+        opts.protocol = Protocol::kEnhanced;
+        PIVOT_RETURN_IF_ERROR(TrainPivotTree(ctx, opts).status());
+        break;
+      }
+      case System::kSpdzDt:
+        PIVOT_RETURN_IF_ERROR(TrainSpdzDt(ctx).status());
+        break;
+      case System::kNpdDt:
+        PIVOT_RETURN_IF_ERROR(TrainNpdDt(ctx).status());
+        break;
+    }
+    if (ctx.id() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      result.seconds = timer.ElapsedSeconds();
+    }
+    return Status::Ok();
+  });
+  PIVOT_RETURN_IF_ERROR(st);
+  result.ops = OpSnapshot::Take().Delta(before);
+  return result;
+}
+
+inline void PrintSeriesHeader(const char* x_name,
+                              const std::vector<System>& systems) {
+  std::printf("%-8s", x_name);
+  for (System s : systems) std::printf(" %16s", SystemName(s));
+  std::printf("\n");
+}
+
+inline void PrintSeriesRow(double x, const std::vector<double>& seconds) {
+  std::printf("%-8g", x);
+  for (double s : seconds) std::printf(" %14.3fs", s);
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace pivot
+
+#endif  // PIVOT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,118 @@
+// Credit scoring: the paper's motivating scenario (Figure 1).
+//
+// A bank and a fintech company jointly evaluate credit-card applications.
+// Both organizations know the same customers; the bank holds account
+// features and the ground-truth labels (approved / rejected), the fintech
+// holds online-transaction features. Neither may reveal its columns.
+//
+// This example trains the model twice:
+//  - with the basic protocol (the final tree is public to both parties),
+//  - with the enhanced protocol (split thresholds and leaf labels stay
+//    secret-shared, mitigating the training-label / feature-value
+//    leakages of Section 5.1),
+// and then scores fresh applications with the distributed prediction
+// protocols, printing what each organization actually gets to see.
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "pivot/prediction.h"
+#include "pivot/runner.h"
+#include "pivot/trainer.h"
+
+using namespace pivot;
+
+namespace {
+
+constexpr int kBank = 0;     // super client: holds the labels
+constexpr int kFintech = 1;
+
+// A credit-card-application-like dataset: 10 features (5 bank-side, 5
+// fintech-side), binary approval label.
+Dataset MakeCreditData() {
+  ClassificationSpec spec;
+  spec.num_samples = 400;
+  spec.num_features = 10;
+  spec.num_classes = 2;
+  spec.class_separation = 2.2;
+  spec.seed = 20260704;
+  return MakeClassification(spec);
+}
+
+}  // namespace
+
+int main() {
+  Dataset data = MakeCreditData();
+  Rng rng(5);
+  TrainTestSplit split = SplitTrainTest(data, 0.2, rng);
+
+  FederationConfig cfg;
+  cfg.num_parties = 2;
+  cfg.super_client = kBank;
+  cfg.params.tree.num_classes = 2;
+  cfg.params.tree.max_depth = 3;
+  cfg.params.tree.max_splits = 8;
+  cfg.params.key_bits = 384;  // enhanced protocol needs the headroom
+
+  std::printf("== Vertical FL credit scoring: bank + fintech ==\n\n");
+
+  Status st = RunFederation(split.train, cfg, [&](PartyContext& ctx) -> Status {
+    const char* who = ctx.id() == kBank ? "bank" : "fintech";
+
+    // ---- Basic protocol: the tree is public to both parties. ----
+    TrainTreeOptions basic;
+    basic.protocol = Protocol::kBasic;
+    PIVOT_ASSIGN_OR_RETURN(PivotTree public_tree, TrainPivotTree(ctx, basic));
+
+    // ---- Enhanced protocol: thresholds and leaf labels stay hidden. ----
+    TrainTreeOptions enhanced;
+    enhanced.protocol = Protocol::kEnhanced;
+    PIVOT_ASSIGN_OR_RETURN(PivotTree hidden_tree,
+                           TrainPivotTree(ctx, enhanced));
+
+    if (ctx.id() == kBank) {
+      std::printf("[basic]    both parties see the full tree, e.g. root: "
+                  "client %d, local feature %d, threshold %.3f\n",
+                  public_tree.nodes[0].owner,
+                  public_tree.nodes[0].feature_local,
+                  public_tree.nodes[0].threshold);
+      std::printf("[enhanced] parties see only the split owner/feature; the "
+                  "root threshold field is %.3f (concealed; real value lives "
+                  "in secret shares)\n\n",
+                  hidden_tree.nodes[0].threshold);
+    }
+
+    // ---- Score 8 fresh applications with both models. ----
+    auto my_rows = SliceRowsForParty(split.test, ctx.id(), cfg.num_parties);
+    int agree = 0;
+    int approved = 0;
+    for (int i = 0; i < 8; ++i) {
+      PIVOT_ASSIGN_OR_RETURN(double pub,
+                             PredictPivot(ctx, public_tree, my_rows[i]));
+      PIVOT_ASSIGN_OR_RETURN(double hid,
+                             PredictPivot(ctx, hidden_tree, my_rows[i]));
+      agree += (pub == hid);
+      approved += (pub == 1.0);
+      if (ctx.id() == kBank) {
+        std::printf("application %d: basic=%s enhanced=%s (truth=%s)\n", i,
+                    pub == 1.0 ? "approve" : "reject",
+                    hid == 1.0 ? "approve" : "reject",
+                    split.test.labels[i] == 1.0 ? "approve" : "reject");
+      }
+    }
+    if (ctx.id() == kBank) {
+      std::printf("\nbasic/enhanced agreement: %d/8; approved: %d/8\n", agree,
+                  approved);
+    } else {
+      // The fintech learns only the final predictions it was part of.
+      std::printf("(%s sees only the agreed outputs, never the bank's "
+                  "labels)\n", who);
+    }
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "federation failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

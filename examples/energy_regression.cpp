@@ -1,0 +1,100 @@
+// Energy-consumption regression with federated tree ensembles.
+//
+// Mirrors the paper's appliances-energy workload (a regression task over
+// sensor features held by different building subsystems). Three parties
+// train a Pivot random forest and a Pivot GBDT on vertically partitioned
+// data and report test MSE against the non-private sklearn-style
+// baselines implemented in src/tree/.
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "pivot/ensemble.h"
+#include "pivot/runner.h"
+#include "tree/forest.h"
+#include "tree/gbdt.h"
+
+using namespace pivot;
+
+int main() {
+  RegressionSpec spec;
+  spec.num_samples = 300;
+  spec.num_features = 9;
+  spec.noise = 0.15;
+  spec.seed = 42;
+  Dataset data = MakeRegression(spec);
+  Rng rng(3);
+  TrainTestSplit split = SplitTrainTest(data, 0.25, rng);
+
+  FederationConfig cfg;
+  cfg.num_parties = 3;
+  cfg.params.tree.task = TreeTask::kRegression;
+  cfg.params.tree.max_depth = 3;
+  cfg.params.tree.max_splits = 6;
+  cfg.params.key_bits = 384;  // GBDT carries encrypted residual labels
+
+  const int kTrees = 4;
+  const int kProbe = 12;  // test samples scored through the protocols
+
+  std::printf("Training federated ensembles on %zu samples, %d parties...\n",
+              split.train.num_samples(), cfg.num_parties);
+
+  double rf_mse = -1, gbdt_mse = -1;
+  Status st = RunFederation(split.train, cfg, [&](PartyContext& ctx) -> Status {
+    auto my_rows = SliceRowsForParty(split.test, ctx.id(), cfg.num_parties);
+    my_rows.resize(kProbe);
+    std::vector<double> truth(split.test.labels.begin(),
+                              split.test.labels.begin() + kProbe);
+
+    EnsembleOptions rf_opts;
+    rf_opts.num_trees = kTrees;
+    PIVOT_ASSIGN_OR_RETURN(PivotEnsemble rf, TrainPivotForest(ctx, rf_opts));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<double> rf_preds,
+                           PredictPivotEnsembleMany(ctx, rf, my_rows));
+
+    EnsembleOptions gbdt_opts;
+    gbdt_opts.num_trees = kTrees;
+    gbdt_opts.learning_rate = 0.5;
+    PIVOT_ASSIGN_OR_RETURN(PivotEnsemble gbdt, TrainPivotGbdt(ctx, gbdt_opts));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<double> gbdt_preds,
+                           PredictPivotEnsembleMany(ctx, gbdt, my_rows));
+
+    if (ctx.id() == 0) {
+      rf_mse = MeanSquaredError(rf_preds, truth);
+      gbdt_mse = MeanSquaredError(gbdt_preds, truth);
+    }
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "federation failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Non-private baselines with identical hyper-parameters.
+  ForestParams np_rf;
+  np_rf.tree = cfg.params.tree;
+  np_rf.num_trees = kTrees;
+  ForestModel rf = TrainForest(split.train, np_rf);
+
+  GbdtParams np_gbdt;
+  np_gbdt.tree = cfg.params.tree;
+  np_gbdt.num_rounds = kTrees;
+  np_gbdt.learning_rate = 0.5;
+  GbdtModel gbdt = TrainGbdt(split.train, np_gbdt);
+
+  Dataset probe;
+  probe.features.assign(split.test.features.begin(),
+                        split.test.features.begin() + kProbe);
+  probe.labels.assign(split.test.labels.begin(),
+                      split.test.labels.begin() + kProbe);
+
+  std::printf("\n%-12s %10s %10s\n", "model", "Pivot MSE", "NP MSE");
+  std::printf("%-12s %10.4f %10.4f\n", "RF", rf_mse,
+              MeanSquaredError(PredictAll(rf, probe), probe.labels));
+  std::printf("%-12s %10.4f %10.4f\n", "GBDT", gbdt_mse,
+              MeanSquaredError(PredictAll(gbdt, probe), probe.labels));
+  std::printf("\n(Private and plaintext ensembles are close; residual "
+              "differences come from fixed-point arithmetic and bootstrap "
+              "draws.)\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Healthcare analytics with defense in depth: enhanced protocol +
+// differential privacy.
+//
+// A hospital (labels: diagnosis) and two labs (feature panels) train a
+// diagnosis tree. Beyond hiding all intermediate values (every Pivot
+// protocol does that), this deployment also:
+//   - conceals the model's thresholds and leaf labels (enhanced protocol,
+//     Section 5), so colluding parties cannot run the label/feature
+//     inference attacks of Section 5.1, and
+//   - samples Laplace noise and applies the exponential mechanism inside
+//     MPC (Section 9.2), so even the *released structure* is
+//     differentially private with budget B = 2·eps·(h+1).
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "pivot/prediction.h"
+#include "pivot/runner.h"
+#include "pivot/trainer.h"
+
+using namespace pivot;
+
+int main() {
+  ClassificationSpec spec;
+  spec.num_samples = 300;
+  spec.num_features = 9;
+  spec.num_classes = 3;  // healthy / condition A / condition B
+  spec.class_separation = 2.5;
+  spec.seed = 99;
+  Dataset data = MakeClassification(spec);
+  Rng rng(11);
+  TrainTestSplit split = SplitTrainTest(data, 0.2, rng);
+
+  FederationConfig cfg;
+  cfg.num_parties = 3;
+  cfg.super_client = 0;  // the hospital
+  cfg.params.tree.num_classes = 3;
+  cfg.params.tree.max_depth = 3;
+  cfg.params.tree.max_splits = 6;
+  cfg.params.key_bits = 384;
+  cfg.params.dp.enabled = true;
+  cfg.params.dp.epsilon_per_query = 1.0;
+
+  const double budget =
+      2.0 * cfg.params.dp.epsilon_per_query * (cfg.params.tree.max_depth + 1);
+  std::printf("Hospital + 2 labs, enhanced protocol, DP budget B = %.1f\n\n",
+              budget);
+
+  Status st = RunFederation(split.train, cfg, [&](PartyContext& ctx) -> Status {
+    TrainTreeOptions opts;
+    opts.protocol = Protocol::kEnhanced;
+    PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainPivotTree(ctx, opts));
+
+    if (ctx.id() == 0) {
+      std::printf("released structure: %d internal nodes / %d leaves\n",
+                  tree.NumInternalNodes(), tree.NumLeaves());
+      std::printf("feature owners along the tree:");
+      for (const PivotNode& n : tree.nodes) {
+        if (!n.is_leaf) std::printf(" u%d.f%d", n.owner, n.feature_local);
+      }
+      std::printf("\n(no thresholds, no leaf diagnoses are visible)\n\n");
+    }
+
+    // Joint diagnosis of new patients: only the final class is revealed.
+    auto my_rows = SliceRowsForParty(split.test, ctx.id(), cfg.num_parties);
+    int correct = 0;
+    const int probe = 10;
+    for (int i = 0; i < probe; ++i) {
+      PIVOT_ASSIGN_OR_RETURN(double pred, PredictPivot(ctx, tree, my_rows[i]));
+      correct += (pred == split.test.labels[i]);
+    }
+    if (ctx.id() == 0) {
+      std::printf("joint diagnosis on %d held-out patients: %d correct\n",
+                  probe, correct);
+      std::printf("(DP noise trades some accuracy for a formal privacy "
+                  "guarantee on the released model)\n");
+    }
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "federation failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: train a privacy-preserving decision tree across three
+// simulated clients and compare it with the non-private baseline.
+//
+// The three parties hold disjoint feature columns of the same samples;
+// party 0 (the "super client") additionally holds the labels. Training
+// runs the Pivot basic protocol: threshold-Paillier-encrypted statistics,
+// secret-shared best-split selection, and a plaintext released model.
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "pivot/prediction.h"
+#include "pivot/runner.h"
+#include "pivot/trainer.h"
+#include "tree/cart.h"
+
+using namespace pivot;
+
+int main() {
+  // 1. A synthetic binary-classification dataset (600 samples, 9 features).
+  ClassificationSpec spec;
+  spec.num_samples = 600;
+  spec.num_features = 9;
+  spec.num_classes = 2;
+  spec.class_separation = 2.0;
+  spec.seed = 7;
+  Dataset data = MakeClassification(spec);
+  Rng rng(1);
+  TrainTestSplit split = SplitTrainTest(data, 0.25, rng);
+
+  // 2. Federation setup: 3 clients, party 0 holds the labels.
+  FederationConfig cfg;
+  cfg.num_parties = 3;
+  cfg.params.tree.task = TreeTask::kClassification;
+  cfg.params.tree.num_classes = 2;
+  cfg.params.tree.max_depth = 3;
+  cfg.params.tree.max_splits = 8;
+  cfg.params.key_bits = 256;
+
+  std::printf("Training a Pivot decision tree across %d clients...\n",
+              cfg.num_parties);
+
+  double pivot_accuracy = -1.0;
+  Status st = RunFederation(split.train, cfg, [&](PartyContext& ctx) -> Status {
+    TrainTreeOptions opts;  // basic protocol
+    PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainPivotTree(ctx, opts));
+
+    // Federated prediction on the test set: each party supplies only its
+    // own feature slice per sample (Algorithm 4 of the paper).
+    auto my_rows = SliceRowsForParty(split.test, ctx.id(), cfg.num_parties);
+    PIVOT_ASSIGN_OR_RETURN(std::vector<double> preds,
+                           PredictPivotMany(ctx, tree, my_rows));
+    if (ctx.id() == 0) {
+      pivot_accuracy = Accuracy(preds, split.test.labels);
+      std::printf("  model: %d internal nodes, %d leaves\n",
+                  tree.NumInternalNodes(), tree.NumLeaves());
+    }
+    return Status::Ok();
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "federation failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Non-private reference with identical hyper-parameters.
+  TreeModel np = TrainCart(split.train, cfg.params.tree);
+  double np_accuracy = Accuracy(PredictAll(np, split.test), split.test.labels);
+
+  std::printf("Pivot-DT  test accuracy: %.4f\n", pivot_accuracy);
+  std::printf("NP-DT     test accuracy: %.4f\n", np_accuracy);
+  std::printf("(The private tree matches the plaintext tree up to "
+              "fixed-point rounding.)\n");
+  return 0;
+}

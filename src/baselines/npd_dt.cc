@@ -1,0 +1,258 @@
+#include "baselines/npd_dt.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "net/codec.h"
+#include "tree/cart.h"
+
+namespace pivot {
+
+namespace {
+
+class NpdTrainer {
+ public:
+  explicit NpdTrainer(PartyContext& ctx)
+      : ctx_(ctx), m_(ctx.num_parties()), me_(ctx.id()) {
+    n_ = static_cast<int>(ctx.view().features.size());
+  }
+
+  Result<PivotTree> Train() {
+    PIVOT_RETURN_IF_ERROR(BroadcastLabels());
+    tree_.protocol = Protocol::kBasic;
+    tree_.task = ctx_.params().tree.task;
+    tree_.num_classes = ctx_.params().tree.num_classes;
+
+    std::vector<uint8_t> mask(n_, 1);
+    std::vector<std::vector<bool>> available(m_);
+    // Feature availability: local features known; peers' counts exchanged
+    // via the candidate-split metadata below.
+    PIVOT_RETURN_IF_ERROR(ExchangeFeatureCounts());
+    for (int i = 0; i < m_; ++i) available[i].assign(feature_counts_[i], true);
+    PIVOT_RETURN_IF_ERROR(BuildNode(mask, available, 0).status());
+    return std::move(tree_);
+  }
+
+ private:
+  struct Candidate {
+    double gain = -1.0;
+    int owner = -1;
+    int feature = -1;
+    int split = -1;
+    double threshold = 0.0;
+  };
+
+  Status BroadcastLabels() {
+    if (ctx_.is_super()) {
+      labels_ = ctx_.labels();
+      ByteWriter w;
+      w.WriteU64(labels_.size());
+      for (double y : labels_) w.WriteDouble(y);
+      ctx_.endpoint().Broadcast(w.Take());
+      return Status::Ok();
+    }
+    PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx_.endpoint().Recv(ctx_.super_client()));
+    ByteReader r(msg);
+    PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+    labels_.resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      PIVOT_ASSIGN_OR_RETURN(labels_[i], r.ReadDouble());
+    }
+    return Status::Ok();
+  }
+
+  Status ExchangeFeatureCounts() {
+    ByteWriter w;
+    w.WriteU64(ctx_.split_candidates().size());
+    ctx_.endpoint().Broadcast(w.Take());
+    feature_counts_.assign(m_, 0);
+    for (int p = 0; p < m_; ++p) {
+      if (p == me_) {
+        feature_counts_[p] = static_cast<int>(ctx_.split_candidates().size());
+        continue;
+      }
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx_.endpoint().Recv(p));
+      ByteReader r(msg);
+      PIVOT_ASSIGN_OR_RETURN(uint64_t d, r.ReadU64());
+      feature_counts_[p] = static_cast<int>(d);
+    }
+    return Status::Ok();
+  }
+
+  // This client's best local split for the node's sample mask.
+  Candidate LocalBest(const std::vector<uint8_t>& mask,
+                      const std::vector<bool>& my_available) {
+    Candidate best;
+    const TreeParams& tp = ctx_.params().tree;
+    const bool regression = tp.task == TreeTask::kRegression;
+    for (size_t j = 0; j < ctx_.split_candidates().size(); ++j) {
+      if (!my_available[j]) continue;
+      for (size_t s = 0; s < ctx_.split_candidates()[j].size(); ++s) {
+        const std::vector<uint8_t>& left =
+            ctx_.LeftIndicator(static_cast<int>(j), static_cast<int>(s));
+        double gain;
+        if (regression) {
+          double nl = 0, sl = 0, ql = 0, nr = 0, sr = 0, qr = 0;
+          for (int t = 0; t < n_; ++t) {
+            if (!mask[t]) continue;
+            const double y = labels_[t];
+            if (left[t]) {
+              nl += 1; sl += y; ql += y * y;
+            } else {
+              nr += 1; sr += y; qr += y * y;
+            }
+          }
+          gain = VarianceGain(nl, sl, ql, nr, sr, qr);
+        } else {
+          std::vector<double> lc(tp.num_classes, 0.0), rc(tp.num_classes, 0.0);
+          for (int t = 0; t < n_; ++t) {
+            if (!mask[t]) continue;
+            auto& side = left[t] ? lc : rc;
+            side[static_cast<int>(labels_[t])] += 1.0;
+          }
+          gain = GiniGain(lc, rc);
+        }
+        if (gain > tp.min_gain && gain > best.gain) {
+          best = {gain, me_, static_cast<int>(j), static_cast<int>(s),
+                  ctx_.split_candidates()[j][s]};
+        }
+      }
+    }
+    return best;
+  }
+
+  Result<int> BuildNode(const std::vector<uint8_t>& mask,
+                        std::vector<std::vector<bool>> available, int depth) {
+    const TreeParams& tp = ctx_.params().tree;
+    int count = 0;
+    for (uint8_t v : mask) count += v;
+    bool any_feature = false;
+    for (const auto& a : available) {
+      for (bool b : a) any_feature |= b;
+    }
+    if (depth >= tp.max_depth || count < tp.min_samples_split || !any_feature) {
+      return MakeLeaf(mask);
+    }
+
+    // Exchange best local candidates in plaintext.
+    Candidate mine = LocalBest(mask, available[me_]);
+    ByteWriter w;
+    w.WriteDouble(mine.gain);
+    w.WriteU32(static_cast<uint32_t>(mine.feature + 1));
+    w.WriteU32(static_cast<uint32_t>(mine.split + 1));
+    w.WriteDouble(mine.threshold);
+    ctx_.endpoint().Broadcast(w.Take());
+
+    Candidate best = mine;
+    for (int p = 0; p < m_; ++p) {
+      if (p == me_) continue;
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx_.endpoint().Recv(p));
+      ByteReader r(msg);
+      Candidate c;
+      c.owner = p;
+      PIVOT_ASSIGN_OR_RETURN(c.gain, r.ReadDouble());
+      PIVOT_ASSIGN_OR_RETURN(uint32_t f, r.ReadU32());
+      PIVOT_ASSIGN_OR_RETURN(uint32_t s, r.ReadU32());
+      c.feature = static_cast<int>(f) - 1;
+      c.split = static_cast<int>(s) - 1;
+      PIVOT_ASSIGN_OR_RETURN(c.threshold, r.ReadDouble());
+      // Deterministic tie-break by party id.
+      if (c.gain > best.gain ||
+          (c.gain == best.gain && best.feature >= 0 && c.owner < best.owner)) {
+        best = c;
+      }
+    }
+    if (best.feature < 0) return MakeLeaf(mask);
+
+    // The winner broadcasts the left-partition indicator in plaintext.
+    std::vector<uint8_t> left_mask(n_, 0);
+    if (me_ == best.owner) {
+      const std::vector<uint8_t>& left =
+          ctx_.LeftIndicator(best.feature, best.split);
+      for (int t = 0; t < n_; ++t) left_mask[t] = mask[t] && left[t];
+      ctx_.endpoint().Broadcast(Bytes(left_mask.begin(), left_mask.end()));
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx_.endpoint().Recv(best.owner));
+      left_mask.assign(msg.begin(), msg.end());
+    }
+    std::vector<uint8_t> right_mask(n_, 0);
+    for (int t = 0; t < n_; ++t) right_mask[t] = mask[t] && !left_mask[t];
+
+    PivotNode node;
+    node.owner = best.owner;
+    node.feature_local = best.feature;
+    node.threshold = best.threshold;
+    const int id = tree_.AddNode(node);
+    available[best.owner][best.feature] = false;
+    PIVOT_ASSIGN_OR_RETURN(int left_id, BuildNode(left_mask, available,
+                                                  depth + 1));
+    PIVOT_ASSIGN_OR_RETURN(int right_id, BuildNode(right_mask, available,
+                                                   depth + 1));
+    tree_.nodes[id].left = left_id;
+    tree_.nodes[id].right = right_id;
+    return id;
+  }
+
+  Result<int> MakeLeaf(const std::vector<uint8_t>& mask) {
+    PivotNode leaf;
+    leaf.is_leaf = true;
+    const TreeParams& tp = ctx_.params().tree;
+    if (tp.task == TreeTask::kRegression) {
+      double sum = 0.0;
+      int count = 0;
+      for (int t = 0; t < n_; ++t) {
+        if (mask[t]) {
+          sum += labels_[t];
+          ++count;
+        }
+      }
+      leaf.leaf_value = count ? sum / count : 0.0;
+    } else {
+      std::vector<int> counts(tp.num_classes, 0);
+      for (int t = 0; t < n_; ++t) {
+        if (mask[t]) ++counts[static_cast<int>(labels_[t])];
+      }
+      leaf.leaf_value = static_cast<double>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+    }
+    return tree_.AddNode(leaf);
+  }
+
+  PartyContext& ctx_;
+  int m_;
+  int me_;
+  int n_;
+  std::vector<double> labels_;
+  std::vector<int> feature_counts_;
+  PivotTree tree_;
+};
+
+}  // namespace
+
+Result<PivotTree> TrainNpdDt(PartyContext& ctx) {
+  NpdTrainer trainer(ctx);
+  return trainer.Train();
+}
+
+Result<double> PredictNpdDt(PartyContext& ctx, const PivotTree& tree,
+                            const std::vector<double>& my_features) {
+  PIVOT_CHECK_MSG(!tree.nodes.empty(), "empty tree");
+  // The coordinator (party 0) walks the tree; at each internal node the
+  // owner answers with the branch direction in plaintext.
+  int id = 0;
+  while (!tree.nodes[id].is_leaf) {
+    const PivotNode& n = tree.nodes[id];
+    uint8_t go_left;
+    if (ctx.id() == n.owner) {
+      go_left = my_features[n.feature_local] <= n.threshold ? 1 : 0;
+      ctx.endpoint().Broadcast(Bytes{go_left});
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx.endpoint().Recv(n.owner));
+      go_left = msg[0];
+    }
+    id = go_left ? n.left : n.right;
+  }
+  return tree.nodes[id].leaf_value;
+}
+
+}  // namespace pivot

@@ -1,0 +1,26 @@
+#ifndef PIVOT_BASELINES_NPD_DT_H_
+#define PIVOT_BASELINES_NPD_DT_H_
+
+#include "pivot/context.h"
+#include "pivot/model.h"
+
+namespace pivot {
+
+// NPD-DT: the paper's non-private distributed decision tree baseline
+// (Section 8.1). The super client broadcasts its labels in plaintext;
+// every client computes split statistics on its own columns and the
+// parties exchange candidate best splits in plaintext to pick the global
+// best. No cryptography anywhere — this is the "cost of privacy"
+// reference line in Figures 4g-4h and 5a-5b.
+//
+// SPMD: call on every party; returns the public tree.
+Result<PivotTree> TrainNpdDt(PartyContext& ctx);
+
+// Naive distributed prediction (Section 4.3's strawman): the prediction
+// hops from node owner to node owner along the path, leaking the path.
+Result<double> PredictNpdDt(PartyContext& ctx, const PivotTree& tree,
+                            const std::vector<double>& my_features);
+
+}  // namespace pivot
+
+#endif  // PIVOT_BASELINES_NPD_DT_H_

@@ -1,0 +1,22 @@
+#ifndef PIVOT_BASELINES_SPDZ_DT_H_
+#define PIVOT_BASELINES_SPDZ_DT_H_
+
+#include "pivot/context.h"
+#include "pivot/model.h"
+
+namespace pivot {
+
+// SPDZ-DT: the paper's pure-MPC baseline (Section 8.1) — a decision tree
+// trained entirely inside the secret sharing scheme, with no TPHE help.
+//
+// Every client secret-shares its per-split indicator vectors (O(n·d·b)
+// shared values) and the super client secret-shares its label indicators;
+// every per-split statistic then costs n secure multiplications instead of
+// Pivot's local homomorphic dot product. This is exactly the communication
+// blow-up that Figure 5 measures Pivot's speedup against. The trained
+// model is released in plaintext (like Pivot's basic protocol).
+Result<PivotTree> TrainSpdzDt(PartyContext& ctx);
+
+}  // namespace pivot
+
+#endif  // PIVOT_BASELINES_SPDZ_DT_H_

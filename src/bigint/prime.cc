@@ -1,0 +1,84 @@
+#include "bigint/prime.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace pivot {
+
+namespace {
+
+constexpr std::array<uint64_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// One Miller-Rabin round with the provided base, using a shared Montgomery
+// context for the modulus.
+bool MillerRabinRound(const BigInt& n, const BigInt& n_minus_1, const BigInt& d,
+                      int r, const MontgomeryContext& ctx, const BigInt& base) {
+  BigInt x = ctx.ModExp(base, d);
+  if (x.IsOne() || x == n_minus_1) return true;
+  for (int i = 0; i < r - 1; ++i) {
+    x = ctx.ModMul(x, x);
+    if (x == n_minus_1) return true;
+    if (x.IsOne()) return false;  // nontrivial sqrt of 1 => composite
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, int rounds, Rng& rng) {
+  if (n < BigInt(2)) return false;
+  for (uint64_t p : kSmallPrimes) {
+    BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).IsZero()) return false;
+  }
+  // n is odd and > 251 here.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  int r = 0;
+  while (!d.IsOdd()) {
+    d = d >> 1;
+    ++r;
+  }
+  MontgomeryContext ctx(n);
+  const BigInt three(3);
+  for (int i = 0; i < rounds; ++i) {
+    // Base uniform in [2, n-2].
+    BigInt base = BigInt::RandomBelow(n - three, rng) + BigInt(2);
+    if (!MillerRabinRound(n, n_minus_1, d, r, ctx, base)) return false;
+  }
+  return true;
+}
+
+BigInt GeneratePrime(int bits, Rng& rng) {
+  PIVOT_CHECK_MSG(bits >= 2, "prime must have at least 2 bits");
+  // ~2^-80 error probability with 40 rounds; keysizes here are test-scale
+  // so the fixed round count is cheap.
+  constexpr int kRounds = 30;
+  for (;;) {
+    BigInt candidate = BigInt::RandomBits(bits, rng);
+    // Force exact bit length and oddness.
+    if (!candidate.TestBit(bits - 1)) candidate = candidate + (BigInt(1) << (bits - 1));
+    if (!candidate.IsOdd()) candidate = candidate + BigInt(1);
+    if (candidate.BitLength() != bits) continue;  // odd +1 overflowed
+    if (IsProbablePrime(candidate, kRounds, rng)) return candidate;
+  }
+}
+
+PrimePair GeneratePaillierPrimes(int bits, Rng& rng) {
+  for (;;) {
+    BigInt p = GeneratePrime(bits, rng);
+    BigInt q = GeneratePrime(bits, rng);
+    if (p == q) continue;
+    BigInt n = p * q;
+    BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    if (BigInt::Gcd(n, phi).IsOne()) return {std::move(p), std::move(q)};
+  }
+}
+
+}  // namespace pivot

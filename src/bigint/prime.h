@@ -1,0 +1,30 @@
+#ifndef PIVOT_BIGINT_PRIME_H_
+#define PIVOT_BIGINT_PRIME_H_
+
+#include "bigint/bigint.h"
+#include "common/rng.h"
+
+namespace pivot {
+
+// Miller-Rabin probabilistic primality test with `rounds` random bases
+// (error probability <= 4^-rounds), preceded by trial division against a
+// table of small primes.
+bool IsProbablePrime(const BigInt& n, int rounds, Rng& rng);
+
+// Generates a random prime with exactly `bits` bits (top bit set).
+// REQUIRES: bits >= 2.
+BigInt GeneratePrime(int bits, Rng& rng);
+
+// Generates two distinct primes of `bits` bits each, suitable as Paillier
+// factors: additionally enforces gcd(p*q, (p-1)*(q-1)) == 1, which holds
+// automatically when p and q have the same bit length but is checked for
+// robustness.
+struct PrimePair {
+  BigInt p;
+  BigInt q;
+};
+PrimePair GeneratePaillierPrimes(int bits, Rng& rng);
+
+}  // namespace pivot
+
+#endif  // PIVOT_BIGINT_PRIME_H_

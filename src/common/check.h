@@ -1,0 +1,36 @@
+#ifndef PIVOT_COMMON_CHECK_H_
+#define PIVOT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checks. A failed check indicates a bug in this library (not a
+// recoverable runtime condition, which is reported via Status) and aborts.
+
+#define PIVOT_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "PIVOT_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define PIVOT_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "PIVOT_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define PIVOT_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define PIVOT_DCHECK(cond) PIVOT_CHECK(cond)
+#endif
+
+#endif  // PIVOT_COMMON_CHECK_H_

@@ -1,0 +1,50 @@
+#ifndef PIVOT_COMMON_FIXED_POINT_H_
+#define PIVOT_COMMON_FIXED_POINT_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace pivot {
+
+// Fixed-point codec shared by the whole system.
+//
+// The cryptographic substrates (Paillier, additive secret sharing) operate
+// on integers, so every real-valued quantity (feature values, labels,
+// impurity gains, probabilities) is represented as round(x * 2^f). The
+// paper's implementation does the same ("we convert the floating point
+// datasets into fixed-point integer representation", Section 8).
+struct FixedPointParams {
+  // Fractional bits.
+  int frac_bits = 16;
+  // Total magnitude bound (|encoded| < 2^total_bits). Protocol-level
+  // comparison/truncation protocols rely on this bound.
+  int total_bits = 64;
+
+  int64_t Scale() const { return int64_t{1} << frac_bits; }
+};
+
+inline constexpr FixedPointParams kDefaultFixedPoint{};
+
+inline int64_t FixedFromDouble(double x, const FixedPointParams& fp = kDefaultFixedPoint) {
+  double scaled = x * static_cast<double>(fp.Scale());
+  PIVOT_CHECK_MSG(std::abs(scaled) < std::ldexp(1.0, fp.total_bits - 1),
+                  "fixed-point overflow");
+  return static_cast<int64_t>(std::llround(scaled));
+}
+
+inline double FixedToDouble(int64_t v, const FixedPointParams& fp = kDefaultFixedPoint) {
+  return static_cast<double>(v) / static_cast<double>(fp.Scale());
+}
+
+// Product of two fixed-point values carries 2f fractional bits; divide by
+// the scale to renormalize (plaintext analogue of secure truncation).
+inline int64_t FixedMul(int64_t a, int64_t b, const FixedPointParams& fp = kDefaultFixedPoint) {
+  __int128 p = static_cast<__int128>(a) * static_cast<__int128>(b);
+  return static_cast<int64_t>(p >> fp.frac_bits);
+}
+
+}  // namespace pivot
+
+#endif  // PIVOT_COMMON_FIXED_POINT_H_

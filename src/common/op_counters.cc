@@ -1,0 +1,51 @@
+#include "common/op_counters.h"
+
+#include <sstream>
+
+namespace pivot {
+
+OpCounters& OpCounters::Global() {
+  static OpCounters* counters = new OpCounters();
+  return *counters;
+}
+
+void OpCounters::Reset() {
+  ce_.store(0);
+  cd_.store(0);
+  cs_.store(0);
+  cc_.store(0);
+  bytes_.store(0);
+  messages_.store(0);
+}
+
+OpSnapshot OpSnapshot::Take() {
+  const OpCounters& g = OpCounters::Global();
+  OpSnapshot s;
+  s.ce = g.ciphertext_ops();
+  s.cd = g.threshold_decryptions();
+  s.cs = g.secure_ops();
+  s.cc = g.secure_comparisons();
+  s.bytes = g.bytes_sent();
+  s.messages = g.messages();
+  return s;
+}
+
+OpSnapshot OpSnapshot::Delta(const OpSnapshot& earlier) const {
+  OpSnapshot d;
+  d.ce = ce - earlier.ce;
+  d.cd = cd - earlier.cd;
+  d.cs = cs - earlier.cs;
+  d.cc = cc - earlier.cc;
+  d.bytes = bytes - earlier.bytes;
+  d.messages = messages - earlier.messages;
+  return d;
+}
+
+std::string OpSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "Ce=" << ce << " Cd=" << cd << " Cs=" << cs << " Cc=" << cc
+     << " bytes=" << bytes << " msgs=" << messages;
+  return os.str();
+}
+
+}  // namespace pivot

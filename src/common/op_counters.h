@@ -1,0 +1,59 @@
+#ifndef PIVOT_COMMON_OP_COUNTERS_H_
+#define PIVOT_COMMON_OP_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pivot {
+
+// Global counters for the cost-model quantities of the paper's Table 2:
+//   Ce - operations on homomorphically encrypted values
+//   Cd - threshold decryptions
+//   Cs - operations on secretly shared values
+//   Cc - secure comparisons
+// plus network traffic (bytes / messages / rounds). Counters are
+// process-wide and thread-safe; the bench harness snapshots them around a
+// protocol run to report per-experiment operation counts.
+class OpCounters {
+ public:
+  static OpCounters& Global();
+
+  void AddCiphertextOp(uint64_t n = 1) { ce_.fetch_add(n, std::memory_order_relaxed); }
+  void AddThresholdDecryption(uint64_t n = 1) { cd_.fetch_add(n, std::memory_order_relaxed); }
+  void AddSecureOp(uint64_t n = 1) { cs_.fetch_add(n, std::memory_order_relaxed); }
+  void AddSecureComparison(uint64_t n = 1) { cc_.fetch_add(n, std::memory_order_relaxed); }
+  void AddBytesSent(uint64_t n) { bytes_.fetch_add(n, std::memory_order_relaxed); }
+  void AddMessage(uint64_t n = 1) { messages_.fetch_add(n, std::memory_order_relaxed); }
+
+  uint64_t ciphertext_ops() const { return ce_.load(std::memory_order_relaxed); }
+  uint64_t threshold_decryptions() const { return cd_.load(std::memory_order_relaxed); }
+  uint64_t secure_ops() const { return cs_.load(std::memory_order_relaxed); }
+  uint64_t secure_comparisons() const { return cc_.load(std::memory_order_relaxed); }
+  uint64_t bytes_sent() const { return bytes_.load(std::memory_order_relaxed); }
+  uint64_t messages() const { return messages_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> ce_{0};
+  std::atomic<uint64_t> cd_{0};
+  std::atomic<uint64_t> cs_{0};
+  std::atomic<uint64_t> cc_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> messages_{0};
+};
+
+// Immutable snapshot of the global counters; `Delta` computes the counts
+// accumulated between two snapshots.
+struct OpSnapshot {
+  uint64_t ce = 0, cd = 0, cs = 0, cc = 0, bytes = 0, messages = 0;
+
+  static OpSnapshot Take();
+  OpSnapshot Delta(const OpSnapshot& earlier) const;
+  std::string ToString() const;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_COMMON_OP_COUNTERS_H_

@@ -1,0 +1,55 @@
+#ifndef PIVOT_COMMON_RNG_H_
+#define PIVOT_COMMON_RNG_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace pivot {
+
+// Deterministic pseudo-random generator (xoshiro256**). One instance per
+// party / per component keeps multi-threaded protocol runs reproducible.
+//
+// This PRNG stands in for the secure randomness sources the paper's
+// implementation draws from; determinism is what the test suite and the
+// benchmark harness rely on. It satisfies the UniformRandomBitGenerator
+// concept so it can drive <random> distributions as well.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+  result_type operator()() { return NextU64(); }
+
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  void FillBytes(uint8_t* out, size_t len);
+  std::vector<uint8_t> Bytes(size_t len);
+
+  // Derive an independent child generator (for per-party seeding).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_COMMON_RNG_H_

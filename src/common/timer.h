@@ -1,0 +1,27 @@
+#ifndef PIVOT_COMMON_TIMER_H_
+#define PIVOT_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace pivot {
+
+// Simple wall-clock stopwatch used by the benchmark harness.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_COMMON_TIMER_H_

@@ -1,0 +1,129 @@
+#include "crypto/paillier.h"
+
+#include "bigint/prime.h"
+#include "common/check.h"
+#include "common/op_counters.h"
+
+namespace pivot {
+
+PaillierPublicKey::PaillierPublicKey(BigInt n)
+    : n_(std::move(n)), n_squared_(n_ * n_) {
+  PIVOT_CHECK_MSG(n_.IsOdd() && n_ > BigInt(1), "invalid Paillier modulus");
+  mont_n2_ = std::make_shared<const MontgomeryContext>(n_squared_);
+}
+
+BigInt PaillierPublicKey::PowModN2(const BigInt& base, const BigInt& exp) const {
+  return mont_n2_->ModExp(base, exp);
+}
+
+BigInt PaillierPublicKey::MulModN2(const BigInt& a, const BigInt& b) const {
+  return mont_n2_->ModMul(a, b);
+}
+
+BigInt PaillierPublicKey::SampleUnit(Rng& rng) const {
+  for (;;) {
+    BigInt r = BigInt::RandomBelow(n_, rng);
+    if (!r.IsZero() && BigInt::Gcd(r, n_).IsOne()) return r;
+  }
+}
+
+Ciphertext PaillierPublicKey::Encrypt(const BigInt& m, Rng& rng) const {
+  return EncryptWithRandomness(m, SampleUnit(rng));
+}
+
+Ciphertext PaillierPublicKey::EncryptWithRandomness(const BigInt& m,
+                                                    const BigInt& r) const {
+  OpCounters::Global().AddCiphertextOp();
+  // g = n + 1, so g^m = 1 + m·n mod n^2 (binomial expansion): one modular
+  // multiplication instead of an exponentiation.
+  const BigInt m_red = m.Mod(n_);
+  const BigInt gm = (BigInt(1) + m_red * n_).Mod(n_squared_);
+  const BigInt rn = PowModN2(r.Mod(n_squared_), n_);
+  return Ciphertext{MulModN2(gm, rn)};
+}
+
+Ciphertext PaillierPublicKey::Add(const Ciphertext& c1,
+                                  const Ciphertext& c2) const {
+  OpCounters::Global().AddCiphertextOp();
+  return Ciphertext{MulModN2(c1.value, c2.value)};
+}
+
+Ciphertext PaillierPublicKey::ScalarMul(const BigInt& k,
+                                        const Ciphertext& c) const {
+  OpCounters::Global().AddCiphertextOp();
+  const BigInt k_red = k.Mod(n_);
+  if (k_red.IsZero()) return One();
+  if (k_red.IsOne()) return c;
+  return Ciphertext{PowModN2(c.value, k_red)};
+}
+
+Ciphertext PaillierPublicKey::AddPlain(const Ciphertext& c,
+                                       const BigInt& k) const {
+  OpCounters::Global().AddCiphertextOp();
+  const BigInt gm = (BigInt(1) + k.Mod(n_) * n_).Mod(n_squared_);
+  return Ciphertext{MulModN2(c.value, gm)};
+}
+
+Ciphertext PaillierPublicKey::DotProduct(
+    const std::vector<BigInt>& plain, const std::vector<Ciphertext>& cts) const {
+  PIVOT_CHECK_MSG(plain.size() == cts.size(), "dot product size mismatch");
+  Ciphertext acc = One();
+  for (size_t i = 0; i < plain.size(); ++i) {
+    const BigInt k = plain[i].Mod(n_);
+    if (k.IsZero()) continue;
+    if (k.IsOne()) {
+      acc = Add(acc, cts[i]);
+    } else {
+      acc = Add(acc, ScalarMul(k, cts[i]));
+    }
+  }
+  return acc;
+}
+
+Ciphertext PaillierPublicKey::Rerandomize(const Ciphertext& c, Rng& rng) const {
+  OpCounters::Global().AddCiphertextOp();
+  const BigInt rn = PowModN2(SampleUnit(rng), n_);
+  return Ciphertext{MulModN2(c.value, rn)};
+}
+
+Result<BigInt> PaillierL(const BigInt& u, const BigInt& n) {
+  const BigInt num = u - BigInt(1);
+  DivModResult dm = num.DivMod(n);
+  if (!dm.remainder.IsZero()) {
+    return Status::IntegrityError("Paillier L-function: n does not divide u-1");
+  }
+  return dm.quotient;
+}
+
+PaillierPrivateKey::PaillierPrivateKey(const PaillierPublicKey& pk,
+                                       BigInt lambda)
+    : pk_(pk), lambda_(std::move(lambda)) {
+  // mu = (L(g^lambda mod n^2))^{-1} mod n, with g = n + 1:
+  // g^lambda mod n^2 = 1 + lambda·n mod n^2, so L(...) = lambda mod n.
+  const BigInt l = lambda_.Mod(pk_.n());
+  Result<BigInt> inv = l.ModInverse(pk_.n());
+  PIVOT_CHECK_MSG(inv.ok(), "lambda not invertible mod n");
+  mu_ = std::move(inv).value();
+}
+
+Result<BigInt> PaillierPrivateKey::Decrypt(const Ciphertext& c) const {
+  const BigInt u = pk_.PowModN2(c.value, lambda_);
+  PIVOT_ASSIGN_OR_RETURN(BigInt l, PaillierL(u, pk_.n()));
+  return l.ModMul(mu_, pk_.n());
+}
+
+PaillierKeyPair GeneratePaillierKeyPair(int key_bits, Rng& rng) {
+  PIVOT_CHECK_MSG(key_bits >= 64, "Paillier key must be >= 64 bits");
+  PrimePair primes = GeneratePaillierPrimes(key_bits / 2, rng);
+  while ((primes.p * primes.q).BitLength() != key_bits) {
+    primes = GeneratePaillierPrimes(key_bits / 2, rng);
+  }
+  BigInt n = primes.p * primes.q;
+  BigInt lambda =
+      BigInt::Lcm(primes.p - BigInt(1), primes.q - BigInt(1));
+  PaillierPublicKey pk(std::move(n));
+  PaillierPrivateKey sk(pk, std::move(lambda));
+  return {std::move(pk), std::move(sk)};
+}
+
+}  // namespace pivot

@@ -1,0 +1,78 @@
+#include "crypto/threshold_paillier.h"
+
+#include "bigint/prime.h"
+#include "common/check.h"
+#include "common/op_counters.h"
+
+namespace pivot {
+
+ThresholdPaillier GenerateThresholdPaillier(int key_bits, int num_parties,
+                                            Rng& rng) {
+  PIVOT_CHECK_MSG(num_parties >= 1, "need at least one party");
+  PIVOT_CHECK_MSG(key_bits >= 64, "Paillier key must be >= 64 bits");
+
+  PrimePair primes = GeneratePaillierPrimes(key_bits / 2, rng);
+  // Force an exactly key_bits-wide modulus (two k/2-bit primes can yield a
+  // (key_bits - 1)-bit product).
+  while ((primes.p * primes.q).BitLength() != key_bits) {
+    primes = GeneratePaillierPrimes(key_bits / 2, rng);
+  }
+  const BigInt n = primes.p * primes.q;
+  const BigInt lambda = BigInt::Lcm(primes.p - BigInt(1), primes.q - BigInt(1));
+
+  // d ≡ 0 (mod lambda), d ≡ 1 (mod n)  =>  d = lambda * (lambda^{-1} mod n).
+  Result<BigInt> lambda_inv = lambda.ModInverse(n);
+  PIVOT_CHECK_MSG(lambda_inv.ok(), "gcd(lambda, n) != 1");
+  const BigInt d = lambda * lambda_inv.value();
+  const BigInt share_modulus = n * lambda;
+
+  ThresholdPaillier out;
+  out.pk = PaillierPublicKey(n);
+  out.partial_keys.resize(num_parties);
+
+  BigInt sum(0);
+  for (int i = 0; i + 1 < num_parties; ++i) {
+    BigInt share = BigInt::RandomBelow(share_modulus, rng);
+    sum = sum.ModAdd(share, share_modulus);
+    out.partial_keys[i] = {i, std::move(share)};
+  }
+  out.partial_keys[num_parties - 1] = {num_parties - 1,
+                                       d.ModSub(sum, share_modulus)};
+  return out;
+}
+
+PartialDecryption PartialDecrypt(const PaillierPublicKey& pk,
+                                 const PartialKey& key, const Ciphertext& c) {
+  return PartialDecryption{key.party_id, pk.PowModN2(c.value, key.d_share)};
+}
+
+Result<BigInt> CombinePartialDecryptions(
+    const PaillierPublicKey& pk, const std::vector<PartialDecryption>& parts,
+    int expected_parties) {
+  if (static_cast<int>(parts.size()) != expected_parties) {
+    return Status::ProtocolError("threshold decryption requires all parties");
+  }
+  OpCounters::Global().AddThresholdDecryption();
+  BigInt u(1);
+  for (const PartialDecryption& p : parts) {
+    u = pk.MulModN2(u, p.value);
+  }
+  // u = (1+n)^x mod n^2; recover x = (u - 1)/n, which must divide exactly.
+  PIVOT_ASSIGN_OR_RETURN(BigInt x, PaillierL(u, pk.n()));
+  if (x >= pk.n() || x.IsNegative()) {
+    return Status::IntegrityError("combined decryption out of range");
+  }
+  return x;
+}
+
+Result<BigInt> JointDecrypt(const ThresholdPaillier& keys, const Ciphertext& c) {
+  std::vector<PartialDecryption> parts;
+  parts.reserve(keys.partial_keys.size());
+  for (const PartialKey& k : keys.partial_keys) {
+    parts.push_back(PartialDecrypt(keys.pk, k, c));
+  }
+  return CombinePartialDecryptions(keys.pk, parts,
+                                   static_cast<int>(keys.partial_keys.size()));
+}
+
+}  // namespace pivot

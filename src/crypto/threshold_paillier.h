@@ -1,0 +1,65 @@
+#ifndef PIVOT_CRYPTO_THRESHOLD_PAILLIER_H_
+#define PIVOT_CRYPTO_THRESHOLD_PAILLIER_H_
+
+#include <vector>
+
+#include "crypto/paillier.h"
+
+namespace pivot {
+
+// Full-threshold Paillier (the TPHE variant of Section 2.1 of the paper):
+// the public key is known to everyone, each of the m clients holds a
+// partial secret key, and decrypting any ciphertext requires a partial
+// decryption from *all* m clients.
+//
+// Construction: let lambda = lcm(p-1, q-1) and choose the decryption
+// exponent d with d ≡ 0 (mod lambda) and d ≡ 1 (mod n) (CRT). Then for any
+// ciphertext c = (1+n)^x r^n:  c^d = (1+n)^x (mod n^2), so
+// x = L(c^d mod n^2). d is additively shared over Z_{n·lambda}:
+// d = sum_i d_i (mod n·lambda). Party i's partial decryption is
+// c^{d_i} mod n^2; multiplying all partials yields c^d because the order of
+// every element of Z*_{n^2} divides n·lambda (Carmichael of n^2).
+//
+// In a real deployment d would be sampled by a distributed key-generation
+// ceremony; here the trusted `GenerateThresholdPaillier` plays that role
+// (the paper likewise assumes keys are set up in the initialization stage).
+
+// Party i's share of the decryption exponent.
+struct PartialKey {
+  int party_id = -1;
+  BigInt d_share;
+};
+
+// A single party's contribution to decrypting one ciphertext.
+struct PartialDecryption {
+  int party_id = -1;
+  BigInt value;  // c^{d_i} mod n^2
+};
+
+struct ThresholdPaillier {
+  PaillierPublicKey pk;
+  std::vector<PartialKey> partial_keys;  // one per party
+};
+
+// Generates a key with `key_bits` modulus bits split among `num_parties`.
+ThresholdPaillier GenerateThresholdPaillier(int key_bits, int num_parties,
+                                            Rng& rng);
+
+// Computes party `key.party_id`'s partial decryption of `c`.
+PartialDecryption PartialDecrypt(const PaillierPublicKey& pk,
+                                 const PartialKey& key, const Ciphertext& c);
+
+// Combines all m partial decryptions into the plaintext in [0, n).
+// Errors with kIntegrityError if the partials are inconsistent (e.g. a
+// party misbehaved or a partial is missing).
+Result<BigInt> CombinePartialDecryptions(
+    const PaillierPublicKey& pk, const std::vector<PartialDecryption>& parts,
+    int expected_parties);
+
+// Convenience for tests and local (single-process) pipelines: runs all
+// parties' partial decryptions and combines them.
+Result<BigInt> JointDecrypt(const ThresholdPaillier& keys, const Ciphertext& c);
+
+}  // namespace pivot
+
+#endif  // PIVOT_CRYPTO_THRESHOLD_PAILLIER_H_

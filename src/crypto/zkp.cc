@@ -1,0 +1,214 @@
+#include "crypto/zkp.h"
+
+#include "common/check.h"
+#include "common/sha256.h"
+
+namespace pivot {
+
+namespace {
+
+// Statistical hiding slack for integer responses.
+constexpr int kMaskSlackBits = 128;
+
+// Builds the Fiat-Shamir challenge from a transcript of big integers.
+// 64-bit challenges: below the smallest prime factor of any supported key.
+BigInt Challenge(const std::vector<const BigInt*>& transcript) {
+  Sha256 h;
+  h.Update(std::string("pivot-zkp-v1"));
+  for (const BigInt* v : transcript) {
+    ByteWriter w;
+    w.WriteBytes(v->ToBytes());
+    h.Update(w.data());
+  }
+  auto digest = h.Finish();
+  uint64_t e = 0;
+  for (int i = 0; i < 8; ++i) e = (e << 8) | digest[i];
+  return BigInt(e);
+}
+
+// (1+n)^x mod n^2 = 1 + (x mod n)·n.
+BigInt PowGBase(const PaillierPublicKey& pk, const BigInt& x) {
+  return (BigInt(1) + x.Mod(pk.n()) * pk.n()).Mod(pk.n_squared());
+}
+
+}  // namespace
+
+PopkProof ProvePlaintextKnowledge(const PaillierPublicKey& pk,
+                                  const Ciphertext& c, const BigInt& m,
+                                  const BigInt& r, Rng& rng) {
+  const int mask_bits = pk.n().BitLength() + kMaskSlackBits;
+  const BigInt s = BigInt::RandomBits(mask_bits, rng);
+  const BigInt u = pk.SampleUnit(rng);
+
+  const BigInt commitment =
+      pk.MulModN2(PowGBase(pk, s), pk.PowModN2(u, pk.n()));
+  const BigInt e = Challenge({&pk.n(), &c.value, &commitment});
+
+  PopkProof proof;
+  proof.commitment = commitment;
+  proof.z = s + e * m.Mod(pk.n());
+  proof.w = u.ModMul(r.ModExp(e, pk.n()), pk.n());
+  return proof;
+}
+
+Status VerifyPlaintextKnowledge(const PaillierPublicKey& pk,
+                                const Ciphertext& c, const PopkProof& proof) {
+  if (proof.z.IsNegative()) {
+    return Status::IntegrityError("POPK: negative response");
+  }
+  const BigInt e = Challenge({&pk.n(), &c.value, &proof.commitment});
+  const BigInt lhs = pk.MulModN2(PowGBase(pk, proof.z),
+                                 pk.PowModN2(proof.w, pk.n()));
+  const BigInt rhs =
+      pk.MulModN2(proof.commitment, pk.PowModN2(c.value, e));
+  if (!(lhs == rhs)) {
+    return Status::IntegrityError("POPK verification failed");
+  }
+  return Status::Ok();
+}
+
+PopcmProof ProvePlainCipherMul(const PaillierPublicKey& pk,
+                               const Ciphertext& ca, const BigInt& ra,
+                               const BigInt& a, const Ciphertext& cb,
+                               const BigInt& s, Rng& rng) {
+  const int mask_bits = pk.n().BitLength() + kMaskSlackBits;
+  const BigInt x = BigInt::RandomBits(mask_bits, rng);
+  const BigInt u = pk.SampleUnit(rng);
+  const BigInt v = pk.SampleUnit(rng);
+
+  PopcmProof proof;
+  proof.commitment_b = pk.MulModN2(PowGBase(pk, x), pk.PowModN2(u, pk.n()));
+  proof.commitment_a =
+      pk.MulModN2(pk.PowModN2(cb.value, x.Mod(pk.n())),
+                  pk.PowModN2(v, pk.n()));
+  // Reduce x consistently: commitment_a used x mod n as exponent, so the
+  // response must also be built from x mod n to keep the relation exact.
+  const BigInt x_red = x.Mod(pk.n());
+
+  const BigInt e = Challenge({&pk.n(), &ca.value, &cb.value,
+                              &proof.commitment_a, &proof.commitment_b});
+  proof.z = x_red + e * a.Mod(pk.n());
+  proof.w1 = u.ModMul(ra.ModExp(e, pk.n()), pk.n());
+  proof.w2 = v.ModMul(s.ModExp(e, pk.n()), pk.n());
+  return proof;
+}
+
+Status VerifyPlainCipherMul(const PaillierPublicKey& pk, const Ciphertext& ca,
+                            const Ciphertext& cb, const Ciphertext& c_out,
+                            const PopcmProof& proof) {
+  if (proof.z.IsNegative()) {
+    return Status::IntegrityError("POPCM: negative response");
+  }
+  const BigInt e = Challenge({&pk.n(), &ca.value, &cb.value,
+                              &proof.commitment_a, &proof.commitment_b});
+  // Check 1: (1+n)^z w1^n == B · ca^e
+  {
+    const BigInt lhs = pk.MulModN2(PowGBase(pk, proof.z),
+                                   pk.PowModN2(proof.w1, pk.n()));
+    const BigInt rhs =
+        pk.MulModN2(proof.commitment_b, pk.PowModN2(ca.value, e));
+    if (!(lhs == rhs)) {
+      return Status::IntegrityError("POPCM check 1 failed");
+    }
+  }
+  // Check 2: cb^z w2^n == A · c_out^e
+  {
+    const BigInt lhs = pk.MulModN2(pk.PowModN2(cb.value, proof.z),
+                                   pk.PowModN2(proof.w2, pk.n()));
+    const BigInt rhs =
+        pk.MulModN2(proof.commitment_a, pk.PowModN2(c_out.value, e));
+    if (!(lhs == rhs)) {
+      return Status::IntegrityError("POPCM check 2 failed");
+    }
+  }
+  return Status::Ok();
+}
+
+PohdpProof ProveHomomorphicDotProduct(
+    const PaillierPublicKey& pk, const std::vector<Ciphertext>& commitments,
+    const std::vector<BigInt>& commit_randomness,
+    const std::vector<BigInt>& values, const std::vector<Ciphertext>& cb,
+    const BigInt& s, Rng& rng) {
+  const size_t k = values.size();
+  PIVOT_CHECK(commitments.size() == k && commit_randomness.size() == k &&
+              cb.size() == k);
+
+  PohdpProof proof;
+  proof.commitments_b.reserve(k);
+  std::vector<BigInt> x(k), u(k);
+  BigInt a_acc(1);
+  const BigInt v = pk.SampleUnit(rng);
+  for (size_t j = 0; j < k; ++j) {
+    // Masks are sampled below n and used reduced: the verification
+    // relations hold exactly in the exponent group.
+    x[j] = BigInt::RandomBelow(pk.n(), rng);
+    u[j] = pk.SampleUnit(rng);
+    proof.commitments_b.push_back(
+        pk.MulModN2(PowGBase(pk, x[j]), pk.PowModN2(u[j], pk.n())));
+    a_acc = pk.MulModN2(a_acc, pk.PowModN2(cb[j].value, x[j]));
+  }
+  proof.commitment_a = pk.MulModN2(a_acc, pk.PowModN2(v, pk.n()));
+
+  std::vector<const BigInt*> transcript;
+  transcript.push_back(&pk.n());
+  for (const Ciphertext& c : commitments) transcript.push_back(&c.value);
+  for (const Ciphertext& c : cb) transcript.push_back(&c.value);
+  for (const BigInt& b : proof.commitments_b) transcript.push_back(&b);
+  transcript.push_back(&proof.commitment_a);
+  const BigInt e = Challenge(transcript);
+
+  proof.z.reserve(k);
+  proof.w1.reserve(k);
+  for (size_t j = 0; j < k; ++j) {
+    proof.z.push_back(x[j] + e * values[j].Mod(pk.n()));
+    proof.w1.push_back(u[j].ModMul(commit_randomness[j].ModExp(e, pk.n()),
+                                   pk.n()));
+  }
+  proof.w2 = v.ModMul(s.ModExp(e, pk.n()), pk.n());
+  return proof;
+}
+
+Status VerifyHomomorphicDotProduct(const PaillierPublicKey& pk,
+                                   const std::vector<Ciphertext>& commitments,
+                                   const std::vector<Ciphertext>& cb,
+                                   const Ciphertext& c_out,
+                                   const PohdpProof& proof) {
+  const size_t k = commitments.size();
+  if (cb.size() != k || proof.commitments_b.size() != k ||
+      proof.z.size() != k || proof.w1.size() != k) {
+    return Status::IntegrityError("POHDP: size mismatch");
+  }
+  std::vector<const BigInt*> transcript;
+  transcript.push_back(&pk.n());
+  for (const Ciphertext& c : commitments) transcript.push_back(&c.value);
+  for (const Ciphertext& c : cb) transcript.push_back(&c.value);
+  for (const BigInt& b : proof.commitments_b) transcript.push_back(&b);
+  transcript.push_back(&proof.commitment_a);
+  const BigInt e = Challenge(transcript);
+
+  BigInt prod(1);
+  for (size_t j = 0; j < k; ++j) {
+    if (proof.z[j].IsNegative()) {
+      return Status::IntegrityError("POHDP: negative response");
+    }
+    // Per-coordinate: (1+n)^{z_j} w1_j^n == B_j · d_j^e
+    const BigInt lhs = pk.MulModN2(PowGBase(pk, proof.z[j]),
+                                   pk.PowModN2(proof.w1[j], pk.n()));
+    const BigInt rhs = pk.MulModN2(proof.commitments_b[j],
+                                   pk.PowModN2(commitments[j].value, e));
+    if (!(lhs == rhs)) {
+      return Status::IntegrityError("POHDP coordinate check failed");
+    }
+    prod = pk.MulModN2(prod, pk.PowModN2(cb[j].value, proof.z[j]));
+  }
+  // Aggregate: prod_j cb_j^{z_j} · w2^n == A · c_out^e
+  const BigInt lhs = pk.MulModN2(prod, pk.PowModN2(proof.w2, pk.n()));
+  const BigInt rhs =
+      pk.MulModN2(proof.commitment_a, pk.PowModN2(c_out.value, e));
+  if (!(lhs == rhs)) {
+    return Status::IntegrityError("POHDP aggregate check failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace pivot

@@ -1,0 +1,81 @@
+#ifndef PIVOT_CRYPTO_ZKP_H_
+#define PIVOT_CRYPTO_ZKP_H_
+
+#include <vector>
+
+#include "crypto/paillier.h"
+
+namespace pivot {
+
+// Non-interactive Σ-protocol zero-knowledge proofs over Paillier
+// ciphertexts, the building blocks of the paper's malicious-model extension
+// (Section 9.1.1): POPK, POPCM and POHDP. Interactivity is removed with
+// the Fiat-Shamir transform (SHA-256); challenges are 64-bit, which keeps
+// the cheating probability negligible for this reproduction while staying
+// below the bit length of the smallest prime factor of n (a soundness
+// requirement of these protocols).
+//
+// All proofs are honest-verifier zero knowledge; responses are computed
+// over the integers with statistically-hiding masks of |n| + 128 bits.
+
+// Proof of plaintext knowledge (POPK): the prover knows (m, r) such that
+// c = (1+n)^m r^n mod n^2.
+struct PopkProof {
+  BigInt commitment;  // B = (1+n)^s u^n
+  BigInt z;           // s + e·m (over the integers)
+  BigInt w;           // u·r^e mod n
+};
+
+PopkProof ProvePlaintextKnowledge(const PaillierPublicKey& pk,
+                                  const Ciphertext& c, const BigInt& m,
+                                  const BigInt& r, Rng& rng);
+// Returns OK iff the proof verifies for ciphertext c.
+Status VerifyPlaintextKnowledge(const PaillierPublicKey& pk,
+                                const Ciphertext& c, const PopkProof& proof);
+
+// Proof of plaintext-ciphertext multiplication (POPCM): the prover knows
+// (a, ra, s) such that ca = (1+n)^a ra^n and c_out = cb^a · s^n, i.e.
+// Dec(c_out) = a · Dec(cb).
+struct PopcmProof {
+  BigInt commitment_a;  // A = cb^x v^n
+  BigInt commitment_b;  // B = (1+n)^x u^n
+  BigInt z;             // x + e·a (over the integers)
+  BigInt w1;            // u·ra^e mod n
+  BigInt w2;            // v·s^e mod n
+};
+
+// `s` is the extra randomness folded into c_out; pass 1 when c_out was
+// computed as a bare homomorphic power cb^a.
+PopcmProof ProvePlainCipherMul(const PaillierPublicKey& pk,
+                               const Ciphertext& ca, const BigInt& ra,
+                               const BigInt& a, const Ciphertext& cb,
+                               const BigInt& s, Rng& rng);
+Status VerifyPlainCipherMul(const PaillierPublicKey& pk, const Ciphertext& ca,
+                            const Ciphertext& cb, const Ciphertext& c_out,
+                            const PopcmProof& proof);
+
+// Proof of homomorphic dot product (POHDP): the prover knows a vector
+// (a_1..a_k) with commitments d_j = (1+n)^{a_j} r_j^n, and s, such that
+// c_out = prod_j cb_j^{a_j} · s^n, i.e. Dec(c_out) = a · Dec(cb).
+struct PohdpProof {
+  std::vector<BigInt> commitments_b;  // B_j = (1+n)^{x_j} u_j^n
+  BigInt commitment_a;                // A = prod_j cb_j^{x_j} · v^n
+  std::vector<BigInt> z;              // x_j + e·a_j (over the integers)
+  std::vector<BigInt> w1;             // u_j·r_j^e mod n
+  BigInt w2;                          // v·s^e mod n
+};
+
+PohdpProof ProveHomomorphicDotProduct(
+    const PaillierPublicKey& pk, const std::vector<Ciphertext>& commitments,
+    const std::vector<BigInt>& commit_randomness,
+    const std::vector<BigInt>& values, const std::vector<Ciphertext>& cb,
+    const BigInt& s, Rng& rng);
+Status VerifyHomomorphicDotProduct(const PaillierPublicKey& pk,
+                                   const std::vector<Ciphertext>& commitments,
+                                   const std::vector<Ciphertext>& cb,
+                                   const Ciphertext& c_out,
+                                   const PohdpProof& proof);
+
+}  // namespace pivot
+
+#endif  // PIVOT_CRYPTO_ZKP_H_

@@ -1,0 +1,156 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pivot {
+
+int Dataset::NumClasses() const {
+  std::set<int> classes;
+  for (double y : labels) classes.insert(static_cast<int>(y));
+  return static_cast<int>(classes.size());
+}
+
+std::vector<double> Dataset::Column(size_t j) const {
+  std::vector<double> col;
+  col.reserve(num_samples());
+  for (const auto& row : features) col.push_back(row[j]);
+  return col;
+}
+
+TrainTestSplit SplitTrainTest(const Dataset& data, double test_fraction,
+                              Rng& rng) {
+  PIVOT_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  const size_t n = data.num_samples();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates shuffle.
+  for (size_t i = n; i > 1; --i) {
+    size_t j = rng.NextBelow(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  const size_t test_count = std::max<size_t>(1, static_cast<size_t>(
+                                                    n * test_fraction));
+  TrainTestSplit split;
+  for (size_t i = 0; i < n; ++i) {
+    Dataset& dst = (i < test_count) ? split.test : split.train;
+    dst.features.push_back(data.features[order[i]]);
+    dst.labels.push_back(data.labels[order[i]]);
+  }
+  return split;
+}
+
+VerticalPartition PartitionVertically(const Dataset& data, int num_clients) {
+  PIVOT_CHECK_MSG(num_clients >= 1, "need at least one client");
+  PIVOT_CHECK_MSG(data.num_features() >= static_cast<size_t>(num_clients),
+                  "fewer features than clients");
+  VerticalPartition part;
+  part.labels = data.labels;
+  part.views.resize(num_clients);
+  const size_t d = data.num_features();
+  for (size_t j = 0; j < d; ++j) {
+    part.views[j % num_clients].feature_indices.push_back(static_cast<int>(j));
+  }
+  const size_t n = data.num_samples();
+  for (int c = 0; c < num_clients; ++c) {
+    VerticalView& view = part.views[c];
+    view.features.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      view.features[i].reserve(view.feature_indices.size());
+      for (int j : view.feature_indices) {
+        view.features[i].push_back(data.features[i][j]);
+      }
+    }
+  }
+  return part;
+}
+
+Dataset MergeVerticalPartition(const VerticalPartition& partition) {
+  Dataset data;
+  data.labels = partition.labels;
+  size_t d = 0;
+  for (const VerticalView& view : partition.views) d += view.num_features();
+  const size_t n = partition.views.empty() ? 0 : partition.views[0].features.size();
+  data.features.assign(n, std::vector<double>(d, 0.0));
+  for (const VerticalView& view : partition.views) {
+    for (size_t local = 0; local < view.feature_indices.size(); ++local) {
+      const int global = view.feature_indices[local];
+      for (size_t i = 0; i < n; ++i) {
+        data.features[i][global] = view.features[i][local];
+      }
+    }
+  }
+  return data;
+}
+
+double Accuracy(const std::vector<double>& predictions,
+                const std::vector<double>& truth) {
+  PIVOT_CHECK(predictions.size() == truth.size() && !truth.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (std::lround(predictions[i]) == std::lround(truth[i])) ++correct;
+  }
+  return static_cast<double>(correct) / truth.size();
+}
+
+double MeanSquaredError(const std::vector<double>& predictions,
+                        const std::vector<double>& truth) {
+  PIVOT_CHECK(predictions.size() == truth.size() && !truth.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double diff = predictions[i] - truth[i];
+    sum += diff * diff;
+  }
+  return sum / truth.size();
+}
+
+Result<Dataset> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  Dataset data;
+  std::string line;
+  size_t expected_cols = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return Status::IoError("non-numeric cell in " + path + ": " + cell);
+      }
+      row.push_back(v);
+    }
+    if (row.size() < 2) return Status::IoError("row needs >= 2 columns");
+    if (expected_cols == 0) {
+      expected_cols = row.size();
+    } else if (row.size() != expected_cols) {
+      return Status::IoError("ragged CSV row in " + path);
+    }
+    data.labels.push_back(row.back());
+    row.pop_back();
+    data.features.push_back(std::move(row));
+  }
+  if (data.num_samples() == 0) return Status::IoError("empty CSV " + path);
+  return data;
+}
+
+Status SaveCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write " + path);
+  for (size_t i = 0; i < data.num_samples(); ++i) {
+    for (double v : data.features[i]) out << v << ',';
+    out << data.labels[i] << '\n';
+  }
+  return Status::Ok();
+}
+
+}  // namespace pivot

@@ -1,0 +1,83 @@
+#ifndef PIVOT_DATA_DATASET_H_
+#define PIVOT_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace pivot {
+
+// A dense dataset: n samples, d features, one label per sample.
+// For classification the label is a class id in [0, num_classes);
+// for regression it is a real value.
+struct Dataset {
+  std::vector<std::vector<double>> features;  // [sample][feature]
+  std::vector<double> labels;                 // [sample]
+
+  size_t num_samples() const { return features.size(); }
+  size_t num_features() const {
+    return features.empty() ? 0 : features[0].size();
+  }
+
+  // Number of distinct integer class labels (classification datasets).
+  int NumClasses() const;
+
+  // Column `j` of the feature matrix.
+  std::vector<double> Column(size_t j) const;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+// Random shuffle split. test_fraction in (0, 1).
+TrainTestSplit SplitTrainTest(const Dataset& data, double test_fraction,
+                              Rng& rng);
+
+// The vertical federated layout of Section 3.1: every client holds all n
+// samples but only a disjoint subset of the feature columns; the labels
+// belong to the super client alone.
+struct VerticalView {
+  // Global feature indices owned by this client, in local column order.
+  std::vector<int> feature_indices;
+  // Local feature matrix [sample][local_feature].
+  std::vector<std::vector<double>> features;
+
+  size_t num_features() const { return feature_indices.size(); }
+};
+
+struct VerticalPartition {
+  std::vector<VerticalView> views;  // one per client
+  std::vector<double> labels;      // held by the super client only
+};
+
+// Deals the d features round-robin into `num_clients` disjoint views
+// (client i gets features i, i+m, i+2m, ...). REQUIRES d >= num_clients.
+VerticalPartition PartitionVertically(const Dataset& data, int num_clients);
+
+// Reassembles a Dataset from a vertical partition (test helper; a real
+// deployment never materializes this).
+Dataset MergeVerticalPartition(const VerticalPartition& partition);
+
+// ----- Metrics --------------------------------------------------------------
+
+// Fraction of exact label matches.
+double Accuracy(const std::vector<double>& predictions,
+                const std::vector<double>& truth);
+
+// Mean squared error.
+double MeanSquaredError(const std::vector<double>& predictions,
+                        const std::vector<double>& truth);
+
+// ----- CSV ------------------------------------------------------------------
+
+// Loads a headerless numeric CSV; the last column is the label.
+Result<Dataset> LoadCsv(const std::string& path);
+Status SaveCsv(const Dataset& data, const std::string& path);
+
+}  // namespace pivot
+
+#endif  // PIVOT_DATA_DATASET_H_

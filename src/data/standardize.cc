@@ -1,0 +1,53 @@
+#include "data/standardize.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pivot {
+
+std::vector<double> StandardizeStats::Apply(
+    const std::vector<double>& row) const {
+  PIVOT_CHECK(row.size() == mean.size());
+  std::vector<double> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean[j]) / stddev[j];
+  }
+  return out;
+}
+
+StandardizeStats ComputeStandardizeStats(const Dataset& data) {
+  const size_t n = data.num_samples();
+  const size_t d = data.num_features();
+  PIVOT_CHECK(n > 0);
+  StandardizeStats stats;
+  stats.mean.assign(d, 0.0);
+  stats.stddev.assign(d, 0.0);
+  for (const auto& row : data.features) {
+    for (size_t j = 0; j < d; ++j) stats.mean[j] += row[j];
+  }
+  for (double& m : stats.mean) m /= n;
+  for (const auto& row : data.features) {
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - stats.mean[j];
+      stats.stddev[j] += diff * diff;
+    }
+  }
+  for (double& s : stats.stddev) {
+    s = std::sqrt(s / n);
+    if (s < 1e-9) s = 1.0;  // constant column: leave it centered only
+  }
+  return stats;
+}
+
+Dataset Standardize(const Dataset& data, const StandardizeStats& stats) {
+  Dataset out;
+  out.labels = data.labels;
+  out.features.reserve(data.num_samples());
+  for (const auto& row : data.features) {
+    out.features.push_back(stats.Apply(row));
+  }
+  return out;
+}
+
+}  // namespace pivot

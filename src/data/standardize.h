@@ -1,0 +1,27 @@
+#ifndef PIVOT_DATA_STANDARDIZE_H_
+#define PIVOT_DATA_STANDARDIZE_H_
+
+#include "data/dataset.h"
+
+namespace pivot {
+
+// Per-feature standardization (zero mean, unit variance), the usual
+// preprocessing before the logistic-regression extension (whose secure
+// sigmoid expects bounded scores). In vertical FL each client standardizes
+// its own columns locally — column statistics never cross parties — so a
+// plain local transform is faithful to the deployment model.
+struct StandardizeStats {
+  std::vector<double> mean;
+  std::vector<double> stddev;  // >= epsilon
+
+  // Applies the transform to a feature row (sizes must match).
+  std::vector<double> Apply(const std::vector<double>& row) const;
+};
+
+// Computes column statistics of `data` and returns the standardized copy.
+StandardizeStats ComputeStandardizeStats(const Dataset& data);
+Dataset Standardize(const Dataset& data, const StandardizeStats& stats);
+
+}  // namespace pivot
+
+#endif  // PIVOT_DATA_STANDARDIZE_H_

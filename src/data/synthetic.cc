@@ -1,0 +1,85 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pivot {
+
+Dataset MakeClassification(const ClassificationSpec& spec) {
+  PIVOT_CHECK(spec.num_samples > 0 && spec.num_features > 0 &&
+              spec.num_classes >= 2);
+  Rng rng(spec.seed);
+  const int informative = std::max(
+      1, static_cast<int>(spec.num_features * spec.informative_fraction));
+
+  // Per-class centroids on the informative subspace.
+  std::vector<std::vector<double>> centroids(spec.num_classes);
+  for (auto& c : centroids) {
+    c.resize(informative);
+    for (double& v : c) v = rng.NextGaussian() * spec.class_separation;
+  }
+
+  Dataset data;
+  data.features.reserve(spec.num_samples);
+  data.labels.reserve(spec.num_samples);
+  for (int i = 0; i < spec.num_samples; ++i) {
+    const int cls = static_cast<int>(rng.NextBelow(spec.num_classes));
+    std::vector<double> row(spec.num_features);
+    for (int j = 0; j < spec.num_features; ++j) {
+      double v = rng.NextGaussian();
+      if (j < informative) v += centroids[cls][j];
+      row[j] = std::clamp(v, -999.0, 999.0);
+    }
+    data.features.push_back(std::move(row));
+    data.labels.push_back(cls);
+  }
+  return data;
+}
+
+Dataset MakeRegression(const RegressionSpec& spec) {
+  PIVOT_CHECK(spec.num_samples > 0 && spec.num_features > 0);
+  Rng rng(spec.seed);
+  const int informative = std::max(
+      1, static_cast<int>(spec.num_features * spec.informative_fraction));
+
+  std::vector<double> weights(informative);
+  for (double& w : weights) w = rng.NextGaussian();
+  // Piecewise structure: per-informative-feature threshold and bump.
+  std::vector<double> thresholds(informative), bumps(informative);
+  for (int j = 0; j < informative; ++j) {
+    thresholds[j] = rng.NextGaussian() * 0.5;
+    bumps[j] = rng.NextGaussian();
+  }
+
+  Dataset data;
+  data.features.reserve(spec.num_samples);
+  std::vector<double> raw_labels;
+  raw_labels.reserve(spec.num_samples);
+  for (int i = 0; i < spec.num_samples; ++i) {
+    std::vector<double> row(spec.num_features);
+    for (int j = 0; j < spec.num_features; ++j) {
+      row[j] = std::clamp(rng.NextGaussian(), -999.0, 999.0);
+    }
+    double y = 0.0;
+    for (int j = 0; j < informative; ++j) {
+      y += weights[j] * row[j];
+      if (spec.piecewise && row[j] > thresholds[j]) y += bumps[j];
+    }
+    y += rng.NextGaussian() * spec.noise * std::sqrt(
+             static_cast<double>(informative));
+    raw_labels.push_back(y);
+    data.features.push_back(std::move(row));
+  }
+
+  // Normalize labels into roughly [-10, 10] so fixed-point protocols have
+  // comfortable headroom.
+  double max_abs = 1e-9;
+  for (double y : raw_labels) max_abs = std::max(max_abs, std::abs(y));
+  data.labels.reserve(spec.num_samples);
+  for (double y : raw_labels) data.labels.push_back(10.0 * y / max_abs);
+  return data;
+}
+
+}  // namespace pivot

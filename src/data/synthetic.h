@@ -1,0 +1,48 @@
+#ifndef PIVOT_DATA_SYNTHETIC_H_
+#define PIVOT_DATA_SYNTHETIC_H_
+
+#include "data/dataset.h"
+
+namespace pivot {
+
+// Synthetic dataset generators, the analogue of the sklearn
+// make_classification / make_regression generators the paper uses for its
+// efficiency evaluation ("we generate synthetic datasets with the sklearn
+// library", Section 8.1). They are also used to build matched-shape
+// stand-ins for the three real datasets of Table 3 (see DESIGN.md,
+// substitution table).
+
+struct ClassificationSpec {
+  int num_samples = 1000;
+  int num_features = 15;
+  int num_classes = 4;
+  // Fraction of features that carry class signal; the rest are noise.
+  double informative_fraction = 0.6;
+  // Distance between class centroids in units of the noise std.
+  double class_separation = 1.5;
+  uint64_t seed = 1;
+};
+
+// Gaussian blobs around per-class centroids on the informative features,
+// pure noise on the rest; feature values are bounded (|x| < 1000).
+Dataset MakeClassification(const ClassificationSpec& spec);
+
+struct RegressionSpec {
+  int num_samples = 1000;
+  int num_features = 15;
+  // Fraction of features entering the target.
+  double informative_fraction = 0.6;
+  // Std of the label noise relative to the signal std.
+  double noise = 0.1;
+  // Adds piecewise (tree-friendly) structure on top of the linear signal.
+  bool piecewise = true;
+  uint64_t seed = 1;
+};
+
+// Linear target plus optional axis-aligned piecewise bumps (so trees have
+// structure to find), with labels normalized to roughly [-10, 10].
+Dataset MakeRegression(const RegressionSpec& spec);
+
+}  // namespace pivot
+
+#endif  // PIVOT_DATA_SYNTHETIC_H_

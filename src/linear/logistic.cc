@@ -1,0 +1,43 @@
+#include "linear/logistic.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pivot {
+
+double LogisticModel::PredictProbability(const std::vector<double>& row) const {
+  PIVOT_CHECK(row.size() == weights.size());
+  double u = bias;
+  for (size_t j = 0; j < row.size(); ++j) u += weights[j] * row[j];
+  return 1.0 / (1.0 + std::exp(-u));
+}
+
+LogisticModel TrainLogisticPlain(const Dataset& data,
+                                 const LogisticParams& params) {
+  const size_t n = data.num_samples();
+  const size_t d = data.num_features();
+  PIVOT_CHECK(n > 0 && d > 0);
+  LogisticModel model;
+  model.weights.assign(d, 0.0);
+
+  for (int epoch = 0; epoch < params.epochs; ++epoch) {
+    for (size_t start = 0; start < n; start += params.batch_size) {
+      const size_t end = std::min(n, start + params.batch_size);
+      std::vector<double> grad(d, 0.0);
+      double grad_bias = 0.0;
+      for (size_t t = start; t < end; ++t) {
+        const double err =
+            model.PredictProbability(data.features[t]) - data.labels[t];
+        for (size_t j = 0; j < d; ++j) grad[j] += err * data.features[t][j];
+        grad_bias += err;
+      }
+      const double scale = params.learning_rate / (end - start);
+      for (size_t j = 0; j < d; ++j) model.weights[j] -= scale * grad[j];
+      model.bias -= scale * grad_bias;
+    }
+  }
+  return model;
+}
+
+}  // namespace pivot

@@ -1,0 +1,33 @@
+#ifndef PIVOT_LINEAR_LOGISTIC_H_
+#define PIVOT_LINEAR_LOGISTIC_H_
+
+#include "data/dataset.h"
+
+namespace pivot {
+
+// Plaintext logistic regression (mini-batch gradient descent), the
+// non-private reference for the Section 7.3 extension. Binary labels
+// (0/1).
+struct LogisticParams {
+  int epochs = 10;
+  double learning_rate = 0.5;
+  int batch_size = 16;
+};
+
+struct LogisticModel {
+  std::vector<double> weights;  // one per feature
+  double bias = 0.0;
+
+  // P(y = 1 | x).
+  double PredictProbability(const std::vector<double>& row) const;
+  double PredictLabel(const std::vector<double>& row) const {
+    return PredictProbability(row) >= 0.5 ? 1.0 : 0.0;
+  }
+};
+
+LogisticModel TrainLogisticPlain(const Dataset& data,
+                                 const LogisticParams& params);
+
+}  // namespace pivot
+
+#endif  // PIVOT_LINEAR_LOGISTIC_H_

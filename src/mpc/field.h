@@ -1,0 +1,136 @@
+#ifndef PIVOT_MPC_FIELD_H_
+#define PIVOT_MPC_FIELD_H_
+
+#include <cstdint>
+
+#include "bigint/bigint.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pivot {
+
+// Arithmetic in the secret-sharing field F_p with p = 2^127 - 1 (Mersenne).
+//
+// This is the Z_q of the paper's additive secret sharing scheme
+// (Section 2.2). A 127-bit prime leaves room for 64-bit fixed-point logical
+// values plus 40+ bits of statistical masking used by the comparison and
+// truncation protocols (DESIGN.md §3). Elements are stored in
+// `unsigned __int128`; multiplication decomposes into 64-bit limbs and
+// folds with the Mersenne identity 2^127 ≡ 1 (mod p).
+
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+inline constexpr u128 kFieldPrime = ((static_cast<u128>(1) << 127) - 1);
+
+// Folds a value < 2^128 into [0, 2^127); result may still equal p.
+inline u128 FpFold(u128 x) {
+  return (x & kFieldPrime) + (x >> 127);
+}
+
+inline u128 FpReduce(u128 x) {
+  x = FpFold(x);
+  if (x >= kFieldPrime) x -= kFieldPrime;
+  return x;
+}
+
+inline u128 FpAdd(u128 a, u128 b) {
+  // a, b < p < 2^127, so the sum fits in 128 bits.
+  u128 s = a + b;
+  if (s >= kFieldPrime) s -= kFieldPrime;
+  return s;
+}
+
+inline u128 FpSub(u128 a, u128 b) {
+  return a >= b ? a - b : a + kFieldPrime - b;
+}
+
+inline u128 FpNeg(u128 a) { return a == 0 ? 0 : kFieldPrime - a; }
+
+// Full 127x127 -> 254-bit product with Mersenne folding.
+inline u128 FpMul(u128 a, u128 b) {
+  const uint64_t a0 = static_cast<uint64_t>(a);
+  const uint64_t a1 = static_cast<uint64_t>(a >> 64);
+  const uint64_t b0 = static_cast<uint64_t>(b);
+  const uint64_t b1 = static_cast<uint64_t>(b >> 64);
+
+  const u128 p00 = static_cast<u128>(a0) * b0;
+  const u128 p01 = static_cast<u128>(a0) * b1;
+  const u128 p10 = static_cast<u128>(a1) * b0;
+  const u128 p11 = static_cast<u128>(a1) * b1;  // < 2^126
+
+  // acc = p11*2^128 + (p01 + p10)*2^64 + p00, tracked as acc1*2^128 + acc0.
+  u128 mid = p01 + p10;
+  const u128 mid_carry = (mid < p01) ? 1 : 0;  // overflow of the mid sum
+
+  u128 acc0 = p00;
+  u128 acc1 = p11 + (mid >> 64) + (mid_carry << 64);
+  const u128 mid_lo_shifted = mid << 64;
+  acc0 += mid_lo_shifted;
+  if (acc0 < mid_lo_shifted) ++acc1;
+
+  // value = acc1*2^128 + acc0 ≡ 2*acc1 + acc0 (mod 2^127 - 1).
+  u128 r = FpFold(acc0) + FpFold(acc1 << 1);
+  return FpReduce(r);
+}
+
+// a^e mod p via square-and-multiply.
+inline u128 FpPow(u128 a, u128 e) {
+  u128 result = 1;
+  u128 base = a;
+  while (e != 0) {
+    if (e & 1) result = FpMul(result, base);
+    base = FpMul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+// Multiplicative inverse (a != 0) via Fermat: a^(p-2).
+inline u128 FpInv(u128 a) {
+  PIVOT_DCHECK(a != 0);
+  return FpPow(a, kFieldPrime - 2);
+}
+
+// Uniform field element.
+inline u128 FpRandom(Rng& rng) {
+  for (;;) {
+    u128 v = (static_cast<u128>(rng.NextU64()) << 64) | rng.NextU64();
+    v &= kFieldPrime;  // 127 random bits
+    if (v != kFieldPrime) return v;
+  }
+}
+
+// Signed encode/decode: logical values live in (-p/2, p/2).
+inline u128 FpFromSigned(i128 v) {
+  return v >= 0 ? FpReduce(static_cast<u128>(v))
+                : FpNeg(FpReduce(static_cast<u128>(-v)));
+}
+
+inline i128 FpToSigned(u128 v) {
+  PIVOT_DCHECK(v < kFieldPrime);
+  if (v > kFieldPrime / 2) return -static_cast<i128>(kFieldPrime - v);
+  return static_cast<i128>(v);
+}
+
+// Conversions to/from BigInt (for the ciphertext <-> share bridge).
+inline BigInt FpToBigInt(u128 v) {
+  BigInt hi(static_cast<uint64_t>(v >> 64));
+  BigInt lo(static_cast<uint64_t>(v));
+  return (hi << 64) + lo;
+}
+
+inline u128 FpFromBigInt(const BigInt& v) {
+  // Value may exceed p (e.g. a Paillier plaintext congruent to the logical
+  // value mod p); reduce properly.
+  BigInt r = v.Mod(FpToBigInt(kFieldPrime));
+  u128 out = 0;
+  const auto& limbs = r.limbs();
+  if (!limbs.empty()) out = limbs[0];
+  if (limbs.size() > 1) out |= static_cast<u128>(limbs[1]) << 64;
+  return out;
+}
+
+}  // namespace pivot
+
+#endif  // PIVOT_MPC_FIELD_H_

@@ -1,0 +1,69 @@
+#include "mpc/preprocessing.h"
+
+#include "common/check.h"
+
+namespace pivot {
+
+Preprocessing::Preprocessing(int party_id, int num_parties, uint64_t seed)
+    : party_id_(party_id), num_parties_(num_parties), rng_(seed) {
+  PIVOT_CHECK(party_id >= 0 && party_id < num_parties);
+}
+
+u128 Preprocessing::ShareOf(u128 value) {
+  u128 sum = 0;
+  u128 mine = 0;
+  for (int i = 0; i + 1 < num_parties_; ++i) {
+    u128 s = FpRandom(rng_);
+    sum = FpAdd(sum, s);
+    if (i == party_id_) mine = s;
+  }
+  u128 last = FpSub(value, sum);
+  if (party_id_ == num_parties_ - 1) mine = last;
+  return mine;
+}
+
+Preprocessing::Triple Preprocessing::NextTriple() {
+  ++triples_used_;
+  const u128 a = FpRandom(rng_);
+  const u128 b = FpRandom(rng_);
+  const u128 c = FpMul(a, b);
+  Triple t;
+  t.a = ShareOf(a);
+  t.b = ShareOf(b);
+  t.c = ShareOf(c);
+  return t;
+}
+
+u128 Preprocessing::NextRandomShare() {
+  return ShareOf(FpRandom(rng_));
+}
+
+u128 Preprocessing::NextBitShare() {
+  return ShareOf(rng_.NextU64() & 1);
+}
+
+Preprocessing::TruncMask Preprocessing::NextTruncMask(int low_bits,
+                                                      int high_bits) {
+  PIVOT_CHECK(low_bits >= 0 && high_bits >= 0);
+  PIVOT_CHECK_MSG(low_bits + high_bits <= 126,
+                  "trunc mask exceeds field capacity");
+  ++masks_used_;
+  TruncMask mask;
+  mask.low_bit_shares.reserve(low_bits);
+  for (int j = 0; j < low_bits; ++j) {
+    mask.low_bit_shares.push_back(ShareOf(rng_.NextU64() & 1));
+  }
+  u128 r1 = 0;
+  if (high_bits > 0) {
+    for (int taken = 0; taken < high_bits; taken += 64) {
+      int chunk = std::min(64, high_bits - taken);
+      uint64_t word = rng_.NextU64();
+      if (chunk < 64) word &= (uint64_t{1} << chunk) - 1;
+      r1 |= static_cast<u128>(word) << taken;
+    }
+  }
+  mask.r1_share = ShareOf(r1);
+  return mask;
+}
+
+}  // namespace pivot

@@ -1,0 +1,80 @@
+#ifndef PIVOT_MPC_PREPROCESSING_H_
+#define PIVOT_MPC_PREPROCESSING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "mpc/field.h"
+
+namespace pivot {
+
+// SPDZ-style offline phase, played by a trusted dealer.
+//
+// The paper's MPC substrate (SPDZ, Section 2.2) has two phases: a
+// function-independent offline phase that produces correlated randomness
+// (Beaver multiplication triples, shared random bits/masks) and an online
+// phase that consumes it. The paper benchmarks *online time only*. This
+// class reproduces that structure with a dealer simulation: every party
+// constructs a Preprocessing instance from the same public seed, each
+// instance deterministically generates the same global sequence of
+// correlated randomness, and each party keeps only its own additive share.
+//
+// SECURITY NOTE (simulation shortcut): inside one instance the dealer's
+// plaintext randomness is transiently visible; protocol code must only
+// ever consume the returned *shares*. This mirrors MP-SPDZ's "fake
+// offline" (insecure preprocessing) mode, which the paper's methodology of
+// measuring online time corresponds to.
+//
+// Alignment requirement: parties run SPMD protocol code, so they request
+// the same sequence of correlated values in the same order; the internal
+// RNG streams then stay synchronized across parties by construction.
+class Preprocessing {
+ public:
+  // All parties must pass the same `seed`, their own `party_id`.
+  Preprocessing(int party_id, int num_parties, uint64_t seed);
+
+  int party_id() const { return party_id_; }
+  int num_parties() const { return num_parties_; }
+
+  // Beaver triple: shares of (a, b, a*b).
+  struct Triple {
+    u128 a, b, c;
+  };
+  Triple NextTriple();
+
+  // Share of a uniformly random field element.
+  u128 NextRandomShare();
+
+  // Share of a uniformly random bit.
+  u128 NextBitShare();
+
+  // Shared random mask r = r1 * 2^low_bits + r0, where r0 < 2^low_bits is
+  // given bit-by-bit (shares of each bit) and r1 < 2^high_bits. This is
+  // the correlated randomness consumed by the truncation / comparison /
+  // bit-decomposition protocols (Catrina-de Hoogh style).
+  struct TruncMask {
+    std::vector<u128> low_bit_shares;  // shares of bits r0_0 .. r0_{low-1}
+    u128 r1_share = 0;                 // share of r1
+  };
+  TruncMask NextTruncMask(int low_bits, int high_bits);
+
+  // Number of correlated elements generated so far (for bench reporting).
+  uint64_t triples_used() const { return triples_used_; }
+  uint64_t masks_used() const { return masks_used_; }
+
+ private:
+  // Deterministically produces all m shares of `value` and returns this
+  // party's one. Consumes the same amount of randomness on every party.
+  u128 ShareOf(u128 value);
+
+  int party_id_;
+  int num_parties_;
+  Rng rng_;
+  uint64_t triples_used_ = 0;
+  uint64_t masks_used_ = 0;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_MPC_PREPROCESSING_H_

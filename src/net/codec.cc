@@ -1,0 +1,88 @@
+#include "net/codec.h"
+
+namespace pivot {
+
+void EncodeBigInt(const BigInt& v, ByteWriter& w) {
+  w.WriteU8(v.IsNegative() ? 1 : 0);
+  w.WriteBytes(v.ToBytes());
+}
+
+Result<BigInt> DecodeBigInt(ByteReader& r) {
+  PIVOT_ASSIGN_OR_RETURN(uint8_t sign, r.ReadU8());
+  if (sign > 1) return Status::ProtocolError("invalid BigInt sign byte");
+  PIVOT_ASSIGN_OR_RETURN(Bytes mag, r.ReadBytes());
+  BigInt v = BigInt::FromBytes(mag);
+  return sign ? -v : v;
+}
+
+Bytes EncodeBigIntVector(const std::vector<BigInt>& values) {
+  ByteWriter w;
+  w.WriteU64(values.size());
+  for (const BigInt& v : values) EncodeBigInt(v, w);
+  return w.Take();
+}
+
+Result<std::vector<BigInt>> DecodeBigIntVector(const Bytes& data) {
+  ByteReader r(data);
+  PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  if (count > data.size()) {  // cheap sanity bound: >= 1 byte per entry
+    return Status::ProtocolError("implausible BigInt vector length");
+  }
+  std::vector<BigInt> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PIVOT_ASSIGN_OR_RETURN(BigInt v, DecodeBigInt(r));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Bytes EncodeCiphertextVector(const std::vector<Ciphertext>& values) {
+  ByteWriter w;
+  w.WriteU64(values.size());
+  for (const Ciphertext& c : values) EncodeBigInt(c.value, w);
+  return w.Take();
+}
+
+Result<std::vector<Ciphertext>> DecodeCiphertextVector(const Bytes& data) {
+  PIVOT_ASSIGN_OR_RETURN(std::vector<BigInt> raw, DecodeBigIntVector(data));
+  std::vector<Ciphertext> out;
+  out.reserve(raw.size());
+  for (BigInt& v : raw) out.push_back(Ciphertext{std::move(v)});
+  return out;
+}
+
+void EncodeU128(u128 v, ByteWriter& w) {
+  w.WriteU64(static_cast<uint64_t>(v));
+  w.WriteU64(static_cast<uint64_t>(v >> 64));
+}
+
+Result<u128> DecodeU128(ByteReader& r) {
+  PIVOT_ASSIGN_OR_RETURN(uint64_t lo, r.ReadU64());
+  PIVOT_ASSIGN_OR_RETURN(uint64_t hi, r.ReadU64());
+  return (static_cast<u128>(hi) << 64) | lo;
+}
+
+Bytes EncodeU128Vector(const std::vector<u128>& values) {
+  ByteWriter w;
+  w.WriteU64(values.size());
+  for (u128 v : values) EncodeU128(v, w);
+  return w.Take();
+}
+
+Result<std::vector<u128>> DecodeU128Vector(const Bytes& data) {
+  ByteReader r(data);
+  PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  if (count * 16 > data.size()) {
+    return Status::ProtocolError("implausible u128 vector length");
+  }
+  std::vector<u128> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PIVOT_ASSIGN_OR_RETURN(u128 v, DecodeU128(r));
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace pivot

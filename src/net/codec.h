@@ -1,0 +1,37 @@
+#ifndef PIVOT_NET_CODEC_H_
+#define PIVOT_NET_CODEC_H_
+
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/paillier.h"
+
+namespace pivot {
+
+// Wire codecs for the message payloads the Pivot protocols exchange:
+// big integers (ciphertexts, partial decryptions) and 128-bit field
+// elements (secret shares). All formats are length-delimited and
+// self-describing enough for the reader to reject truncated input.
+
+using u128 = unsigned __int128;
+
+void EncodeBigInt(const BigInt& v, ByteWriter& w);
+Result<BigInt> DecodeBigInt(ByteReader& r);
+
+Bytes EncodeBigIntVector(const std::vector<BigInt>& values);
+Result<std::vector<BigInt>> DecodeBigIntVector(const Bytes& data);
+
+Bytes EncodeCiphertextVector(const std::vector<Ciphertext>& values);
+Result<std::vector<Ciphertext>> DecodeCiphertextVector(const Bytes& data);
+
+void EncodeU128(u128 v, ByteWriter& w);
+Result<u128> DecodeU128(ByteReader& r);
+
+Bytes EncodeU128Vector(const std::vector<u128>& values);
+Result<std::vector<u128>> DecodeU128Vector(const Bytes& data);
+
+}  // namespace pivot
+
+#endif  // PIVOT_NET_CODEC_H_

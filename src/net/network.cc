@@ -1,0 +1,116 @@
+#include "net/network.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "common/op_counters.h"
+
+namespace pivot {
+
+void MessageQueue::Push(Bytes msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+Result<Bytes> MessageQueue::Pop(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                    [this] { return !queue_.empty(); })) {
+    return Status::ProtocolError("receive timed out (peer missing/deadlock?)");
+  }
+  Bytes msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+InMemoryNetwork::InMemoryNetwork(int num_parties, int recv_timeout_ms,
+                                 NetworkSim sim)
+    : num_parties_(num_parties), recv_timeout_ms_(recv_timeout_ms), sim_(sim) {
+  PIVOT_CHECK_MSG(num_parties >= 1, "network needs at least one party");
+  queues_.reserve(static_cast<size_t>(num_parties) * num_parties);
+  for (int i = 0; i < num_parties * num_parties; ++i) {
+    queues_.push_back(std::make_unique<MessageQueue>());
+  }
+  endpoints_.reserve(num_parties);
+  for (int i = 0; i < num_parties; ++i) {
+    endpoints_.push_back(Endpoint(this, i, num_parties));
+  }
+}
+
+Endpoint& InMemoryNetwork::endpoint(int i) {
+  PIVOT_CHECK(i >= 0 && i < num_parties_);
+  return endpoints_[i];
+}
+
+uint64_t InMemoryNetwork::total_bytes() const {
+  uint64_t total = 0;
+  for (const Endpoint& e : endpoints_) total += e.bytes_sent();
+  return total;
+}
+
+void Endpoint::Send(int to, Bytes msg) {
+  PIVOT_CHECK_MSG(to != id_, "self-send");
+  PIVOT_CHECK(to >= 0 && to < num_parties_);
+  if (net_->sim_.enabled()) {
+    // Sender-side delay: per-message latency + serialization time.
+    double micros = net_->sim_.latency_us;
+    if (net_->sim_.bandwidth_gbps > 0) {
+      micros += static_cast<double>(msg.size()) * 8.0 /
+                (net_->sim_.bandwidth_gbps * 1e3);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(micros)));
+  }
+  bytes_sent_ += msg.size();
+  ++messages_sent_;
+  OpCounters::Global().AddBytesSent(msg.size());
+  OpCounters::Global().AddMessage();
+  net_->queue(id_, to).Push(std::move(msg));
+}
+
+Result<Bytes> Endpoint::Recv(int from) {
+  PIVOT_CHECK_MSG(from != id_, "self-receive");
+  PIVOT_CHECK(from >= 0 && from < num_parties_);
+  return net_->queue(from, id_).Pop(net_->recv_timeout_ms_);
+}
+
+void Endpoint::Broadcast(const Bytes& msg) {
+  for (int to = 0; to < num_parties_; ++to) {
+    if (to != id_) Send(to, msg);
+  }
+}
+
+Result<std::vector<Bytes>> Endpoint::GatherAll(Bytes own) {
+  std::vector<Bytes> out(num_parties_);
+  out[id_] = std::move(own);
+  for (int from = 0; from < num_parties_; ++from) {
+    if (from == id_) continue;
+    PIVOT_ASSIGN_OR_RETURN(out[from], Recv(from));
+  }
+  return out;
+}
+
+Status RunParties(InMemoryNetwork& net,
+                  const std::function<Status(int, Endpoint&)>& body) {
+  const int m = net.num_parties();
+  std::vector<Status> statuses(m);
+  std::vector<std::thread> threads;
+  threads.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    threads.emplace_back([&, i] { statuses[i] = body(i, net.endpoint(i)); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < m; ++i) {
+    if (!statuses[i].ok()) {
+      return Status(statuses[i].code(), "party " + std::to_string(i) + ": " +
+                                            statuses[i].message());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pivot

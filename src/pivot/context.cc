@@ -1,0 +1,243 @@
+#include "pivot/context.h"
+
+#include <thread>
+
+#include "common/check.h"
+#include "common/fixed_point.h"
+#include "net/codec.h"
+#include "tree/splits.h"
+
+namespace pivot {
+
+PartyContext::PartyContext(int party_id, int super_client_id,
+                           Endpoint* endpoint, const PaillierPublicKey& pk,
+                           PartialKey partial_key, VerticalView view,
+                           std::vector<double> labels,
+                           const PivotParams& params)
+    : endpoint_(endpoint),
+      super_client_id_(super_client_id),
+      pk_(pk),
+      partial_key_(std::move(partial_key)),
+      view_(std::move(view)),
+      labels_(std::move(labels)),
+      params_(params),
+      rng_(params.run_seed * 1000003 + party_id) {
+  PIVOT_CHECK(endpoint_->id() == party_id);
+  prep_ = std::make_unique<Preprocessing>(party_id, endpoint_->num_parties(),
+                                          params.prep_seed);
+  engine_ = std::make_unique<MpcEngine>(endpoint_, prep_.get(),
+                                        params.run_seed ^ 0xABCD, params.mpc);
+
+  // Candidate thresholds and left-branch indicator vectors for every local
+  // feature, fixed once from the full columns (Section 4.1: v_l / v_r).
+  const size_t n = view_.features.size();
+  const size_t d_local = view_.num_features();
+  split_candidates_.resize(d_local);
+  left_indicators_.resize(d_local);
+  for (size_t j = 0; j < d_local; ++j) {
+    std::vector<double> column(n);
+    for (size_t t = 0; t < n; ++t) column[t] = view_.features[t][j];
+    split_candidates_[j] =
+        ComputeSplitCandidates(column, params.tree.max_splits);
+    left_indicators_[j].resize(split_candidates_[j].size());
+    for (size_t s = 0; s < split_candidates_[j].size(); ++s) {
+      left_indicators_[j][s].resize(n);
+      for (size_t t = 0; t < n; ++t) {
+        left_indicators_[j][s][t] = column[t] <= split_candidates_[j][s];
+      }
+    }
+  }
+}
+
+void PartyContext::BroadcastCiphertexts(const std::vector<Ciphertext>& cts) {
+  endpoint_->Broadcast(EncodeCiphertextVector(cts));
+}
+
+Result<std::vector<Ciphertext>> PartyContext::RecvCiphertexts(int from) {
+  PIVOT_ASSIGN_OR_RETURN(Bytes msg, endpoint_->Recv(from));
+  return DecodeCiphertextVector(msg);
+}
+
+Result<std::vector<BigInt>> PartyContext::JointDecrypt(
+    const std::vector<Ciphertext>& cts, int holder) {
+  const int m = num_parties();
+  // 1. Holder broadcasts the ciphertexts.
+  std::vector<Ciphertext> work = cts;
+  if (m > 1) {
+    if (id() == holder) {
+      BroadcastCiphertexts(cts);
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(work, RecvCiphertexts(holder));
+    }
+  }
+  // 2. Every party computes partial decryptions; non-holders send theirs
+  //    to the holder. Partial decryptions of a batch are independent, so
+  //    they parallelize across decryption_threads (the "-PP" variants).
+  std::vector<BigInt> partials(work.size());
+  const int threads = std::max(1, params_.decryption_threads);
+  if (threads == 1 || work.size() < 8) {
+    for (size_t i = 0; i < work.size(); ++i) {
+      partials[i] = PartialDecrypt(pk_, partial_key_, work[i]).value;
+    }
+  } else {
+    std::vector<std::thread> pool;
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        for (size_t i = w; i < work.size(); i += threads) {
+          partials[i] = PartialDecrypt(pk_, partial_key_, work[i]).value;
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  if (id() != holder) {
+    endpoint_->Send(holder, EncodeBigIntVector(partials));
+    // 4. Receive combined plaintexts.
+    PIVOT_ASSIGN_OR_RETURN(Bytes msg, endpoint_->Recv(holder));
+    return DecodeBigIntVector(msg);
+  }
+  // 3. Holder combines all partials.
+  std::vector<std::vector<BigInt>> all(m);
+  all[holder] = std::move(partials);
+  for (int p = 0; p < m; ++p) {
+    if (p == holder) continue;
+    PIVOT_ASSIGN_OR_RETURN(Bytes msg, endpoint_->Recv(p));
+    PIVOT_ASSIGN_OR_RETURN(all[p], DecodeBigIntVector(msg));
+    if (all[p].size() != work.size()) {
+      return Status::ProtocolError("partial decryption count mismatch");
+    }
+  }
+  std::vector<BigInt> plain(work.size());
+  std::vector<Status> worker_status(threads);
+  // (w, step): worker w combines indices w, w+step, ... — step is 1 on the
+  // sequential path and `threads` on the pooled path.
+  auto combine_range = [&](int w, int step) {
+    for (size_t i = w; i < work.size(); i += step) {
+      std::vector<PartialDecryption> parts;
+      parts.reserve(m);
+      for (int p = 0; p < m; ++p) parts.push_back({p, all[p][i]});
+      Result<BigInt> x = CombinePartialDecryptions(pk_, parts, m);
+      if (!x.ok()) {
+        worker_status[w] = x.status();
+        return;
+      }
+      plain[i] = std::move(x).value();
+    }
+  };
+  if (threads == 1 || work.size() < 8) {
+    combine_range(0, 1);
+    PIVOT_RETURN_IF_ERROR(worker_status[0]);
+  } else {
+    std::vector<std::thread> pool;
+    for (int w = 0; w < threads; ++w) pool.emplace_back(combine_range, w, threads);
+    for (std::thread& t : pool) t.join();
+    for (const Status& st : worker_status) PIVOT_RETURN_IF_ERROR(st);
+  }
+  if (m > 1) endpoint_->Broadcast(EncodeBigIntVector(plain));
+  return plain;
+}
+
+Result<std::vector<u128>> PartyContext::CiphertextsToShares(
+    const std::vector<Ciphertext>& cts, int holder) {
+  const int m = num_parties();
+  const size_t count = id() == holder ? cts.size() : 0;
+
+  // Every party samples masks r_i in Z_p and sends their encryptions to
+  // the holder (Algorithm 2, lines 1-3). Non-holders learn the batch size
+  // from the holder first.
+  size_t batch = count;
+  if (m > 1) {
+    if (id() == holder) {
+      ByteWriter w;
+      w.WriteU64(batch);
+      endpoint_->Broadcast(w.Take());
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, endpoint_->Recv(holder));
+      ByteReader r(msg);
+      PIVOT_ASSIGN_OR_RETURN(uint64_t b, r.ReadU64());
+      batch = b;
+    }
+  }
+
+  std::vector<u128> masks(batch);
+  for (u128& v : masks) v = FpRandom(rng_);
+
+  std::vector<Ciphertext> my_encrypted;
+  my_encrypted.reserve(batch);
+  for (u128 v : masks) {
+    my_encrypted.push_back(pk_.Encrypt(FpToBigInt(v), rng_));
+  }
+
+  std::vector<Ciphertext> masked;
+  if (id() == holder) {
+    masked = cts;
+    for (size_t i = 0; i < batch; ++i) {
+      masked[i] = pk_.Add(masked[i], my_encrypted[i]);
+    }
+    for (int p = 0; p < m; ++p) {
+      if (p == id()) continue;
+      PIVOT_ASSIGN_OR_RETURN(std::vector<Ciphertext> theirs,
+                             RecvCiphertexts(p));
+      if (theirs.size() != batch) {
+        return Status::ProtocolError("mask vector size mismatch");
+      }
+      for (size_t i = 0; i < batch; ++i) {
+        masked[i] = pk_.Add(masked[i], theirs[i]);
+      }
+    }
+  } else {
+    endpoint_->Send(holder, EncodeCiphertextVector(my_encrypted));
+  }
+
+  // Joint decryption of e = x + sum_i r_i (over the integers: plaintext
+  // headroom is checked at keygen).
+  PIVOT_ASSIGN_OR_RETURN(std::vector<BigInt> opened,
+                         JointDecrypt(masked, holder));
+  if (opened.size() != batch) {
+    return Status::ProtocolError("conversion batch size mismatch");
+  }
+
+  // Shares: holder takes e - r_holder, everyone else -r_i (lines 6-8).
+  std::vector<u128> shares(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    if (id() == holder) {
+      shares[i] = FpSub(FpFromBigInt(opened[i]), masks[i]);
+    } else {
+      shares[i] = FpNeg(masks[i]);
+    }
+  }
+  return shares;
+}
+
+Result<std::vector<Ciphertext>> PartyContext::SharesToCiphertexts(
+    const std::vector<u128>& shares) {
+  std::vector<Ciphertext> mine;
+  mine.reserve(shares.size());
+  for (u128 s : shares) mine.push_back(pk_.Encrypt(FpToBigInt(s), rng_));
+
+  if (num_parties() == 1) return mine;
+
+  BroadcastCiphertexts(mine);
+  std::vector<Ciphertext> sum = std::move(mine);
+  for (int p = 0; p < num_parties(); ++p) {
+    if (p == id()) continue;
+    PIVOT_ASSIGN_OR_RETURN(std::vector<Ciphertext> theirs, RecvCiphertexts(p));
+    if (theirs.size() != sum.size()) {
+      return Status::ProtocolError("share ciphertext count mismatch");
+    }
+    for (size_t i = 0; i < sum.size(); ++i) {
+      sum[i] = pk_.Add(sum[i], theirs[i]);
+    }
+  }
+  return sum;
+}
+
+i128 PartyContext::PlaintextToSigned(const BigInt& plain) const {
+  return FpToSigned(FpFromBigInt(plain));
+}
+
+double PartyContext::PlaintextToDouble(const BigInt& plain) const {
+  return FixedToDouble(static_cast<int64_t>(PlaintextToSigned(plain)));
+}
+
+}  // namespace pivot

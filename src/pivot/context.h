@@ -1,0 +1,111 @@
+#ifndef PIVOT_PIVOT_CONTEXT_H_
+#define PIVOT_PIVOT_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "crypto/threshold_paillier.h"
+#include "data/dataset.h"
+#include "mpc/engine.h"
+#include "net/network.h"
+#include "pivot/params.h"
+
+namespace pivot {
+
+// Per-party state for one Pivot protocol run, bundling the party's network
+// endpoint, its TPHE key material, its local vertical data view, and its
+// MPC engine — plus the two bridges that make the paper's hybrid
+// TPHE/MPC framework work:
+//
+//   CiphertextsToShares  — Algorithm 2 (ciphertext -> additive shares)
+//   SharesToCiphertexts  — the reverse conversion used by the enhanced
+//                          protocol (Section 5.2)
+//
+// All interactive methods are SPMD: every party calls them at the same
+// point in the protocol with its own arguments.
+class PartyContext {
+ public:
+  PartyContext(int party_id, int super_client_id, Endpoint* endpoint,
+               const PaillierPublicKey& pk, PartialKey partial_key,
+               VerticalView view, std::vector<double> labels,
+               const PivotParams& params);
+
+  int id() const { return endpoint_->id(); }
+  int num_parties() const { return endpoint_->num_parties(); }
+  int super_client() const { return super_client_id_; }
+  bool is_super() const { return id() == super_client_id_; }
+
+  Endpoint& endpoint() { return *endpoint_; }
+  MpcEngine& engine() { return *engine_; }
+  Preprocessing& prep() { return *prep_; }
+  const PaillierPublicKey& pk() const { return pk_; }
+  const PivotParams& params() const { return params_; }
+  const VerticalView& view() const { return view_; }
+  // Labels; non-empty only on the super client.
+  const std::vector<double>& labels() const { return labels_; }
+  Rng& rng() { return rng_; }
+
+  // Per-local-feature candidate split thresholds (computed once from the
+  // full columns; see tree/splits.h).
+  const std::vector<std::vector<double>>& split_candidates() const {
+    return split_candidates_;
+  }
+  // Left-branch indicator vector (size n) for local feature j, candidate s:
+  // entry t is 1 iff sample t's feature value <= threshold.
+  const std::vector<uint8_t>& LeftIndicator(int feature, int split) const {
+    return left_indicators_[feature][split];
+  }
+
+  // ----- Ciphertext messaging -------------------------------------------
+
+  void BroadcastCiphertexts(const std::vector<Ciphertext>& cts);
+  Result<std::vector<Ciphertext>> RecvCiphertexts(int from);
+
+  // ----- Threshold decryption -------------------------------------------
+
+  // Jointly decrypts ciphertexts held by party `holder`: the holder
+  // broadcasts them, every party contributes a partial decryption, party
+  // `holder` combines and broadcasts the plaintexts. Non-holders pass {}.
+  // Returns the plaintexts (in [0, n)) to all parties.
+  Result<std::vector<BigInt>> JointDecrypt(const std::vector<Ciphertext>& cts,
+                                           int holder);
+
+  // ----- Conversions (the hybrid bridges) --------------------------------
+
+  // Algorithm 2, batched: converts ciphertexts known to party `holder`
+  // into additive shares over F_p. The plaintexts must be congruent mod p
+  // to the logical values and satisfy value + m·p < n.
+  Result<std::vector<u128>> CiphertextsToShares(
+      const std::vector<Ciphertext>& cts, int holder);
+
+  // Reverse conversion: every party encrypts its shares and the encrypted
+  // shares are summed homomorphically; the resulting plaintexts equal the
+  // logical value plus a multiple of p below m·p (erased by the next
+  // CiphertextsToShares or by a final mod-p reduction).
+  Result<std::vector<Ciphertext>> SharesToCiphertexts(
+      const std::vector<u128>& shares);
+
+  // Reduces a decrypted Paillier plaintext to the logical signed
+  // fixed-point value (mod-p reduction + signed decode).
+  double PlaintextToDouble(const BigInt& plain) const;
+  i128 PlaintextToSigned(const BigInt& plain) const;
+
+ private:
+  Endpoint* endpoint_;
+  int super_client_id_;
+  PaillierPublicKey pk_;
+  PartialKey partial_key_;
+  VerticalView view_;
+  std::vector<double> labels_;
+  PivotParams params_;
+  Rng rng_;
+  std::unique_ptr<Preprocessing> prep_;
+  std::unique_ptr<MpcEngine> engine_;
+  std::vector<std::vector<double>> split_candidates_;
+  // [feature][split] -> indicator over samples.
+  std::vector<std::vector<std::vector<uint8_t>>> left_indicators_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_PIVOT_CONTEXT_H_

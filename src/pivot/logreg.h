@@ -1,0 +1,56 @@
+#ifndef PIVOT_PIVOT_LOGREG_H_
+#define PIVOT_PIVOT_LOGREG_H_
+
+#include "pivot/context.h"
+
+namespace pivot {
+
+// Vertical federated logistic regression — the "other machine learning
+// models" extension of Section 7.3, built from the same three-step recipe
+// as tree training:
+//
+//   1. local computation under TPHE: each client keeps an *encrypted*
+//      weight vector [theta_i] for its own features and aggregates an
+//      encrypted partial score [xi_it] = x_it ⊙ [theta_i] per sample;
+//   2. MPC computation: the partial scores are converted to shares
+//      (Algorithm 2), summed, pushed through a secure logistic function
+//      (secure exp + reciprocal), and subtracted from the super client's
+//      shared label to get the shared loss derivative;
+//   3. conversion back: the derivative returns to ciphertext space
+//      (Section 5.2) and every client updates its encrypted weights
+//      homomorphically, never seeing the loss.
+//
+// Intermediate weights therefore stay encrypted for the whole training
+// run; only the final model is decrypted and released (mirroring the
+// basic tree protocol's release policy). Mini-batch gradient descent
+// generalizes the paper's per-sample description so the conversions and
+// secure sigmoids batch across the samples of a step.
+struct PivotLogRegParams {
+  int epochs = 5;
+  double learning_rate = 0.5;
+  int batch_size = 16;
+};
+
+// This party's view of the released model: plaintext weights for its own
+// feature columns (plus the bias on the super client).
+struct PivotLogRegModel {
+  std::vector<double> my_weights;
+  double bias = 0.0;  // meaningful on every party (revealed jointly)
+};
+
+// SPMD training over the party's vertical view; binary labels (0/1) on
+// the super client. REQUIRES feature values |x| <= 100 (the secure
+// exponential's domain after standardization).
+Result<PivotLogRegModel> TrainPivotLogReg(PartyContext& ctx,
+                                          const PivotLogRegParams& params);
+
+// Distributed prediction: each party contributes its plaintext partial
+// score as a secret share; the sigmoid runs securely and only the
+// probability is opened.
+Result<double> PredictPivotLogReg(PartyContext& ctx,
+                                  const PivotLogRegModel& model,
+                                  const std::vector<double>& my_features);
+
+}  // namespace pivot
+
+#endif  // PIVOT_PIVOT_LOGREG_H_

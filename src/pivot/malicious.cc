@@ -1,0 +1,260 @@
+#include "pivot/malicious.h"
+
+#include "common/check.h"
+#include "net/codec.h"
+
+namespace pivot {
+
+CommittedVector CommitIndicatorVector(const PaillierPublicKey& pk,
+                                      const std::vector<uint8_t>& bits,
+                                      Rng& rng) {
+  CommittedVector out;
+  out.commitments.reserve(bits.size());
+  out.values.reserve(bits.size());
+  out.randomness.reserve(bits.size());
+  for (uint8_t b : bits) {
+    out.values.push_back(BigInt(b ? 1 : 0));
+    out.randomness.push_back(pk.SampleUnit(rng));
+    out.commitments.push_back(
+        pk.EncryptWithRandomness(out.values.back(), out.randomness.back()));
+  }
+  return out;
+}
+
+CommitmentWithProofs ProveCommitment(const PaillierPublicKey& pk,
+                                     const CommittedVector& committed,
+                                     Rng& rng) {
+  CommitmentWithProofs out;
+  out.commitments = committed.commitments;
+  out.proofs.reserve(committed.values.size());
+  for (size_t i = 0; i < committed.values.size(); ++i) {
+    out.proofs.push_back(ProvePlaintextKnowledge(pk, committed.commitments[i],
+                                                 committed.values[i],
+                                                 committed.randomness[i], rng));
+  }
+  return out;
+}
+
+Status VerifyCommitment(const PaillierPublicKey& pk,
+                        const CommitmentWithProofs& commitment) {
+  if (commitment.commitments.size() != commitment.proofs.size()) {
+    return Status::IntegrityError("commitment/proof count mismatch");
+  }
+  for (size_t i = 0; i < commitment.commitments.size(); ++i) {
+    PIVOT_RETURN_IF_ERROR(VerifyPlaintextKnowledge(
+        pk, commitment.commitments[i], commitment.proofs[i]));
+  }
+  return Status::Ok();
+}
+
+VerifiedStatistic ComputeVerifiedSplitStatistic(
+    const PaillierPublicKey& pk, const CommittedVector& committed,
+    const std::vector<Ciphertext>& gamma, Rng& rng) {
+  PIVOT_CHECK(committed.values.size() == gamma.size());
+  // stat = prod gamma_t ^ v_t (exactly the relation POHDP proves).
+  Ciphertext stat = pk.One();
+  for (size_t t = 0; t < gamma.size(); ++t) {
+    stat = Ciphertext{
+        pk.MulModN2(stat.value, pk.PowModN2(gamma[t].value,
+                                            committed.values[t]))};
+  }
+  VerifiedStatistic out;
+  out.stat = stat;
+  out.proof = ProveHomomorphicDotProduct(pk, committed.commitments,
+                                         committed.randomness,
+                                         committed.values, gamma, BigInt(1),
+                                         rng);
+  return out;
+}
+
+Status VerifySplitStatistic(const PaillierPublicKey& pk,
+                            const std::vector<Ciphertext>& commitments,
+                            const std::vector<Ciphertext>& gamma,
+                            const VerifiedStatistic& stat) {
+  return VerifyHomomorphicDotProduct(pk, commitments, gamma, stat.stat,
+                                     stat.proof);
+}
+
+VerifiedGammaEntry ComputeVerifiedGammaEntry(const PaillierPublicKey& pk,
+                                             const Ciphertext& beta_commit,
+                                             const BigInt& beta_value,
+                                             const BigInt& beta_randomness,
+                                             const Ciphertext& alpha,
+                                             Rng& rng) {
+  VerifiedGammaEntry out;
+  out.gamma = Ciphertext{pk.PowModN2(alpha.value, beta_value)};
+  out.proof = ProvePlainCipherMul(pk, beta_commit, beta_randomness, beta_value,
+                                  alpha, BigInt(1), rng);
+  return out;
+}
+
+Status VerifyGammaEntry(const PaillierPublicKey& pk,
+                        const Ciphertext& beta_commit, const Ciphertext& alpha,
+                        const VerifiedGammaEntry& entry) {
+  return VerifyPlainCipherMul(pk, beta_commit, alpha, entry.gamma,
+                              entry.proof);
+}
+
+Result<std::vector<u128>> VerifiedCiphertextsToShares(
+    PartyContext& ctx, const std::vector<Ciphertext>& cts, int holder) {
+  const int m = ctx.num_parties();
+  const PaillierPublicKey& pk = ctx.pk();
+
+  // Batch size agreement (same as the semi-honest conversion).
+  size_t batch = ctx.id() == holder ? cts.size() : 0;
+  if (m > 1) {
+    if (ctx.id() == holder) {
+      ByteWriter w;
+      w.WriteU64(batch);
+      ctx.endpoint().Broadcast(w.Take());
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx.endpoint().Recv(holder));
+      ByteReader r(msg);
+      PIVOT_ASSIGN_OR_RETURN(uint64_t b, r.ReadU64());
+      batch = b;
+    }
+  }
+
+  // 1. Every party broadcasts its encrypted masks WITH a POPK each, so it
+  // provably knows the mask it contributed (Section 9.1.1, step (i)).
+  std::vector<u128> masks(batch);
+  std::vector<Ciphertext> my_cts(batch);
+  std::vector<BigInt> my_rand(batch);
+  ByteWriter payload;
+  payload.WriteU64(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    masks[i] = FpRandom(ctx.rng());
+    my_rand[i] = pk.SampleUnit(ctx.rng());
+    my_cts[i] = pk.EncryptWithRandomness(FpToBigInt(masks[i]), my_rand[i]);
+    PopkProof proof = ProvePlaintextKnowledge(pk, my_cts[i],
+                                              FpToBigInt(masks[i]),
+                                              my_rand[i], ctx.rng());
+    EncodeBigInt(my_cts[i].value, payload);
+    EncodeBigInt(proof.commitment, payload);
+    EncodeBigInt(proof.z, payload);
+    EncodeBigInt(proof.w, payload);
+  }
+  ctx.endpoint().Broadcast(payload.Take());
+
+  std::vector<std::vector<Ciphertext>> all_masks(m);
+  all_masks[ctx.id()] = my_cts;
+  for (int p = 0; p < m; ++p) {
+    if (p == ctx.id()) continue;
+    PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx.endpoint().Recv(p));
+    ByteReader r(msg);
+    PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+    if (count != batch) {
+      return Status::IntegrityError("mask batch size mismatch");
+    }
+    all_masks[p].resize(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      PIVOT_ASSIGN_OR_RETURN(BigInt ct, DecodeBigInt(r));
+      PopkProof proof;
+      PIVOT_ASSIGN_OR_RETURN(proof.commitment, DecodeBigInt(r));
+      PIVOT_ASSIGN_OR_RETURN(proof.z, DecodeBigInt(r));
+      PIVOT_ASSIGN_OR_RETURN(proof.w, DecodeBigInt(r));
+      all_masks[p][i] = Ciphertext{std::move(ct)};
+      PIVOT_RETURN_IF_ERROR(
+          VerifyPlaintextKnowledge(pk, all_masks[p][i], proof));
+    }
+  }
+
+  // 2. Everyone computes [e] = [x] ⊕ [r_1] ⊕ ... ⊕ [r_m]. The holder
+  // broadcasts [x] so the computation is verifiable by all; the joint
+  // decryption then guarantees everyone decrypts the SAME e (step (ii)).
+  std::vector<Ciphertext> xs;
+  if (ctx.id() == holder) {
+    xs = cts;
+    if (m > 1) ctx.BroadcastCiphertexts(xs);
+  } else {
+    PIVOT_ASSIGN_OR_RETURN(xs, ctx.RecvCiphertexts(holder));
+    if (xs.size() != batch) {
+      return Status::IntegrityError("input ciphertext count mismatch");
+    }
+  }
+  std::vector<Ciphertext> masked = xs;
+  for (size_t i = 0; i < batch; ++i) {
+    for (int p = 0; p < m; ++p) {
+      masked[i] = pk.Add(masked[i], all_masks[p][i]);
+    }
+  }
+  PIVOT_ASSIGN_OR_RETURN(std::vector<BigInt> opened,
+                         ctx.JointDecrypt(masked, holder));
+  if (opened.size() != batch) {
+    return Status::IntegrityError("joint decryption size mismatch");
+  }
+
+  // 3. Shares, then the commitment of every share (step (iii)): each
+  // party re-encrypts its share and broadcasts it with a POPK; the group
+  // verifies that sum(shares) + sum(masks) == e by decrypting the
+  // difference, which must be 0 mod p... exactly e - sum over integers.
+  std::vector<u128> shares(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    if (ctx.id() == holder) {
+      shares[i] = FpSub(FpFromBigInt(opened[i]), masks[i]);
+    } else {
+      shares[i] = FpNeg(masks[i]);
+    }
+  }
+  ByteWriter commit_payload;
+  commit_payload.WriteU64(batch);
+  std::vector<Ciphertext> my_share_cts(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    BigInt r = pk.SampleUnit(ctx.rng());
+    my_share_cts[i] = pk.EncryptWithRandomness(FpToBigInt(shares[i]), r);
+    PopkProof proof = ProvePlaintextKnowledge(pk, my_share_cts[i],
+                                              FpToBigInt(shares[i]), r,
+                                              ctx.rng());
+    EncodeBigInt(my_share_cts[i].value, commit_payload);
+    EncodeBigInt(proof.commitment, commit_payload);
+    EncodeBigInt(proof.z, commit_payload);
+    EncodeBigInt(proof.w, commit_payload);
+  }
+  ctx.endpoint().Broadcast(commit_payload.Take());
+
+  std::vector<Ciphertext> share_sums = my_share_cts;
+  for (int p = 0; p < m; ++p) {
+    if (p == ctx.id()) continue;
+    PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx.endpoint().Recv(p));
+    ByteReader r(msg);
+    PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+    if (count != batch) {
+      return Status::IntegrityError("share commitment size mismatch");
+    }
+    for (size_t i = 0; i < batch; ++i) {
+      PIVOT_ASSIGN_OR_RETURN(BigInt ct, DecodeBigInt(r));
+      PopkProof proof;
+      PIVOT_ASSIGN_OR_RETURN(proof.commitment, DecodeBigInt(r));
+      PIVOT_ASSIGN_OR_RETURN(proof.z, DecodeBigInt(r));
+      PIVOT_ASSIGN_OR_RETURN(proof.w, DecodeBigInt(r));
+      Ciphertext share_ct{std::move(ct)};
+      PIVOT_RETURN_IF_ERROR(VerifyPlaintextKnowledge(pk, share_ct, proof));
+      share_sums[i] = pk.Add(share_sums[i], share_ct);
+    }
+  }
+
+  // Consistency: sum(share_i) ≡ x (mod p), i.e. sum(share_i) + sum(r_i)
+  // - e ≡ 0 (mod p). Decrypt the difference and check it is 0 mod p.
+  std::vector<Ciphertext> diffs(batch);
+  const BigInt p_big = FpToBigInt(kFieldPrime);
+  for (size_t i = 0; i < batch; ++i) {
+    Ciphertext acc = share_sums[i];
+    for (int p = 0; p < m; ++p) acc = pk.Add(acc, all_masks[p][i]);
+    // Subtract e (public): add -e mod n.
+    acc = pk.AddPlain(acc, pk.n() - opened[i].Mod(pk.n()));
+    diffs[i] = acc;
+  }
+  PIVOT_ASSIGN_OR_RETURN(std::vector<BigInt> check,
+                         ctx.JointDecrypt(diffs, holder));
+  for (size_t i = 0; i < batch; ++i) {
+    // The difference is a (possibly negative mod n) multiple of p.
+    BigInt v = check[i];
+    if (v > pk.n() - (BigInt(1) << 80)) v = v - pk.n();  // small negative
+    if (!(v.Mod(p_big)).IsZero()) {
+      return Status::IntegrityError("conversion share consistency failed");
+    }
+  }
+  return shares;
+}
+
+}  // namespace pivot

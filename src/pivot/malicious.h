@@ -1,0 +1,95 @@
+#ifndef PIVOT_PIVOT_MALICIOUS_H_
+#define PIVOT_PIVOT_MALICIOUS_H_
+
+#include <vector>
+
+#include "crypto/zkp.h"
+#include "pivot/context.h"
+
+namespace pivot {
+
+// Building blocks of the malicious-model extension (Section 9.1): each
+// client proves, in zero knowledge, that it executed the specified local
+// computation on the data it committed to. A failed verification aborts
+// the protocol with kIntegrityError instead of producing a wrong result.
+//
+// These are the verifiable counterparts of the semi-honest steps used by
+// the trainer:
+//   - CommitIndicatorVector + VerifiedSplitStatistic: a client commits its
+//     split indicator vector v before training and later proves each
+//     broadcast statistic equals v ⊙ [gamma] (POHDP).
+//   - VerifiedGammaEntry: the super client proves gamma_t = beta_t ⊗
+//     alpha_t against its committed label indicator (POPCM).
+//   - VerifiedCiphertextsToShares: Algorithm 2 hardened per Section 9.1.1
+//     (POPK on every mask, plus a joint consistency check that the final
+//     shares re-encrypt to the decrypted masked value).
+
+// Prover-side state for a committed plaintext vector: the public
+// commitments (encryptions) plus the private openings.
+struct CommittedVector {
+  std::vector<Ciphertext> commitments;  // public
+  std::vector<BigInt> values;           // private to the committer
+  std::vector<BigInt> randomness;       // private to the committer
+};
+
+// Commits a 0/1 indicator vector, with a POPK per entry so verifiers know
+// the committer can open every commitment.
+struct CommitmentWithProofs {
+  std::vector<Ciphertext> commitments;
+  std::vector<PopkProof> proofs;
+};
+
+CommittedVector CommitIndicatorVector(const PaillierPublicKey& pk,
+                                      const std::vector<uint8_t>& bits,
+                                      Rng& rng);
+CommitmentWithProofs ProveCommitment(const PaillierPublicKey& pk,
+                                     const CommittedVector& committed,
+                                     Rng& rng);
+Status VerifyCommitment(const PaillierPublicKey& pk,
+                        const CommitmentWithProofs& commitment);
+
+// Prover: computes [stat] = v ⊙ [gamma] together with a POHDP tying it to
+// the commitments. Verifier: checks the proof against the public
+// commitments and the broadcast [gamma].
+struct VerifiedStatistic {
+  Ciphertext stat;
+  PohdpProof proof;
+};
+
+VerifiedStatistic ComputeVerifiedSplitStatistic(
+    const PaillierPublicKey& pk, const CommittedVector& committed,
+    const std::vector<Ciphertext>& gamma, Rng& rng);
+Status VerifySplitStatistic(const PaillierPublicKey& pk,
+                            const std::vector<Ciphertext>& commitments,
+                            const std::vector<Ciphertext>& gamma,
+                            const VerifiedStatistic& stat);
+
+// Prover (super client): gamma_t = beta_t ⊗ alpha_t with POPCM against the
+// committed beta_t. Verifier checks against commitment and [alpha_t].
+struct VerifiedGammaEntry {
+  Ciphertext gamma;
+  PopcmProof proof;
+};
+
+VerifiedGammaEntry ComputeVerifiedGammaEntry(const PaillierPublicKey& pk,
+                                             const Ciphertext& beta_commit,
+                                             const BigInt& beta_value,
+                                             const BigInt& beta_randomness,
+                                             const Ciphertext& alpha,
+                                             Rng& rng);
+Status VerifyGammaEntry(const PaillierPublicKey& pk,
+                        const Ciphertext& beta_commit,
+                        const Ciphertext& alpha,
+                        const VerifiedGammaEntry& entry);
+
+// Algorithm 2 hardened for the malicious model (Section 9.1.1): every
+// party's encrypted mask carries a POPK; after decryption every party
+// re-encrypts and broadcasts its share with a POPK, and the group verifies
+// jointly (one extra threshold decryption) that the shares sum to the
+// decrypted value. Misbehaviour surfaces as kIntegrityError.
+Result<std::vector<u128>> VerifiedCiphertextsToShares(
+    PartyContext& ctx, const std::vector<Ciphertext>& cts, int holder);
+
+}  // namespace pivot
+
+#endif  // PIVOT_PIVOT_MALICIOUS_H_

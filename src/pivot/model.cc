@@ -1,0 +1,22 @@
+#include "pivot/model.h"
+
+#include "common/check.h"
+
+namespace pivot {
+
+double PivotTree::EvaluatePlain(
+    const std::vector<double>& row,
+    const std::vector<std::vector<int>>& feature_map) const {
+  PIVOT_CHECK_MSG(!nodes.empty(), "empty Pivot tree");
+  PIVOT_CHECK_MSG(protocol == Protocol::kBasic,
+                  "EvaluatePlain needs the plaintext (basic) model");
+  int id = 0;
+  while (!nodes[id].is_leaf) {
+    const PivotNode& n = nodes[id];
+    const int global = feature_map[n.owner][n.feature_local];
+    id = (row[global] <= n.threshold) ? n.left : n.right;
+  }
+  return nodes[id].leaf_value;
+}
+
+}  // namespace pivot

@@ -1,0 +1,75 @@
+#ifndef PIVOT_PIVOT_PARAMS_H_
+#define PIVOT_PIVOT_PARAMS_H_
+
+#include <cstdint>
+
+#include "mpc/engine.h"
+#include "tree/cart.h"
+
+namespace pivot {
+
+// Which Pivot protocol variant to run.
+enum class Protocol {
+  // Section 4: the whole tree (feature, threshold, leaf labels) is released
+  // in plaintext; no intermediate information leaks.
+  kBasic,
+  // Section 5: split thresholds and leaf labels stay hidden (secret
+  // shared); only the split feature owner/index is public.
+  kEnhanced,
+};
+
+// How much of the released model the enhanced protocol conceals
+// (the privacy/efficiency trade-off discussed at the end of Section 5.2).
+// Threshold and leaf labels are always hidden in the enhanced protocol;
+// the levels below additionally hide the split feature or even the
+// feature-owning client.
+enum class HidingLevel {
+  kThreshold,        // paper's enhanced protocol: (client, feature) public
+  kFeature,          // only the owning client is public
+  kClientAndFeature, // nothing about the split is public
+};
+
+// Differential-privacy settings (Section 9.2). When enabled, the pruning
+// count check uses Laplace noise, the best split is chosen with the
+// exponential mechanism, and leaf statistics are noised; the per-tree
+// budget is split as epsilon per query with B = 2·eps·(h+1) total.
+struct DpParams {
+  bool enabled = false;
+  double epsilon_per_query = 0.5;
+};
+
+// Hyper-parameters of a Pivot federation run. `tree` is shared verbatim
+// with the plaintext baselines so that accuracy comparisons (Table 3) run
+// with identical settings.
+struct PivotParams {
+  TreeParams tree;
+
+  // Threshold Paillier modulus bits. 512 matches the paper's accuracy
+  // experiments; the paper's efficiency default is 1024. Must satisfy the
+  // plaintext-headroom requirement checked in trainer.cc (>= 384 for the
+  // enhanced protocol / GBDT, >= 256 for the basic protocol).
+  int key_bits = 512;
+
+  MpcConfig mpc;
+
+  // Threads used for batched threshold decryption (the paper's "-PP"
+  // partially-parallelized variants use 6 cores; 1 = sequential).
+  int decryption_threads = 1;
+
+  // Seed of the simulated offline phase (see mpc/preprocessing.h).
+  uint64_t prep_seed = 0xC0FFEE;
+  // Seed for per-party local randomness (encryption, sharing).
+  uint64_t run_seed = 0x5EED;
+
+  // Public offset added to regression labels inside the protocol so the
+  // homomorphic carriers stay small non-negative values (variance gain is
+  // shift-invariant; leaves subtract the offset again). Labels must
+  // satisfy |y| < regression_label_offset - 1.
+  double regression_label_offset = 64.0;
+
+  DpParams dp;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_PIVOT_PARAMS_H_

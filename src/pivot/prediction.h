@@ -1,0 +1,58 @@
+#ifndef PIVOT_PIVOT_PREDICTION_H_
+#define PIVOT_PIVOT_PREDICTION_H_
+
+#include <vector>
+
+#include "pivot/context.h"
+#include "pivot/model.h"
+
+namespace pivot {
+
+// Distributed model prediction. In vertical FL each party holds only its
+// own slice of the sample's features; `my_features` is this party's slice
+// (local column order, matching its training view).
+//
+// Basic protocol (Algorithm 4): the parties update an encrypted
+// prediction vector [eta] in a round-robin order (party m-1 -> 0); party 0
+// multiplies in the public leaf-label vector and a joint decryption
+// reveals only the final prediction.
+//
+// Enhanced protocol (Section 5.2): thresholds and leaf labels exist only
+// as shares, so the parties secret-share their feature values, compute a
+// shared marker per path with secure comparisons, and open only the final
+// dot product with the shared leaf vector.
+//
+// Both calls are SPMD and return the predicted label to every party.
+Result<double> PredictPivot(PartyContext& ctx, const PivotTree& tree,
+                            const std::vector<double>& my_features);
+
+// Batch helper: one call per sample row (rows are this party's slices).
+Result<std::vector<double>> PredictPivotMany(
+    PartyContext& ctx, const PivotTree& tree,
+    const std::vector<std::vector<double>>& my_rows);
+
+// Returns this party's *share* of the prediction without revealing it
+// (both protocols); the ensemble layer aggregates such shares before
+// opening only the final output.
+Result<u128> PredictPivotToShare(PartyContext& ctx, const PivotTree& tree,
+                                 const std::vector<double>& my_features);
+
+// Basic protocol only: runs Algorithm 4 but stops before decryption,
+// returning the encrypted prediction [k-bar] to every party. Used by the
+// ensemble extensions (Section 7), which aggregate or post-process
+// per-tree predictions without revealing them.
+Result<Ciphertext> PredictPivotEncrypted(PartyContext& ctx,
+                                         const PivotTree& tree,
+                                         const std::vector<double>& my_features);
+
+// Basic protocol + keep_leaf_masks: evaluates the tree on the *training
+// set* homomorphically via the stored leaf masks:
+// [y_hat_t] = sum_leaf leaf_value ⊗ [alpha_leaf_t]. Local (no
+// communication); every party computes the same ciphertexts. Fixed-point
+// leaf values.
+Result<std::vector<Ciphertext>> PredictTrainingSetEncrypted(
+    PartyContext& ctx, const PivotTree& tree);
+
+}  // namespace pivot
+
+#endif  // PIVOT_PIVOT_PREDICTION_H_

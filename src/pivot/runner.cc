@@ -1,0 +1,46 @@
+#include "pivot/runner.h"
+
+#include "common/check.h"
+#include "crypto/threshold_paillier.h"
+#include "net/network.h"
+
+namespace pivot {
+
+Status RunFederationPartitioned(
+    const VerticalPartition& partition, const FederationConfig& cfg,
+    const std::function<Status(PartyContext&)>& body) {
+  const int m = cfg.num_parties;
+  PIVOT_CHECK(static_cast<int>(partition.views.size()) == m);
+  PIVOT_CHECK(cfg.super_client >= 0 && cfg.super_client < m);
+
+  // Initialization stage: trusted key generation ceremony (every client
+  // receives the public key and its partial secret key).
+  Rng key_rng(cfg.params.run_seed ^ 0x4b455953 /* "KEYS" */);
+  ThresholdPaillier keys =
+      GenerateThresholdPaillier(cfg.params.key_bits, m, key_rng);
+
+  InMemoryNetwork net(m, /*recv_timeout_ms=*/600'000, cfg.network_sim);
+  return RunParties(net, [&](int id, Endpoint& ep) -> Status {
+    PartyContext ctx(id, cfg.super_client, &ep, keys.pk,
+                     keys.partial_keys[id], partition.views[id],
+                     id == cfg.super_client ? partition.labels
+                                            : std::vector<double>{},
+                     cfg.params);
+    return body(ctx);
+  });
+}
+
+Status RunFederation(const Dataset& data, const FederationConfig& cfg,
+                     const std::function<Status(PartyContext&)>& body) {
+  VerticalPartition partition = PartitionVertically(data, cfg.num_parties);
+  return RunFederationPartitioned(partition, cfg, body);
+}
+
+std::vector<std::vector<double>> SliceRowsForParty(const Dataset& data,
+                                                   int party,
+                                                   int num_parties) {
+  VerticalPartition part = PartitionVertically(data, num_parties);
+  return part.views[party].features;
+}
+
+}  // namespace pivot

@@ -1,0 +1,45 @@
+#ifndef PIVOT_PIVOT_RUNNER_H_
+#define PIVOT_PIVOT_RUNNER_H_
+
+#include <functional>
+
+#include "data/dataset.h"
+#include "pivot/context.h"
+
+namespace pivot {
+
+// In-process federation harness: plays the paper's initialization stage
+// (vertical alignment, hyper-parameter consensus, threshold key
+// generation) and then runs one thread per client executing `body` with
+// that client's PartyContext. This is what tests, benches and examples
+// use to stand up an m-party Pivot deployment on one machine.
+struct FederationConfig {
+  int num_parties = 3;
+  // The client holding the labels (the paper's super client).
+  int super_client = 0;
+  PivotParams params;
+  // Optional LAN emulation (latency/bandwidth); see net/network.h.
+  NetworkSim network_sim;
+};
+
+// Partitions `data` vertically across cfg.num_parties clients (labels go
+// to the super client only) and runs `body(ctx)` on every party thread.
+// Returns the first party error, if any.
+Status RunFederation(const Dataset& data, const FederationConfig& cfg,
+                     const std::function<Status(PartyContext&)>& body);
+
+// Variant that takes a pre-built vertical partition (so callers can keep
+// train/test views aligned).
+Status RunFederationPartitioned(
+    const VerticalPartition& partition, const FederationConfig& cfg,
+    const std::function<Status(PartyContext&)>& body);
+
+// Extracts this party's rows (its feature slice) from a dataset, matching
+// the round-robin vertical partition used by RunFederation. Helper for
+// preparing test-set slices inside `body`.
+std::vector<std::vector<double>> SliceRowsForParty(const Dataset& data,
+                                                   int party, int num_parties);
+
+}  // namespace pivot
+
+#endif  // PIVOT_PIVOT_RUNNER_H_

@@ -1,0 +1,36 @@
+#ifndef PIVOT_PIVOT_SECURE_GAIN_H_
+#define PIVOT_PIVOT_SECURE_GAIN_H_
+
+#include <vector>
+
+#include "mpc/engine.h"
+
+namespace pivot {
+
+// Secure impurity-gain computation over secret-shared split statistics
+// (the MPC computation step of Section 4.1 / 4.2), shared by the Pivot
+// trainer and the SPDZ-DT baseline.
+//
+// Input layout (all additive shares):
+//   stats[slot][split]:
+//     classification: slot 0/1 = n_l/n_r (integer counts),
+//                     slot 2+2k / 3+2k = g_{l,k} / g_{r,k} (counts)
+//     regression:     slots = n_l, n_r, S_l, S_r, Q_l, Q_r
+//                     (S/Q fixed-point sums of labels / squared labels)
+//   agg: node aggregates: {count, g_0..g_{c-1}} or {count, S, Q}.
+//
+// Output: per-split scores (fixed point) whose secure argmax selects the
+// best split; full gain of a split = score - node_term (test against
+// min_gain before splitting).
+struct SecureGainResult {
+  std::vector<u128> scores;
+  u128 node_term = 0;
+};
+
+Result<SecureGainResult> ComputeSecureGains(
+    MpcEngine& eng, const std::vector<std::vector<u128>>& stats,
+    const std::vector<u128>& agg, bool regression, int num_classes);
+
+}  // namespace pivot
+
+#endif  // PIVOT_PIVOT_SECURE_GAIN_H_

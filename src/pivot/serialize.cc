@@ -1,0 +1,183 @@
+#include "pivot/serialize.h"
+
+#include <fstream>
+
+#include "net/codec.h"
+
+namespace pivot {
+
+namespace {
+
+constexpr uint32_t kTreeModelMagic = 0x50544d31;   // "PTM1"
+constexpr uint32_t kPivotTreeMagic = 0x50565431;   // "PVT1"
+constexpr uint32_t kEnsembleMagic = 0x50564531;    // "PVE1"
+
+void WritePivotNode(const PivotNode& n, ByteWriter& w) {
+  w.WriteU8(n.is_leaf ? 1 : 0);
+  w.WriteU32(static_cast<uint32_t>(n.owner + 1));
+  w.WriteU32(static_cast<uint32_t>(n.feature_local + 1));
+  w.WriteDouble(n.threshold);
+  w.WriteDouble(n.leaf_value);
+  EncodeU128(n.threshold_share, w);
+  EncodeU128(n.leaf_share, w);
+  w.WriteU32(static_cast<uint32_t>(n.left + 1));
+  w.WriteU32(static_cast<uint32_t>(n.right + 1));
+}
+
+Result<PivotNode> ReadPivotNode(ByteReader& r) {
+  PivotNode n;
+  PIVOT_ASSIGN_OR_RETURN(uint8_t leaf, r.ReadU8());
+  n.is_leaf = leaf != 0;
+  PIVOT_ASSIGN_OR_RETURN(uint32_t owner, r.ReadU32());
+  n.owner = static_cast<int>(owner) - 1;
+  PIVOT_ASSIGN_OR_RETURN(uint32_t feature, r.ReadU32());
+  n.feature_local = static_cast<int>(feature) - 1;
+  PIVOT_ASSIGN_OR_RETURN(n.threshold, r.ReadDouble());
+  PIVOT_ASSIGN_OR_RETURN(n.leaf_value, r.ReadDouble());
+  PIVOT_ASSIGN_OR_RETURN(n.threshold_share, DecodeU128(r));
+  PIVOT_ASSIGN_OR_RETURN(n.leaf_share, DecodeU128(r));
+  PIVOT_ASSIGN_OR_RETURN(uint32_t left, r.ReadU32());
+  n.left = static_cast<int>(left) - 1;
+  PIVOT_ASSIGN_OR_RETURN(uint32_t right, r.ReadU32());
+  n.right = static_cast<int>(right) - 1;
+  return n;
+}
+
+}  // namespace
+
+Bytes SerializeTreeModel(const TreeModel& model) {
+  ByteWriter w;
+  w.WriteU32(kTreeModelMagic);
+  w.WriteU64(model.nodes().size());
+  for (const TreeNode& n : model.nodes()) {
+    w.WriteU8(n.is_leaf ? 1 : 0);
+    w.WriteU32(static_cast<uint32_t>(n.feature + 1));
+    w.WriteDouble(n.threshold);
+    w.WriteDouble(n.leaf_value);
+    w.WriteU32(static_cast<uint32_t>(n.left + 1));
+    w.WriteU32(static_cast<uint32_t>(n.right + 1));
+  }
+  return w.Take();
+}
+
+Result<TreeModel> DeserializeTreeModel(const Bytes& data) {
+  ByteReader r(data);
+  PIVOT_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kTreeModelMagic) {
+    return Status::InvalidArgument("not a serialized TreeModel");
+  }
+  PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  TreeModel model;
+  for (uint64_t i = 0; i < count; ++i) {
+    TreeNode n;
+    PIVOT_ASSIGN_OR_RETURN(uint8_t leaf, r.ReadU8());
+    n.is_leaf = leaf != 0;
+    PIVOT_ASSIGN_OR_RETURN(uint32_t feature, r.ReadU32());
+    n.feature = static_cast<int>(feature) - 1;
+    PIVOT_ASSIGN_OR_RETURN(n.threshold, r.ReadDouble());
+    PIVOT_ASSIGN_OR_RETURN(n.leaf_value, r.ReadDouble());
+    PIVOT_ASSIGN_OR_RETURN(uint32_t left, r.ReadU32());
+    n.left = static_cast<int>(left) - 1;
+    PIVOT_ASSIGN_OR_RETURN(uint32_t right, r.ReadU32());
+    n.right = static_cast<int>(right) - 1;
+    model.AddNode(n);
+  }
+  return model;
+}
+
+Bytes SerializePivotTree(const PivotTree& tree) {
+  ByteWriter w;
+  w.WriteU32(kPivotTreeMagic);
+  w.WriteU8(tree.protocol == Protocol::kEnhanced ? 1 : 0);
+  w.WriteU8(tree.task == TreeTask::kRegression ? 1 : 0);
+  w.WriteU32(static_cast<uint32_t>(tree.num_classes));
+  w.WriteU64(tree.nodes.size());
+  for (const PivotNode& n : tree.nodes) WritePivotNode(n, w);
+  return w.Take();
+}
+
+Result<PivotTree> DeserializePivotTree(const Bytes& data) {
+  ByteReader r(data);
+  PIVOT_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kPivotTreeMagic) {
+    return Status::InvalidArgument("not a serialized PivotTree");
+  }
+  PivotTree tree;
+  PIVOT_ASSIGN_OR_RETURN(uint8_t protocol, r.ReadU8());
+  tree.protocol = protocol ? Protocol::kEnhanced : Protocol::kBasic;
+  PIVOT_ASSIGN_OR_RETURN(uint8_t task, r.ReadU8());
+  tree.task = task ? TreeTask::kRegression : TreeTask::kClassification;
+  PIVOT_ASSIGN_OR_RETURN(uint32_t classes, r.ReadU32());
+  tree.num_classes = static_cast<int>(classes);
+  PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  for (uint64_t i = 0; i < count; ++i) {
+    PIVOT_ASSIGN_OR_RETURN(PivotNode n, ReadPivotNode(r));
+    if (!n.is_leaf &&
+        (n.left < 0 || n.right < 0 ||
+         n.left >= static_cast<int>(count) ||
+         n.right >= static_cast<int>(count))) {
+      return Status::InvalidArgument("corrupt tree: child out of range");
+    }
+    tree.nodes.push_back(std::move(n));
+  }
+  return tree;
+}
+
+Bytes SerializePivotEnsemble(const PivotEnsemble& model) {
+  ByteWriter w;
+  w.WriteU32(kEnsembleMagic);
+  w.WriteU8(model.task == TreeTask::kRegression ? 1 : 0);
+  w.WriteU32(static_cast<uint32_t>(model.num_classes));
+  w.WriteDouble(model.learning_rate);
+  w.WriteU64(model.forests.size());
+  for (const auto& forest : model.forests) {
+    w.WriteU64(forest.size());
+    for (const PivotTree& tree : forest) {
+      w.WriteBytes(SerializePivotTree(tree));
+    }
+  }
+  return w.Take();
+}
+
+Result<PivotEnsemble> DeserializePivotEnsemble(const Bytes& data) {
+  ByteReader r(data);
+  PIVOT_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kEnsembleMagic) {
+    return Status::InvalidArgument("not a serialized PivotEnsemble");
+  }
+  PivotEnsemble model;
+  PIVOT_ASSIGN_OR_RETURN(uint8_t task, r.ReadU8());
+  model.task = task ? TreeTask::kRegression : TreeTask::kClassification;
+  PIVOT_ASSIGN_OR_RETURN(uint32_t classes, r.ReadU32());
+  model.num_classes = static_cast<int>(classes);
+  PIVOT_ASSIGN_OR_RETURN(model.learning_rate, r.ReadDouble());
+  PIVOT_ASSIGN_OR_RETURN(uint64_t forests, r.ReadU64());
+  model.forests.resize(forests);
+  for (uint64_t k = 0; k < forests; ++k) {
+    PIVOT_ASSIGN_OR_RETURN(uint64_t trees, r.ReadU64());
+    for (uint64_t t = 0; t < trees; ++t) {
+      PIVOT_ASSIGN_OR_RETURN(Bytes blob, r.ReadBytes());
+      PIVOT_ASSIGN_OR_RETURN(PivotTree tree, DeserializePivotTree(blob));
+      model.forests[k].push_back(std::move(tree));
+    }
+  }
+  return model;
+}
+
+Status SaveModelBytes(const Bytes& data, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out.good() ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+Result<Bytes> LoadModelBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return data;
+}
+
+}  // namespace pivot

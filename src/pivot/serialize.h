@@ -1,0 +1,38 @@
+#ifndef PIVOT_PIVOT_SERIALIZE_H_
+#define PIVOT_PIVOT_SERIALIZE_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "pivot/model.h"
+#include "tree/tree_model.h"
+
+namespace pivot {
+
+// Binary (de)serialization of trained models, so a party can persist its
+// model view between the training and prediction stages (the paper's two
+// ideal functionalities F_DTT and F_DTP run at different times).
+//
+// Notes:
+//  - A PivotTree serializes this party's *view*: for the enhanced
+//    protocol that includes its secret shares, which are as sensitive as
+//    a key share — the caller owns protecting the bytes at rest.
+//  - Encrypted leaf masks (a training-time artifact for GBDT) are not
+//    persisted.
+
+Bytes SerializeTreeModel(const TreeModel& model);
+Result<TreeModel> DeserializeTreeModel(const Bytes& data);
+
+Bytes SerializePivotTree(const PivotTree& tree);
+Result<PivotTree> DeserializePivotTree(const Bytes& data);
+
+Bytes SerializePivotEnsemble(const PivotEnsemble& model);
+Result<PivotEnsemble> DeserializePivotEnsemble(const Bytes& data);
+
+// File helpers.
+Status SaveModelBytes(const Bytes& data, const std::string& path);
+Result<Bytes> LoadModelBytes(const std::string& path);
+
+}  // namespace pivot
+
+#endif  // PIVOT_PIVOT_SERIALIZE_H_

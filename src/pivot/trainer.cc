@@ -1,0 +1,754 @@
+#include "pivot/trainer.h"
+
+#include "pivot/secure_gain.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/fixed_point.h"
+#include "mpc/dp.h"
+#include "net/codec.h"
+
+namespace pivot {
+
+namespace {
+
+// Flat identifier of one candidate split in the global (public) ordering.
+struct SplitRef {
+  int client = -1;
+  int feature = -1;  // local feature index at that client
+  int split = -1;    // candidate index within the feature
+};
+
+// A (client, feature) block inside the flat split list.
+struct Block {
+  int client = -1;
+  int feature = -1;
+  int start = 0;  // first flat index
+  int count = 0;  // number of candidate splits
+};
+
+class TreeTrainer {
+ public:
+  TreeTrainer(PartyContext& ctx, const TrainTreeOptions& opts)
+      : ctx_(ctx),
+        opts_(opts),
+        m_(ctx.num_parties()),
+        me_(ctx.id()),
+        f_(ctx.params().mpc.frac_bits) {
+    regression_ = ctx.params().tree.task == TreeTask::kRegression ||
+                  opts.encrypted_labels.has_value();
+    c_ = ctx.params().tree.num_classes;
+    n_ = static_cast<int>(ctx.view().features.size());
+  }
+
+  Result<PivotTree> Train() {
+    if (opts_.encrypted_labels.has_value() &&
+        opts_.protocol == Protocol::kEnhanced) {
+      return Status::Unimplemented(
+          "GBDT (encrypted labels) uses the basic protocol (Section 7.2)");
+    }
+    PIVOT_RETURN_IF_ERROR(ExchangeMetadata());
+
+    tree_.protocol = opts_.protocol;
+    tree_.task = regression_ ? TreeTask::kRegression : TreeTask::kClassification;
+    tree_.num_classes = c_;
+
+    // Root: every sample is available ([alpha] = ([1], ..., [1]); with
+    // bootstrap weights the entries are the multiplicities).
+    NodeState root;
+    root.depth = 0;
+    root.alpha.reserve(n_);
+    for (int t = 0; t < n_; ++t) {
+      const int w = opts_.sample_weights.empty() ? 1 : opts_.sample_weights[t];
+      root.alpha.push_back(ctx_.pk().Encrypt(BigInt(w), ctx_.rng()));
+    }
+    if (opts_.encrypted_labels.has_value()) {
+      root.gamma1 = opts_.encrypted_labels->y;
+      root.gamma2 = opts_.encrypted_labels->y_sq;
+      if (static_cast<int>(root.gamma1.size()) != n_ ||
+          static_cast<int>(root.gamma2.size()) != n_) {
+        return Status::InvalidArgument("encrypted label vector size mismatch");
+      }
+    }
+    root.available.assign(m_, {});
+    for (int i = 0; i < m_; ++i) {
+      root.available[i].assign(split_counts_[i].size(), true);
+    }
+
+    PIVOT_RETURN_IF_ERROR(BuildNode(std::move(root)).status());
+    return std::move(tree_);
+  }
+
+ private:
+  struct NodeState {
+    std::vector<Ciphertext> alpha;
+    // GBDT encrypted-label mode only: [Y ∘ alpha], [Y^2 ∘ alpha].
+    std::vector<Ciphertext> gamma1, gamma2;
+    std::vector<std::vector<bool>> available;  // [client][local feature]
+    int depth = 0;
+  };
+
+  MpcEngine& eng() { return ctx_.engine(); }
+  const TreeParams& tree_params() const { return ctx_.params().tree; }
+  bool enc_label_mode() const { return opts_.encrypted_labels.has_value(); }
+  bool dp() const { return ctx_.params().dp.enabled; }
+  double dp_eps() const { return ctx_.params().dp.epsilon_per_query; }
+
+  // Publishes each party's per-feature split counts so that all parties
+  // agree on the flat split ordering (public metadata of the
+  // initialization stage).
+  Status ExchangeMetadata() {
+    ByteWriter w;
+    const auto& cands = ctx_.split_candidates();
+    w.WriteU64(cands.size());
+    for (const auto& c : cands) w.WriteU64(c.size());
+    ctx_.endpoint().Broadcast(w.Take());
+
+    split_counts_.assign(m_, {});
+    for (int p = 0; p < m_; ++p) {
+      if (p == me_) {
+        for (const auto& c : cands) {
+          split_counts_[p].push_back(static_cast<int>(c.size()));
+        }
+        continue;
+      }
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx_.endpoint().Recv(p));
+      ByteReader r(msg);
+      PIVOT_ASSIGN_OR_RETURN(uint64_t d, r.ReadU64());
+      for (uint64_t j = 0; j < d; ++j) {
+        PIVOT_ASSIGN_OR_RETURN(uint64_t s, r.ReadU64());
+        split_counts_[p].push_back(static_cast<int>(s));
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Broadcast helper: `owner` sends `own`, everyone returns the vector.
+  Result<std::vector<Ciphertext>> BroadcastFrom(
+      int owner, const std::vector<Ciphertext>& own) {
+    if (m_ == 1) return own;
+    if (me_ == owner) {
+      ctx_.BroadcastCiphertexts(own);
+      return own;
+    }
+    return ctx_.RecvCiphertexts(owner);
+  }
+
+  // ----- Per-node steps ---------------------------------------------------
+
+  // The super client's local computation (Section 4.1 / 4.2): encrypted
+  // per-class indicator vectors [gamma_k] (classification) or encrypted
+  // label / label-square vectors (regression), broadcast to all.
+  Result<std::vector<std::vector<Ciphertext>>> ComputeGammas(
+      const NodeState& node) {
+    if (enc_label_mode()) {
+      return std::vector<std::vector<Ciphertext>>{node.gamma1, node.gamma2};
+    }
+    const int vectors = regression_ ? 2 : c_;
+    std::vector<std::vector<Ciphertext>> gammas(vectors);
+    if (ctx_.is_super()) {
+      const std::vector<double>& y = ctx_.labels();
+      for (int k = 0; k < vectors; ++k) {
+        gammas[k].reserve(n_);
+        for (int t = 0; t < n_; ++t) {
+          BigInt beta;
+          if (regression_) {
+            // Shifted labels keep the homomorphic carrier small and
+            // non-negative; the variance gain is shift-invariant and the
+            // leaf subtracts the offset again.
+            const double shifted = y[t] + ctx_.params().regression_label_offset;
+            const double v = (k == 0) ? shifted : shifted * shifted;
+            beta = FpToBigInt(FpFromSigned(FixedFromDouble(v)));
+          } else {
+            beta = BigInt(static_cast<int>(y[t]) == k ? 1 : 0);
+          }
+          // Rerandomize so [0]/copy entries are indistinguishable.
+          gammas[k].push_back(ctx_.pk().Rerandomize(
+              ctx_.pk().ScalarMul(beta, node.alpha[t]), ctx_.rng()));
+        }
+      }
+    }
+    for (int k = 0; k < vectors; ++k) {
+      PIVOT_ASSIGN_OR_RETURN(gammas[k],
+                             BroadcastFrom(ctx_.super_client(), gammas[k]));
+    }
+    return gammas;
+  }
+
+  // Homomorphic sum of a broadcast ciphertext vector (local, identical on
+  // every party).
+  Ciphertext SumCiphertexts(const std::vector<Ciphertext>& cts) {
+    Ciphertext acc = ctx_.pk().One();
+    for (const Ciphertext& c : cts) acc = ctx_.pk().Add(acc, c);
+    return acc;
+  }
+
+  // Builds the flat list of available splits and their blocks (public).
+  void EnumerateSplits(const NodeState& node, std::vector<SplitRef>* refs,
+                       std::vector<Block>* blocks) {
+    for (int i = 0; i < m_; ++i) {
+      for (size_t j = 0; j < split_counts_[i].size(); ++j) {
+        if (!node.available[i][j] || split_counts_[i][j] == 0) continue;
+        Block b;
+        b.client = i;
+        b.feature = static_cast<int>(j);
+        b.start = static_cast<int>(refs->size());
+        b.count = split_counts_[i][j];
+        blocks->push_back(b);
+        for (int s = 0; s < b.count; ++s) {
+          refs->push_back({i, static_cast<int>(j), s});
+        }
+      }
+    }
+  }
+
+  // Leaf construction (lines 1-3 of Algorithm 3). `agg` holds the node
+  // aggregate shares: classification {count, g_0..g_{c-1}},
+  // regression {count, S, Q}.
+  Result<int> MakeLeaf(const std::vector<u128>& agg, NodeState& node) {
+    PivotNode leaf;
+    leaf.is_leaf = true;
+    if (opts_.keep_leaf_masks) leaf.leaf_mask = node.alpha;
+    const u128 count = agg[0];
+
+    if (regression_) {
+      // mean = S / count (S is fixed-point, count an integer; epsilon
+      // avoids 0/0 on empty nodes).
+      u128 denom = MpcEngine::MulPub(count, static_cast<u128>(1) << f_);
+      denom = eng().AddConstField(denom, 1);
+      u128 numer = agg[1];
+      if (dp()) {
+        PIVOT_ASSIGN_OR_RETURN(
+            u128 noise, SampleLaplaceShared(eng(), ctx_.prep(), 0.0,
+                                            1.0 / dp_eps()));
+        numer = FpAdd(numer, noise);
+      }
+      PIVOT_ASSIGN_OR_RETURN(u128 mean, eng().DivFixed(numer, denom));
+      if (!enc_label_mode()) {
+        // Undo the public label shift applied in ComputeGammas.
+        mean = eng().AddConst(
+            mean, -FixedFromDouble(ctx_.params().regression_label_offset));
+      }
+      if (opts_.protocol == Protocol::kBasic) {
+        PIVOT_ASSIGN_OR_RETURN(u128 opened, eng().Open(mean));
+        leaf.leaf_value = FixedToDouble(static_cast<int64_t>(FpToSigned(opened)));
+      } else {
+        leaf.leaf_share = mean;
+      }
+      return tree_.AddNode(leaf);
+    }
+
+    // Classification: majority class = argmax over per-class counts.
+    std::vector<u128> counts(agg.begin() + 1, agg.end());
+    for (u128& g : counts) {
+      g = MpcEngine::MulPub(g, static_cast<u128>(1) << f_);
+      if (dp()) {
+        PIVOT_ASSIGN_OR_RETURN(
+            u128 noise, SampleLaplaceShared(eng(), ctx_.prep(), 0.0,
+                                            1.0 / dp_eps()));
+        g = FpAdd(g, noise);
+      }
+    }
+    PIVOT_ASSIGN_OR_RETURN(MpcEngine::ArgmaxShares best,
+                           eng().Argmax(counts, 48));
+    if (opts_.protocol == Protocol::kBasic) {
+      PIVOT_ASSIGN_OR_RETURN(u128 opened, eng().Open(best.index));
+      leaf.leaf_value = static_cast<double>(FpToSigned(opened));
+    } else {
+      leaf.leaf_share = best.index;  // integer-scaled class id share
+    }
+    return tree_.AddNode(leaf);
+  }
+
+  // Local computation + conversion: encrypted split statistics for all
+  // available splits, converted to shares in the global flat order.
+  // Classification layout per split: n_l, n_r, g_l0..g_l{c-1}, g_r0.. .
+  // Regression layout per split: n_l, n_r, S_l, S_r, Q_l, Q_r.
+  Result<std::vector<std::vector<u128>>> ComputeSplitStatShares(
+      const NodeState& node, const std::vector<Block>& blocks,
+      const std::vector<std::vector<Ciphertext>>& gammas, int per_split) {
+    std::vector<std::vector<u128>> stats;  // [stat slot][flat split]
+    stats.assign(per_split, {});
+
+    for (int i = 0; i < m_; ++i) {
+      // Client i's stat ciphertexts for its blocks, flattened
+      // split-major: [split][slot].
+      std::vector<Ciphertext> mine;
+      int my_split_count = 0;
+      for (const Block& b : blocks) {
+        if (b.client != i) continue;
+        my_split_count += b.count;
+        if (me_ != i) continue;
+        for (int s = 0; s < b.count; ++s) {
+          const std::vector<uint8_t>& left =
+              ctx_.LeftIndicator(b.feature, s);
+          std::vector<BigInt> vl(n_), vr(n_);
+          for (int t = 0; t < n_; ++t) {
+            vl[t] = BigInt(left[t] ? 1 : 0);
+            vr[t] = BigInt(left[t] ? 0 : 1);
+          }
+          mine.push_back(ctx_.pk().DotProduct(vl, node.alpha));
+          mine.push_back(ctx_.pk().DotProduct(vr, node.alpha));
+          for (const auto& gamma : gammas) {
+            mine.push_back(ctx_.pk().DotProduct(vl, gamma));
+            mine.push_back(ctx_.pk().DotProduct(vr, gamma));
+          }
+        }
+      }
+      if (my_split_count == 0) continue;
+      PIVOT_ASSIGN_OR_RETURN(std::vector<u128> shares,
+                             ctx_.CiphertextsToShares(mine, i));
+      if (shares.size() != static_cast<size_t>(my_split_count * per_split)) {
+        return Status::ProtocolError("split statistic count mismatch");
+      }
+      for (int s = 0; s < my_split_count; ++s) {
+        for (int slot = 0; slot < per_split; ++slot) {
+          stats[slot].push_back(shares[s * per_split + slot]);
+        }
+      }
+    }
+    return stats;
+  }
+
+  // MPC gain computation delegated to the shared secure-gain module.
+  Result<SecureGainResult> ComputeGains(
+      const std::vector<std::vector<u128>>& stats,
+      const std::vector<u128>& agg) {
+    return ComputeSecureGains(eng(), stats, agg, regression_, c_);
+  }
+
+  // ----- Model update -------------------------------------------------------
+
+  // Basic protocol: the winning client reveals the threshold and computes
+  // the child masks with its plaintext indicator vector.
+  Status BasicModelUpdate(NodeState& node, const Block& block,
+                                  int split_local, PivotNode* internal,
+                                  std::vector<Ciphertext>* alpha_l,
+                                  std::vector<Ciphertext>* alpha_r,
+                                  NodeState* left, NodeState* right) {
+    const int owner = block.client;
+    if (me_ == owner) {
+      internal->threshold = ctx_.split_candidates()[block.feature][split_local];
+      const std::vector<uint8_t>& ind =
+          ctx_.LeftIndicator(block.feature, split_local);
+      alpha_l->reserve(n_);
+      alpha_r->reserve(n_);
+      for (int t = 0; t < n_; ++t) {
+        alpha_l->push_back(ctx_.pk().Rerandomize(
+            ctx_.pk().ScalarMul(BigInt(ind[t] ? 1 : 0), node.alpha[t]),
+            ctx_.rng()));
+        alpha_r->push_back(ctx_.pk().Rerandomize(
+            ctx_.pk().ScalarMul(BigInt(ind[t] ? 0 : 1), node.alpha[t]),
+            ctx_.rng()));
+      }
+      if (enc_label_mode()) {
+        for (int t = 0; t < n_; ++t) {
+          const BigInt bl(ind[t] ? 1 : 0), br(ind[t] ? 0 : 1);
+          left->gamma1.push_back(ctx_.pk().Rerandomize(
+              ctx_.pk().ScalarMul(bl, node.gamma1[t]), ctx_.rng()));
+          left->gamma2.push_back(ctx_.pk().Rerandomize(
+              ctx_.pk().ScalarMul(bl, node.gamma2[t]), ctx_.rng()));
+          right->gamma1.push_back(ctx_.pk().Rerandomize(
+              ctx_.pk().ScalarMul(br, node.gamma1[t]), ctx_.rng()));
+          right->gamma2.push_back(ctx_.pk().Rerandomize(
+              ctx_.pk().ScalarMul(br, node.gamma2[t]), ctx_.rng()));
+        }
+      }
+      // Broadcast threshold + masks.
+      ByteWriter w;
+      w.WriteDouble(internal->threshold);
+      ctx_.endpoint().Broadcast(w.Take());
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx_.endpoint().Recv(owner));
+      ByteReader r(msg);
+      PIVOT_ASSIGN_OR_RETURN(internal->threshold, r.ReadDouble());
+    }
+    PIVOT_ASSIGN_OR_RETURN(*alpha_l, BroadcastFrom(owner, *alpha_l));
+    PIVOT_ASSIGN_OR_RETURN(*alpha_r, BroadcastFrom(owner, *alpha_r));
+    if (enc_label_mode()) {  // residual-label vectors follow the masks
+      PIVOT_ASSIGN_OR_RETURN(left->gamma1, BroadcastFrom(owner, left->gamma1));
+      PIVOT_ASSIGN_OR_RETURN(left->gamma2, BroadcastFrom(owner, left->gamma2));
+      PIVOT_ASSIGN_OR_RETURN(right->gamma1,
+                             BroadcastFrom(owner, right->gamma1));
+      PIVOT_ASSIGN_OR_RETURN(right->gamma2,
+                             BroadcastFrom(owner, right->gamma2));
+    }
+    return Status::Ok();
+  }
+
+  // Enhanced protocol (Section 5.2): private split selection + encrypted
+  // mask updating. Generalized over the hiding level: `span` lists the
+  // candidate blocks the one-hot selector ranges over — a single block
+  // (threshold hiding), all blocks of one client (feature hiding), or
+  // every block (client hiding). s* stays secret in all cases.
+  Status EnhancedModelUpdate(NodeState& node, const std::vector<Block>& span,
+                             u128 split_share, PivotNode* internal,
+                             std::vector<Ciphertext>* alpha_l,
+                             std::vector<Ciphertext>* alpha_r) {
+    int span_size = 0;
+    for (const Block& b : span) span_size += b.count;
+
+    // 1. lambda: one-hot of s* over the span, as shares, then converted
+    // into ciphertexts for the PIR-style selection (known to all).
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> lambda_shares,
+                           eng().OneHot(split_share, span_size));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<Ciphertext> lambda,
+                           ctx_.SharesToCiphertexts(lambda_shares));
+
+    // Slice the span per client (flat order inside the span is public).
+    std::vector<std::vector<Ciphertext>> slices(m_);
+    std::vector<std::vector<int>> slice_features(m_);
+    std::vector<std::vector<int>> slice_splits(m_);  // candidate index
+    {
+      int off = 0;
+      for (const Block& b : span) {
+        for (int s = 0; s < b.count; ++s) {
+          slices[b.client].push_back(lambda[off + s]);
+          slice_features[b.client].push_back(b.feature);
+          slice_splits[b.client].push_back(s);
+        }
+        off += b.count;
+      }
+    }
+
+    // 2. Private split selection (Theorem 2), distributed: every client
+    // with candidates in the span selects its partial threshold and
+    // left/right indicator columns against its own lambda slice; the
+    // partials sum homomorphically to the winner's values because every
+    // non-winning slice entry encrypts 0 (mod p).
+    std::vector<Ciphertext> tau_sum;    // 1 entry
+    std::vector<Ciphertext> vl_sum, vr_sum;
+    bool initialized = false;
+    for (int i = 0; i < m_; ++i) {
+      if (slices[i].empty()) continue;
+      std::vector<Ciphertext> payload;  // [tau, v_l(0..n), v_r(0..n)]
+      if (me_ == i) {
+        const size_t k = slices[i].size();
+        std::vector<BigInt> cand_fix(k);
+        for (size_t e = 0; e < k; ++e) {
+          cand_fix[e] = FpToBigInt(FpFromSigned(FixedFromDouble(
+              ctx_.split_candidates()[slice_features[i][e]]
+                                     [slice_splits[i][e]])));
+        }
+        payload.push_back(ctx_.pk().DotProduct(cand_fix, slices[i]));
+        payload.reserve(1 + 2 * n_);
+        for (int t = 0; t < n_; ++t) {
+          std::vector<BigInt> row(k), row_c(k);
+          for (size_t e = 0; e < k; ++e) {
+            const bool left = ctx_.LeftIndicator(slice_features[i][e],
+                                                 slice_splits[i][e])[t];
+            row[e] = BigInt(left ? 1 : 0);
+            row_c[e] = BigInt(left ? 0 : 1);
+          }
+          payload.push_back(ctx_.pk().DotProduct(row, slices[i]));
+        }
+        for (int t = 0; t < n_; ++t) {
+          std::vector<BigInt> row_c(k);
+          for (size_t e = 0; e < k; ++e) {
+            row_c[e] = BigInt(ctx_.LeftIndicator(slice_features[i][e],
+                                                 slice_splits[i][e])[t]
+                                  ? 0
+                                  : 1);
+          }
+          payload.push_back(ctx_.pk().DotProduct(row_c, slices[i]));
+        }
+      }
+      PIVOT_ASSIGN_OR_RETURN(payload, BroadcastFrom(i, payload));
+      if (payload.size() != static_cast<size_t>(1 + 2 * n_)) {
+        return Status::ProtocolError("selection payload size mismatch");
+      }
+      if (!initialized) {
+        tau_sum.assign(payload.begin(), payload.begin() + 1);
+        vl_sum.assign(payload.begin() + 1, payload.begin() + 1 + n_);
+        vr_sum.assign(payload.begin() + 1 + n_, payload.end());
+        initialized = true;
+      } else {
+        tau_sum[0] = ctx_.pk().Add(tau_sum[0], payload[0]);
+        for (int t = 0; t < n_; ++t) {
+          vl_sum[t] = ctx_.pk().Add(vl_sum[t], payload[1 + t]);
+          vr_sum[t] = ctx_.pk().Add(vr_sum[t], payload[1 + n_ + t]);
+        }
+      }
+    }
+    if (!initialized) return Status::ProtocolError("empty selection span");
+
+    // Threshold share for the hidden model.
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> thr,
+                           ctx_.CiphertextsToShares(tau_sum, 0));
+    internal->threshold_share = thr[0];
+
+    // Retain the selector for oblivious prediction when the feature
+    // itself is hidden.
+    if (opts_.hiding != HidingLevel::kThreshold) {
+      internal->lambda_slices = slices;
+      internal->lambda_features = slice_features;
+    }
+
+    // 3. Encrypted mask updating (Eqn. 10): convert [alpha] to shares,
+    // multiply each share into [v] homomorphically, sum at an aggregator
+    // (party 0 — [v] is public ciphertext, so any party can aggregate).
+    const int aggregator = 0;
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> alpha_shares,
+                           ctx_.CiphertextsToShares(node.alpha, 0));
+    std::vector<Ciphertext> partial;
+    partial.reserve(2 * n_);
+    for (int t = 0; t < n_; ++t) {
+      partial.push_back(
+          ctx_.pk().ScalarMul(FpToBigInt(alpha_shares[t]), vl_sum[t]));
+    }
+    for (int t = 0; t < n_; ++t) {
+      partial.push_back(
+          ctx_.pk().ScalarMul(FpToBigInt(alpha_shares[t]), vr_sum[t]));
+    }
+    if (me_ != aggregator) {
+      ctx_.endpoint().Send(aggregator, EncodeCiphertextVector(partial));
+    } else {
+      std::vector<std::vector<Ciphertext>> all(m_);
+      all[aggregator] = std::move(partial);
+      for (int p = 0; p < m_; ++p) {
+        if (p == aggregator) continue;
+        PIVOT_ASSIGN_OR_RETURN(all[p], ctx_.RecvCiphertexts(p));
+        if (all[p].size() != static_cast<size_t>(2 * n_)) {
+          return Status::ProtocolError("mask update payload size mismatch");
+        }
+      }
+      alpha_l->reserve(n_);
+      alpha_r->reserve(n_);
+      for (int t = 0; t < n_; ++t) {
+        Ciphertext suml = ctx_.pk().One();
+        Ciphertext sumr = ctx_.pk().One();
+        for (int p = 0; p < m_; ++p) {
+          suml = ctx_.pk().Add(suml, all[p][t]);
+          sumr = ctx_.pk().Add(sumr, all[p][n_ + t]);
+        }
+        alpha_l->push_back(suml);
+        alpha_r->push_back(sumr);
+      }
+    }
+    PIVOT_ASSIGN_OR_RETURN(*alpha_l, BroadcastFrom(aggregator, *alpha_l));
+    PIVOT_ASSIGN_OR_RETURN(*alpha_r, BroadcastFrom(aggregator, *alpha_r));
+    return Status::Ok();
+  }
+
+  // ----- Node recursion -----------------------------------------------------
+
+  Result<int> BuildNode(NodeState node) {
+    // Gammas + node aggregates.
+    PIVOT_ASSIGN_OR_RETURN(std::vector<std::vector<Ciphertext>> gammas,
+                           ComputeGammas(node));
+    std::vector<Ciphertext> agg_cts;
+    agg_cts.push_back(SumCiphertexts(node.alpha));
+    for (const auto& gamma : gammas) agg_cts.push_back(SumCiphertexts(gamma));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> agg,
+                           ctx_.CiphertextsToShares(agg_cts, 0));
+
+    // Public prune conditions.
+    std::vector<SplitRef> refs;
+    std::vector<Block> blocks;
+    EnumerateSplits(node, &refs, &blocks);
+    bool prune = node.depth >= tree_params().max_depth || refs.empty();
+
+    // Secure prune condition: |D| < min_samples_split (with DP noise when
+    // enabled).
+    if (!prune) {
+      u128 cnt = MpcEngine::MulPub(agg[0], static_cast<u128>(1) << f_);
+      if (dp()) {
+        PIVOT_ASSIGN_OR_RETURN(
+            u128 noise, SampleLaplaceShared(eng(), ctx_.prep(), 0.0,
+                                            1.0 / dp_eps()));
+        cnt = FpAdd(cnt, noise);
+      }
+      const i128 threshold =
+          static_cast<i128>(tree_params().min_samples_split) << f_;
+      PIVOT_ASSIGN_OR_RETURN(
+          u128 below, eng().LessThanZero(eng().AddConst(cnt, -threshold), 48));
+      PIVOT_ASSIGN_OR_RETURN(u128 opened, eng().Open(below));
+      prune = FpToSigned(opened) == 1;
+    }
+    if (prune) return MakeLeaf(agg, node);
+
+    // Local computation + conversion of all split statistics.
+    const int per_split = regression_ ? 6 : 2 + 2 * c_;
+    PIVOT_ASSIGN_OR_RETURN(
+        std::vector<std::vector<u128>> stats,
+        ComputeSplitStatShares(node, blocks, gammas, per_split));
+
+    // Secure gain computation.
+    PIVOT_ASSIGN_OR_RETURN(SecureGainResult gains,
+                           ComputeGains(stats, agg));
+
+    // Best split: secure argmax (or the exponential mechanism under DP).
+    u128 best_index;
+    bool no_improvement = false;
+    if (dp()) {
+      PIVOT_ASSIGN_OR_RETURN(
+          best_index,
+          ExponentialMechanismIndex(eng(), ctx_.prep(), gains.scores,
+                                    dp_eps(), /*sensitivity=*/2.0));
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(MpcEngine::ArgmaxShares best,
+                             eng().Argmax(gains.scores, 48));
+      best_index = best.index;
+      // full gain = score - node_term must exceed min_gain.
+      const i128 min_gain = FixedFromDouble(tree_params().min_gain);
+      u128 full = FpSub(best.max, gains.node_term);
+      PIVOT_ASSIGN_OR_RETURN(
+          u128 below,
+          eng().LessThanZero(eng().AddConst(full, -min_gain), 48));
+      PIVOT_ASSIGN_OR_RETURN(u128 opened, eng().Open(below));
+      no_improvement = FpToSigned(opened) == 1;
+    }
+    if (no_improvement) return MakeLeaf(agg, node);
+
+    // Identify the winner. Basic opens sigma* outright; enhanced reveals
+    // only as much as the hiding level allows (block, client, or nothing)
+    // and keeps s* shared within the revealed span.
+    int block_id = -1;
+    int split_local = -1;          // basic only
+    std::vector<Block> span;       // enhanced: the lambda selection span
+    u128 span_split_share = 0;     // enhanced: sigma* - span start
+    PivotNode internal;
+    if (opts_.protocol == Protocol::kBasic) {
+      PIVOT_ASSIGN_OR_RETURN(u128 opened, eng().Open(best_index));
+      const int sigma = static_cast<int>(FpToSigned(opened));
+      if (sigma < 0 || sigma >= static_cast<int>(refs.size())) {
+        return Status::ProtocolError("best split index out of range");
+      }
+      for (size_t b = 0; b < blocks.size(); ++b) {
+        if (sigma >= blocks[b].start &&
+            sigma < blocks[b].start + blocks[b].count) {
+          block_id = static_cast<int>(b);
+          split_local = sigma - blocks[b].start;
+          break;
+        }
+      }
+      if (block_id < 0) return Status::ProtocolError("no winning block");
+      internal.owner = blocks[block_id].client;
+      internal.feature_local = blocks[block_id].feature;
+    } else if (opts_.hiding == HidingLevel::kClientAndFeature) {
+      // Nothing revealed: the selector spans every available block.
+      span = blocks;
+      span_split_share = best_index;
+    } else {
+      // Reveal a prefix structure: membership bits over per-block or
+      // per-client boundaries in the flat order.
+      struct Boundary {
+        int first_block, last_block, end;  // end = flat end index
+      };
+      std::vector<Boundary> bounds;
+      if (opts_.hiding == HidingLevel::kThreshold) {
+        for (size_t b = 0; b < blocks.size(); ++b) {
+          bounds.push_back({static_cast<int>(b), static_cast<int>(b),
+                            blocks[b].start + blocks[b].count});
+        }
+      } else {  // kFeature: blocks are contiguous per client
+        for (size_t b = 0; b < blocks.size(); ++b) {
+          if (!bounds.empty() &&
+              blocks[bounds.back().first_block].client == blocks[b].client) {
+            bounds.back().last_block = static_cast<int>(b);
+            bounds.back().end = blocks[b].start + blocks[b].count;
+          } else {
+            bounds.push_back({static_cast<int>(b), static_cast<int>(b),
+                              blocks[b].start + blocks[b].count});
+          }
+        }
+      }
+      std::vector<u128> diffs;
+      diffs.reserve(bounds.size());
+      for (const Boundary& b : bounds) {
+        diffs.push_back(eng().AddConst(best_index, -static_cast<i128>(b.end)));
+      }
+      PIVOT_ASSIGN_OR_RETURN(std::vector<u128> bits,
+                             eng().LessThanZeroVec(diffs, 40));
+      PIVOT_ASSIGN_OR_RETURN(std::vector<u128> opened, eng().OpenVec(bits));
+      int win = -1;
+      for (size_t b = 0; b < bounds.size(); ++b) {
+        if (FpToSigned(opened[b]) == 1) {
+          win = static_cast<int>(b);
+          break;
+        }
+      }
+      if (win < 0) return Status::ProtocolError("no winning span");
+      for (int b = bounds[win].first_block; b <= bounds[win].last_block; ++b) {
+        span.push_back(blocks[b]);
+      }
+      span_split_share =
+          eng().AddConst(best_index, -static_cast<i128>(span.front().start));
+      internal.owner = span.front().client;
+      if (opts_.hiding == HidingLevel::kThreshold) {
+        internal.feature_local = span.front().feature;
+      }
+    }
+
+    std::vector<Ciphertext> alpha_l, alpha_r;
+    NodeState left, right;
+    if (opts_.protocol == Protocol::kBasic) {
+      PIVOT_RETURN_IF_ERROR(BasicModelUpdate(node, blocks[block_id],
+                                             split_local, &internal, &alpha_l,
+                                             &alpha_r, &left, &right));
+    } else {
+      PIVOT_RETURN_IF_ERROR(EnhancedModelUpdate(node, span, span_split_share,
+                                                &internal, &alpha_l,
+                                                &alpha_r));
+    }
+
+    const int id = tree_.AddNode(internal);
+    left.alpha = std::move(alpha_l);
+    right.alpha = std::move(alpha_r);
+    left.available = node.available;
+    if (opts_.protocol == Protocol::kBasic ||
+        opts_.hiding == HidingLevel::kThreshold) {
+      // Algorithm 1 removes the used feature; with stronger hiding the
+      // winning feature is secret, so the feature set cannot shrink
+      // (part of the efficiency/interpretability cost of Section 5.2).
+      left.available[internal.owner][internal.feature_local] = false;
+    }
+    right.available = left.available;
+    left.depth = right.depth = node.depth + 1;
+    // Free the parent's mask before recursing.
+    node.alpha.clear();
+    node.gamma1.clear();
+    node.gamma2.clear();
+
+    PIVOT_ASSIGN_OR_RETURN(int left_id, BuildNode(std::move(left)));
+    PIVOT_ASSIGN_OR_RETURN(int right_id, BuildNode(std::move(right)));
+    tree_.nodes[id].left = left_id;
+    tree_.nodes[id].right = right_id;
+    return id;
+  }
+
+  PartyContext& ctx_;
+  const TrainTreeOptions& opts_;
+  int m_;
+  int me_;
+  int f_;
+  int n_ = 0;
+  bool regression_ = false;
+  int c_ = 2;
+  std::vector<std::vector<int>> split_counts_;
+  PivotTree tree_;
+};
+
+}  // namespace
+
+int MinimumKeyBits(const PivotParams& params, const TrainTreeOptions& options) {
+  // Plaintext headroom: carried values stay below m^2·b·p^2 (enhanced) or
+  // n·(2^2f·y_max^2 + m·p) (basic); see DESIGN.md §3.
+  if (options.protocol == Protocol::kEnhanced) return 384;
+  if (options.encrypted_labels.has_value()) return 320;
+  return 192;
+}
+
+Result<PivotTree> TrainPivotTree(PartyContext& ctx,
+                                 const TrainTreeOptions& options) {
+  if (ctx.pk().key_bits() < MinimumKeyBits(ctx.params(), options)) {
+    return Status::FailedPrecondition(
+        "Paillier key too small for this protocol (need >= " +
+        std::to_string(MinimumKeyBits(ctx.params(), options)) + " bits)");
+  }
+  TreeTrainer trainer(ctx, options);
+  return trainer.Train();
+}
+
+}  // namespace pivot

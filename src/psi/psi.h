@@ -1,0 +1,41 @@
+#ifndef PIVOT_PSI_PSI_H_
+#define PIVOT_PSI_PSI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/network.h"
+
+namespace pivot {
+
+// Private set intersection for the initialization stage.
+//
+// Section 3.1 of the paper assumes "the clients have determined and
+// aligned their common samples using private set intersection techniques
+// without revealing any information about samples not in the
+// intersection". This module provides that substrate: a semi-honest
+// DH-style commutative-encryption PSI (Meadows '86, the paper's [54])
+// generalized to m parties over a ring topology.
+//
+// Construction: sample ids are hashed into the quadratic-residue subgroup
+// of a fixed 1536-bit MODP group (RFC 3526); each party holds a secret
+// exponent. A party's blinded set travels once around the ring, being
+// raised to every party's exponent; because exponentiation commutes, the
+// fully-blinded encodings of a common id coincide across parties, so the
+// intersection of encodings identifies the common ids — while any id
+// outside the intersection is only ever seen under at least one honest
+// party's secret exponent.
+//
+// The parties learn the intersection and each other's set sizes, nothing
+// else.
+
+// SPMD: every party calls this with its own sample-id set; returns the ids
+// common to ALL parties, in the order of `my_ids`.
+Result<std::vector<uint64_t>> IntersectSampleIds(
+    Endpoint& endpoint, const std::vector<uint64_t>& my_ids, Rng& rng);
+
+}  // namespace pivot
+
+#endif  // PIVOT_PSI_PSI_H_

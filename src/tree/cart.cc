@@ -1,0 +1,196 @@
+#include "tree/cart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "tree/splits.h"
+
+namespace pivot {
+
+namespace {
+
+double SumSquaredFractions(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (double c : counts) acc += (c / total) * (c / total);
+  return acc;
+}
+
+// Recursive trainer state.
+class CartBuilder {
+ public:
+  CartBuilder(const Dataset& data, const TreeParams& params)
+      : data_(data), params_(params) {
+    // Candidate thresholds are computed once, from the full columns (the
+    // per-node sample sets are hidden in the private protocols, so both
+    // worlds fix the candidate grid at the root; see splits.h).
+    const size_t d = data.num_features();
+    candidates_.resize(d);
+    for (size_t j = 0; j < d; ++j) {
+      candidates_[j] = ComputeSplitCandidates(data.Column(j),
+                                              params.max_splits);
+    }
+  }
+
+  TreeModel Build() {
+    std::vector<int> samples(data_.num_samples());
+    std::iota(samples.begin(), samples.end(), 0);
+    std::vector<bool> available(data_.num_features(), true);
+    BuildNode(samples, available, 0);
+    return std::move(model_);
+  }
+
+ private:
+  struct BestSplit {
+    double gain = 0.0;
+    int feature = -1;
+    double threshold = 0.0;
+    bool found = false;
+  };
+
+  double LeafValue(const std::vector<int>& samples) const {
+    if (params_.task == TreeTask::kClassification) {
+      std::vector<int> counts(params_.num_classes, 0);
+      for (int i : samples) ++counts[static_cast<int>(data_.labels[i])];
+      return static_cast<double>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+    }
+    double sum = 0.0;
+    for (int i : samples) sum += data_.labels[i];
+    return samples.empty() ? 0.0 : sum / samples.size();
+  }
+
+  BestSplit FindBestSplit(const std::vector<int>& samples,
+                          const std::vector<bool>& available) const {
+    BestSplit best;
+    for (size_t j = 0; j < data_.num_features(); ++j) {
+      if (!available[j]) continue;
+      for (double tau : candidates_[j]) {
+        double gain;
+        if (params_.task == TreeTask::kClassification) {
+          std::vector<double> left(params_.num_classes, 0.0);
+          std::vector<double> right(params_.num_classes, 0.0);
+          for (int i : samples) {
+            auto& side = (data_.features[i][j] <= tau) ? left : right;
+            side[static_cast<int>(data_.labels[i])] += 1.0;
+          }
+          gain = GiniGain(left, right);
+        } else {
+          double nl = 0, sl = 0, ql = 0, nr = 0, sr = 0, qr = 0;
+          for (int i : samples) {
+            const double y = data_.labels[i];
+            if (data_.features[i][j] <= tau) {
+              nl += 1;
+              sl += y;
+              ql += y * y;
+            } else {
+              nr += 1;
+              sr += y;
+              qr += y * y;
+            }
+          }
+          gain = VarianceGain(nl, sl, ql, nr, sr, qr);
+        }
+        // Strictly-greater update: ties resolve to the earliest
+        // (feature, split) pair, matching the secure argmax scan order.
+        if (gain > params_.min_gain && (!best.found || gain > best.gain)) {
+          best = {gain, static_cast<int>(j), tau, true};
+        }
+      }
+    }
+    return best;
+  }
+
+  int BuildNode(const std::vector<int>& samples, std::vector<bool> available,
+                int depth) {
+    const bool any_feature =
+        std::any_of(available.begin(), available.end(), [](bool b) { return b; });
+    if (depth >= params_.max_depth || !any_feature ||
+        static_cast<int>(samples.size()) < params_.min_samples_split) {
+      TreeNode leaf;
+      leaf.is_leaf = true;
+      leaf.leaf_value = LeafValue(samples);
+      return model_.AddNode(leaf);
+    }
+
+    BestSplit best = FindBestSplit(samples, available);
+    if (!best.found) {
+      TreeNode leaf;
+      leaf.is_leaf = true;
+      leaf.leaf_value = LeafValue(samples);
+      return model_.AddNode(leaf);
+    }
+
+    TreeNode node;
+    node.feature = best.feature;
+    node.threshold = best.threshold;
+    const int id = model_.AddNode(node);
+
+    std::vector<int> left, right;
+    for (int i : samples) {
+      ((data_.features[i][best.feature] <= best.threshold) ? left : right)
+          .push_back(i);
+    }
+    available[best.feature] = false;  // Algorithm 1: CART(F - j, ...)
+    model_.node(id).left = BuildNode(left, available, depth + 1);
+    model_.node(id).right = BuildNode(right, available, depth + 1);
+    return id;
+  }
+
+  const Dataset& data_;
+  const TreeParams& params_;
+  std::vector<std::vector<double>> candidates_;
+  TreeModel model_;
+};
+
+}  // namespace
+
+double GiniGain(const std::vector<double>& left_counts,
+                const std::vector<double>& right_counts) {
+  PIVOT_CHECK(left_counts.size() == right_counts.size());
+  double nl = 0.0, nr = 0.0;
+  for (double c : left_counts) nl += c;
+  for (double c : right_counts) nr += c;
+  const double n = nl + nr;
+  if (n <= 0.0) return 0.0;
+  std::vector<double> total(left_counts.size());
+  for (size_t k = 0; k < total.size(); ++k) {
+    total[k] = left_counts[k] + right_counts[k];
+  }
+  const double wl = nl / n;
+  const double wr = nr / n;
+  return wl * SumSquaredFractions(left_counts, nl) +
+         wr * SumSquaredFractions(right_counts, nr) -
+         SumSquaredFractions(total, n);
+}
+
+double VarianceGain(double nl, double sum_l, double sumsq_l, double nr,
+                    double sum_r, double sumsq_r) {
+  const double n = nl + nr;
+  if (n <= 0.0) return 0.0;
+  auto variance = [](double count, double sum, double sumsq) {
+    if (count <= 0.0) return 0.0;
+    const double mean = sum / count;
+    return sumsq / count - mean * mean;
+  };
+  const double iv_total = variance(n, sum_l + sum_r, sumsq_l + sumsq_r);
+  return iv_total - (nl / n) * variance(nl, sum_l, sumsq_l) -
+         (nr / n) * variance(nr, sum_r, sumsq_r);
+}
+
+TreeModel TrainCart(const Dataset& data, const TreeParams& params) {
+  PIVOT_CHECK_MSG(data.num_samples() > 0, "empty training set");
+  CartBuilder builder(data, params);
+  return builder.Build();
+}
+
+std::vector<double> PredictAll(const TreeModel& model, const Dataset& data) {
+  std::vector<double> out;
+  out.reserve(data.num_samples());
+  for (const auto& row : data.features) out.push_back(model.Predict(row));
+  return out;
+}
+
+}  // namespace pivot

@@ -1,0 +1,48 @@
+#ifndef PIVOT_TREE_CART_H_
+#define PIVOT_TREE_CART_H_
+
+#include "data/dataset.h"
+#include "tree/tree_model.h"
+
+namespace pivot {
+
+// Hyper-parameters shared by the plaintext CART trainer, the ensemble
+// trainers, and the Pivot protocols (the paper fixes identical
+// hyper-parameters across private and non-private systems for Table 3).
+struct TreeParams {
+  TreeTask task = TreeTask::kClassification;
+  int num_classes = 2;        // classification only
+  int max_depth = 4;          // the paper's h
+  int max_splits = 8;         // the paper's b
+  int min_samples_split = 5;  // pruning threshold on node size
+  double min_gain = 1e-9;     // a split must strictly improve impurity
+};
+
+// Non-private CART (Algorithm 1 of the paper; the NP-DT baseline).
+//
+// Classification maximizes the Gini impurity gain of Eqn. (5):
+//   gain = wl·sum_k pl_k^2 + wr·sum_k pr_k^2 - sum_k p_k^2
+// Regression maximizes the variance gain derived from Eqn. (6). Following
+// Algorithm 1, a feature is removed from the candidate set once used on a
+// path (CART(F - j, ...)).
+TreeModel TrainCart(const Dataset& data, const TreeParams& params);
+
+// Batch prediction helper.
+std::vector<double> PredictAll(const TreeModel& model, const Dataset& data);
+
+// Impurity-gain helpers (exposed for tests and for the Pivot trainers,
+// which must compute bit-identical plaintext reference values).
+
+// Gini gain term of a proposed split, from per-class child counts.
+// left_counts/right_counts have one entry per class.
+double GiniGain(const std::vector<double>& left_counts,
+                const std::vector<double>& right_counts);
+
+// Variance gain term of a proposed split, from child aggregates
+// (count, sum of labels, sum of squared labels per side).
+double VarianceGain(double nl, double sum_l, double sumsq_l, double nr,
+                    double sum_r, double sumsq_r);
+
+}  // namespace pivot
+
+#endif  // PIVOT_TREE_CART_H_

@@ -1,0 +1,53 @@
+#include "tree/export.h"
+
+#include <sstream>
+
+namespace pivot {
+
+namespace {
+
+void RenderNode(const TreeModel& model, int id, const std::string& prefix,
+                bool last, std::ostringstream& out) {
+  const TreeNode& n = model.node(id);
+  out << prefix;
+  if (!prefix.empty()) out << (last ? "`- " : "|- ");
+  if (n.is_leaf) {
+    out << "leaf: " << n.leaf_value << "\n";
+    return;
+  }
+  out << "f" << n.feature << " <= " << n.threshold << "\n";
+  const std::string child_prefix =
+      prefix.empty() ? "  " : prefix + (last ? "   " : "|  ");
+  RenderNode(model, n.left, child_prefix, false, out);
+  RenderNode(model, n.right, child_prefix, true, out);
+}
+
+}  // namespace
+
+std::string TreeToDebugString(const TreeModel& model) {
+  if (model.empty()) return "(empty tree)\n";
+  std::ostringstream out;
+  RenderNode(model, 0, "", true, out);
+  return out.str();
+}
+
+std::string TreeToDot(const TreeModel& model, const std::string& name) {
+  std::ostringstream out;
+  out << "digraph " << name << " {\n  node [shape=box];\n";
+  for (size_t id = 0; id < model.nodes().size(); ++id) {
+    const TreeNode& n = model.node(static_cast<int>(id));
+    if (n.is_leaf) {
+      out << "  n" << id << " [label=\"" << n.leaf_value
+          << "\", shape=ellipse];\n";
+    } else {
+      out << "  n" << id << " [label=\"f" << n.feature << " <= "
+          << n.threshold << "\"];\n";
+      out << "  n" << id << " -> n" << n.left << " [label=\"yes\"];\n";
+      out << "  n" << id << " -> n" << n.right << " [label=\"no\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace pivot

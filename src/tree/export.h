@@ -1,0 +1,24 @@
+#ifndef PIVOT_TREE_EXPORT_H_
+#define PIVOT_TREE_EXPORT_H_
+
+#include <string>
+
+#include "tree/tree_model.h"
+
+namespace pivot {
+
+struct PivotTree;  // pivot/model.h (kept decoupled: export works on both)
+
+// Human-readable indented rendering of a plaintext tree, e.g.
+//   f3 <= 1.250
+//   ├─ f0 <= -0.500
+//   │  ├─ leaf: 0
+//   ...
+std::string TreeToDebugString(const TreeModel& model);
+
+// Graphviz dot rendering (view with `dot -Tpng`).
+std::string TreeToDot(const TreeModel& model, const std::string& name = "tree");
+
+}  // namespace pivot
+
+#endif  // PIVOT_TREE_EXPORT_H_

@@ -1,0 +1,112 @@
+#include "tree/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pivot {
+
+namespace {
+
+// Row-wise softmax of per-class scores.
+std::vector<double> Softmax(const std::vector<double>& scores) {
+  double max_score = *std::max_element(scores.begin(), scores.end());
+  std::vector<double> out(scores.size());
+  double total = 0.0;
+  for (size_t k = 0; k < scores.size(); ++k) {
+    out[k] = std::exp(scores[k] - max_score);
+    total += out[k];
+  }
+  for (double& v : out) v /= total;
+  return out;
+}
+
+}  // namespace
+
+double GbdtModel::Score(const std::vector<double>& row, int k) const {
+  double acc = 0.0;
+  for (const TreeModel& tree : trees[k]) {
+    acc += learning_rate * tree.Predict(row);
+  }
+  return acc;
+}
+
+double GbdtModel::Predict(const std::vector<double>& row) const {
+  PIVOT_CHECK_MSG(!trees.empty(), "empty GBDT model");
+  if (task == TreeTask::kRegression) return Score(row, 0);
+  int best = 0;
+  double best_score = Score(row, 0);
+  for (int k = 1; k < num_classes; ++k) {
+    double s = Score(row, k);
+    if (s > best_score) {
+      best_score = s;
+      best = k;
+    }
+  }
+  return best;
+}
+
+GbdtModel TrainGbdt(const Dataset& data, const GbdtParams& params) {
+  PIVOT_CHECK(params.num_rounds >= 1);
+  const size_t n = data.num_samples();
+  GbdtModel model;
+  model.task = params.tree.task;
+  model.learning_rate = params.learning_rate;
+
+  // Every weak learner is a regression tree, also in classification.
+  TreeParams weak = params.tree;
+  weak.task = TreeTask::kRegression;
+
+  if (params.tree.task == TreeTask::kRegression) {
+    model.num_classes = 1;
+    model.trees.resize(1);
+    std::vector<double> score(n, 0.0);
+    Dataset residual = data;
+    for (int w = 0; w < params.num_rounds; ++w) {
+      for (size_t i = 0; i < n; ++i) {
+        residual.labels[i] = data.labels[i] - score[i];
+      }
+      TreeModel tree = TrainCart(residual, weak);
+      for (size_t i = 0; i < n; ++i) {
+        score[i] += params.learning_rate * tree.Predict(data.features[i]);
+      }
+      model.trees[0].push_back(std::move(tree));
+    }
+    return model;
+  }
+
+  // One-vs-the-rest classification (Section 7.2): per round, one regression
+  // tree per class on the softmax residual (one-hot minus probability).
+  const int c = params.tree.num_classes;
+  model.num_classes = c;
+  model.trees.resize(c);
+  std::vector<std::vector<double>> scores(n, std::vector<double>(c, 0.0));
+  Dataset residual = data;
+  for (int w = 0; w < params.num_rounds; ++w) {
+    // Current class probabilities.
+    std::vector<std::vector<double>> probs(n);
+    for (size_t i = 0; i < n; ++i) probs[i] = Softmax(scores[i]);
+    for (int k = 0; k < c; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        const double onehot = (static_cast<int>(data.labels[i]) == k) ? 1.0 : 0.0;
+        residual.labels[i] = onehot - probs[i][k];
+      }
+      TreeModel tree = TrainCart(residual, weak);
+      for (size_t i = 0; i < n; ++i) {
+        scores[i][k] += params.learning_rate * tree.Predict(data.features[i]);
+      }
+      model.trees[k].push_back(std::move(tree));
+    }
+  }
+  return model;
+}
+
+std::vector<double> PredictAll(const GbdtModel& model, const Dataset& data) {
+  std::vector<double> out;
+  out.reserve(data.num_samples());
+  for (const auto& row : data.features) out.push_back(model.Predict(row));
+  return out;
+}
+
+}  // namespace pivot

@@ -1,0 +1,39 @@
+#ifndef PIVOT_TREE_GBDT_H_
+#define PIVOT_TREE_GBDT_H_
+
+#include "data/dataset.h"
+#include "tree/cart.h"
+#include "tree/tree_model.h"
+
+namespace pivot {
+
+// Non-private gradient boosting decision trees (the NP-GBDT baseline of
+// Table 3; Section 7.2). Regression boosts least-squares residuals;
+// classification uses one-vs-the-rest with a softmax over per-class score
+// sums, exactly the structure the paper's private extension mirrors.
+struct GbdtParams {
+  TreeParams tree;           // tree.task selects regression/classification
+  int num_rounds = 8;        // the paper's W
+  double learning_rate = 0.3;
+};
+
+struct GbdtModel {
+  TreeTask task = TreeTask::kRegression;
+  int num_classes = 2;
+  double learning_rate = 0.3;
+  // Regression: trees[0][w]. Classification: trees[k][w] for class k.
+  std::vector<std::vector<TreeModel>> trees;
+
+  double Predict(const std::vector<double>& row) const;
+  // Raw additive score for class k (classification) or the prediction
+  // (regression, k = 0).
+  double Score(const std::vector<double>& row, int k) const;
+};
+
+GbdtModel TrainGbdt(const Dataset& data, const GbdtParams& params);
+
+std::vector<double> PredictAll(const GbdtModel& model, const Dataset& data);
+
+}  // namespace pivot
+
+#endif  // PIVOT_TREE_GBDT_H_

@@ -1,0 +1,35 @@
+#include "tree/splits.h"
+
+#include <algorithm>
+
+namespace pivot {
+
+std::vector<double> ComputeSplitCandidates(const std::vector<double>& values,
+                                           int max_splits) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (sorted.size() < 2 || max_splits <= 0) return {};
+
+  // All midpoints between adjacent distinct values.
+  std::vector<double> midpoints;
+  midpoints.reserve(sorted.size() - 1);
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    midpoints.push_back(0.5 * (sorted[i] + sorted[i + 1]));
+  }
+  if (static_cast<int>(midpoints.size()) <= max_splits) return midpoints;
+
+  // Thin to quantile-spaced candidates.
+  std::vector<double> out;
+  out.reserve(max_splits);
+  for (int s = 0; s < max_splits; ++s) {
+    size_t idx = (static_cast<size_t>(s) + 1) * midpoints.size() /
+                 (static_cast<size_t>(max_splits) + 1);
+    if (idx >= midpoints.size()) idx = midpoints.size() - 1;
+    out.push_back(midpoints[idx]);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace pivot

@@ -1,0 +1,19 @@
+#ifndef PIVOT_TREE_SPLITS_H_
+#define PIVOT_TREE_SPLITS_H_
+
+#include <vector>
+
+namespace pivot {
+
+// Candidate split thresholds for one feature column: midpoints between
+// adjacent distinct values, thinned to at most `max_splits` quantile-spaced
+// candidates (the paper's parameter b, "maximum split number for any
+// feature"). Both the non-private CART baseline and the Pivot protocols
+// use this function, so the private and plaintext trainers explore the
+// identical split space — the property behind the Table 3 accuracy parity.
+std::vector<double> ComputeSplitCandidates(const std::vector<double>& values,
+                                           int max_splits);
+
+}  // namespace pivot
+
+#endif  // PIVOT_TREE_SPLITS_H_

@@ -1,0 +1,76 @@
+#ifndef PIVOT_TREE_TREE_MODEL_H_
+#define PIVOT_TREE_TREE_MODEL_H_
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace pivot {
+
+// Task selector shared by every trainer in the repository.
+enum class TreeTask {
+  kClassification,
+  kRegression,
+};
+
+// One node of a binary decision tree. Internal nodes route on
+// feature <= threshold (left) vs > threshold (right); leaves carry the
+// predicted class id / regression value.
+struct TreeNode {
+  bool is_leaf = false;
+  int feature = -1;        // global feature index (internal nodes)
+  double threshold = 0.0;  // split value (internal nodes)
+  double leaf_value = 0.0; // prediction (leaves)
+  int left = -1;
+  int right = -1;
+};
+
+// A binary decision tree stored as a node pool; node 0 is the root.
+class TreeModel {
+ public:
+  int AddNode(const TreeNode& node) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  bool empty() const { return nodes_.empty(); }
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  TreeNode& node(int id) { return nodes_[id]; }
+  const TreeNode& node(int id) const { return nodes_[id]; }
+
+  // Routes `row` (full feature vector) to a leaf and returns its value.
+  double Predict(const std::vector<double>& row) const {
+    PIVOT_CHECK_MSG(!nodes_.empty(), "predicting with an empty tree");
+    int id = 0;
+    while (!nodes_[id].is_leaf) {
+      const TreeNode& n = nodes_[id];
+      id = (row[n.feature] <= n.threshold) ? n.left : n.right;
+    }
+    return nodes_[id].leaf_value;
+  }
+
+  int NumInternalNodes() const {
+    int count = 0;
+    for (const TreeNode& n : nodes_) count += n.is_leaf ? 0 : 1;
+    return count;
+  }
+
+  int NumLeaves() const {
+    return static_cast<int>(nodes_.size()) - NumInternalNodes();
+  }
+
+  int MaxDepth() const { return DepthFrom(0); }
+
+ private:
+  int DepthFrom(int id) const {
+    if (nodes_.empty() || nodes_[id].is_leaf) return 0;
+    return 1 + std::max(DepthFrom(nodes_[id].left),
+                        DepthFrom(nodes_[id].right));
+  }
+
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_TREE_TREE_MODEL_H_

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "baselines/npd_dt.h"
+#include "baselines/spdz_dt.h"
+#include "data/synthetic.h"
+#include "pivot/runner.h"
+#include "pivot/trainer.h"
+#include "tree/cart.h"
+
+namespace pivot {
+namespace {
+
+Dataset SmallData(TreeTask task, int n = 50, int d = 6) {
+  if (task == TreeTask::kRegression) {
+    RegressionSpec spec;
+    spec.num_samples = n;
+    spec.num_features = d;
+    spec.seed = 31;
+    return MakeRegression(spec);
+  }
+  ClassificationSpec spec;
+  spec.num_samples = n;
+  spec.num_features = d;
+  spec.num_classes = 2;
+  spec.class_separation = 2.5;
+  spec.seed = 29;
+  return MakeClassification(spec);
+}
+
+FederationConfig MakeConfig(TreeTask task, int m) {
+  FederationConfig cfg;
+  cfg.num_parties = m;
+  cfg.params.tree.task = task;
+  cfg.params.tree.num_classes = 2;
+  cfg.params.tree.max_depth = 2;
+  cfg.params.tree.max_splits = 4;
+  cfg.params.tree.min_samples_split = 5;
+  cfg.params.key_bits = 256;
+  return cfg;
+}
+
+// Every trainer explores the identical split space, so the NPD-DT model
+// must agree with plaintext CART everywhere, and SPDZ-DT / Pivot must
+// agree up to fixed-point gain rounding.
+TEST(NpdDtTest, MatchesPlainCartExactly) {
+  Dataset data = SmallData(TreeTask::kClassification);
+  FederationConfig cfg = MakeConfig(TreeTask::kClassification, 3);
+  Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+    PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainNpdDt(ctx));
+    TreeModel np = TrainCart(data, cfg.params.tree);
+    std::vector<std::vector<int>> fmap;
+    for (const auto& v : PartitionVertically(data, 3).views) {
+      fmap.push_back(v.feature_indices);
+    }
+    for (size_t i = 0; i < data.num_samples(); ++i) {
+      if (tree.EvaluatePlain(data.features[i], fmap) !=
+          np.Predict(data.features[i])) {
+        return Status::Internal("NPD-DT diverges from CART");
+      }
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(NpdDtTest, RegressionTrains) {
+  Dataset data = SmallData(TreeTask::kRegression);
+  FederationConfig cfg = MakeConfig(TreeTask::kRegression, 2);
+  Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+    PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainNpdDt(ctx));
+    if (tree.NumInternalNodes() < 1) return Status::Internal("no splits");
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(NpdDtTest, DistributedPredictionWalksTree) {
+  Dataset data = SmallData(TreeTask::kClassification);
+  FederationConfig cfg = MakeConfig(TreeTask::kClassification, 2);
+  Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+    PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainNpdDt(ctx));
+    auto part = PartitionVertically(data, 2);
+    std::vector<std::vector<int>> fmap;
+    for (const auto& v : part.views) fmap.push_back(v.feature_indices);
+    for (int i = 0; i < 10; ++i) {
+      PIVOT_ASSIGN_OR_RETURN(
+          double pred,
+          PredictNpdDt(ctx, tree, part.views[ctx.id()].features[i]));
+      if (pred != tree.EvaluatePlain(data.features[i], fmap)) {
+        return Status::Internal("NPD prediction mismatch");
+      }
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SpdzDtTest, MatchesPivotBasicModel) {
+  Dataset data = SmallData(TreeTask::kClassification, 40, 4);
+  FederationConfig cfg = MakeConfig(TreeTask::kClassification, 2);
+  Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+    PIVOT_ASSIGN_OR_RETURN(PivotTree spdz, TrainSpdzDt(ctx));
+    TrainTreeOptions opts;
+    PIVOT_ASSIGN_OR_RETURN(PivotTree pivot_tree, TrainPivotTree(ctx, opts));
+    std::vector<std::vector<int>> fmap;
+    for (const auto& v : PartitionVertically(data, 2).views) {
+      fmap.push_back(v.feature_indices);
+    }
+    int agree = 0;
+    for (size_t i = 0; i < data.num_samples(); ++i) {
+      agree += spdz.EvaluatePlain(data.features[i], fmap) ==
+               pivot_tree.EvaluatePlain(data.features[i], fmap);
+    }
+    if (agree + 2 < static_cast<int>(data.num_samples())) {
+      return Status::Internal("SPDZ-DT and Pivot diverge");
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SpdzDtTest, RegressionTrains) {
+  Dataset data = SmallData(TreeTask::kRegression, 40, 4);
+  FederationConfig cfg = MakeConfig(TreeTask::kRegression, 2);
+  Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+    PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainSpdzDt(ctx));
+    if (tree.nodes.empty()) return Status::Internal("empty tree");
+    // Leaf values must be finite, sane label magnitudes.
+    for (const PivotNode& node : tree.nodes) {
+      if (node.is_leaf && std::abs(node.leaf_value) > 100.0) {
+        return Status::Internal("leaf out of range");
+      }
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include "common/sha256.h"
+#include "crypto/paillier.h"
+#include "crypto/threshold_paillier.h"
+#include "crypto/zkp.h"
+
+namespace pivot {
+namespace {
+
+// Shared small key so the suite stays fast; 256-bit keys are plenty for
+// correctness testing (the protocols enforce larger keys at runtime).
+class PaillierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(42);
+    keys_ = new PaillierKeyPair(GeneratePaillierKeyPair(256, *rng_));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete rng_;
+    keys_ = nullptr;
+    rng_ = nullptr;
+  }
+
+  static Rng* rng_;
+  static PaillierKeyPair* keys_;
+};
+
+Rng* PaillierTest::rng_ = nullptr;
+PaillierKeyPair* PaillierTest::keys_ = nullptr;
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  for (int64_t v : {0LL, 1LL, 2LL, 1234567LL}) {
+    Ciphertext c = keys_->pk.Encrypt(BigInt(v), *rng_);
+    EXPECT_EQ(keys_->sk.Decrypt(c).value(), BigInt(v));
+  }
+}
+
+TEST_F(PaillierTest, EncryptLargePlaintext) {
+  BigInt m = keys_->pk.n() - BigInt(1);
+  Ciphertext c = keys_->pk.Encrypt(m, *rng_);
+  EXPECT_EQ(keys_->sk.Decrypt(c).value(), m);
+}
+
+TEST_F(PaillierTest, EncryptionIsProbabilistic) {
+  Ciphertext c1 = keys_->pk.Encrypt(BigInt(7), *rng_);
+  Ciphertext c2 = keys_->pk.Encrypt(BigInt(7), *rng_);
+  EXPECT_NE(c1.value, c2.value);
+  EXPECT_EQ(keys_->sk.Decrypt(c1).value(), keys_->sk.Decrypt(c2).value());
+}
+
+TEST_F(PaillierTest, HomomorphicAdd) {
+  Ciphertext a = keys_->pk.Encrypt(BigInt(15), *rng_);
+  Ciphertext b = keys_->pk.Encrypt(BigInt(27), *rng_);
+  EXPECT_EQ(keys_->sk.Decrypt(keys_->pk.Add(a, b)).value(), BigInt(42));
+}
+
+TEST_F(PaillierTest, HomomorphicAddWrapsModN) {
+  BigInt m = keys_->pk.n() - BigInt(1);
+  Ciphertext a = keys_->pk.Encrypt(m, *rng_);
+  Ciphertext b = keys_->pk.Encrypt(BigInt(2), *rng_);
+  EXPECT_EQ(keys_->sk.Decrypt(keys_->pk.Add(a, b)).value(), BigInt(1));
+}
+
+TEST_F(PaillierTest, ScalarMul) {
+  Ciphertext c = keys_->pk.Encrypt(BigInt(9), *rng_);
+  EXPECT_EQ(keys_->sk.Decrypt(keys_->pk.ScalarMul(BigInt(5), c)).value(),
+            BigInt(45));
+  EXPECT_EQ(keys_->sk.Decrypt(keys_->pk.ScalarMul(BigInt(0), c)).value(),
+            BigInt(0));
+  EXPECT_EQ(keys_->sk.Decrypt(keys_->pk.ScalarMul(BigInt(1), c)).value(),
+            BigInt(9));
+}
+
+TEST_F(PaillierTest, ScalarMulByNMinus1ActsAsNegation) {
+  // The protocols implement homomorphic subtraction by multiplying with a
+  // scalar congruent to -1 modulo the share field; at the Paillier layer,
+  // multiplying by n-1 negates mod n.
+  Ciphertext c = keys_->pk.Encrypt(BigInt(5), *rng_);
+  Ciphertext neg = keys_->pk.ScalarMul(keys_->pk.n() - BigInt(1), c);
+  EXPECT_EQ(keys_->sk.Decrypt(neg).value(), keys_->pk.n() - BigInt(5));
+}
+
+TEST_F(PaillierTest, AddPlain) {
+  Ciphertext c = keys_->pk.Encrypt(BigInt(10), *rng_);
+  EXPECT_EQ(keys_->sk.Decrypt(keys_->pk.AddPlain(c, BigInt(32))).value(),
+            BigInt(42));
+}
+
+TEST_F(PaillierTest, DotProduct) {
+  // v = (1, 0, 3), u = (10, 20, 30) -> 100
+  std::vector<Ciphertext> cts;
+  for (int64_t u : {10, 20, 30}) cts.push_back(keys_->pk.Encrypt(BigInt(u), *rng_));
+  std::vector<BigInt> v = {BigInt(1), BigInt(0), BigInt(3)};
+  EXPECT_EQ(keys_->sk.Decrypt(keys_->pk.DotProduct(v, cts)).value(),
+            BigInt(100));
+}
+
+TEST_F(PaillierTest, DotProductEmpty) {
+  EXPECT_EQ(keys_->sk.Decrypt(keys_->pk.DotProduct({}, {})).value(), BigInt(0));
+}
+
+TEST_F(PaillierTest, RerandomizePreservesPlaintext) {
+  Ciphertext c = keys_->pk.Encrypt(BigInt(77), *rng_);
+  Ciphertext r = keys_->pk.Rerandomize(c, *rng_);
+  EXPECT_NE(c.value, r.value);
+  EXPECT_EQ(keys_->sk.Decrypt(r).value(), BigInt(77));
+}
+
+TEST_F(PaillierTest, IndicatorDotProductMatchesCount) {
+  // The core Pivot statistic: dot product of a 0/1 indicator vector with an
+  // encrypted 0/1 mask equals the number of overlapping ones.
+  std::vector<Ciphertext> mask;
+  std::vector<int> alpha = {1, 1, 0, 1, 0, 1};
+  for (int a : alpha) mask.push_back(keys_->pk.Encrypt(BigInt(a), *rng_));
+  std::vector<BigInt> indicator = {BigInt(1), BigInt(0), BigInt(1),
+                                   BigInt(1), BigInt(1), BigInt(0)};
+  // Overlap: positions 0 and 3 -> 2.
+  EXPECT_EQ(keys_->sk.Decrypt(keys_->pk.DotProduct(indicator, mask)).value(),
+            BigInt(2));
+}
+
+TEST(PaillierLTest, RejectsNonDivisible) {
+  EXPECT_FALSE(PaillierL(BigInt(8), BigInt(3)).ok());
+  EXPECT_EQ(PaillierL(BigInt(7), BigInt(3)).value(), BigInt(2));
+}
+
+class ThresholdPaillierTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdPaillierTest, JointDecryptRoundTrip) {
+  const int parties = GetParam();
+  Rng rng(100 + parties);
+  ThresholdPaillier keys = GenerateThresholdPaillier(256, parties, rng);
+  for (int64_t v : {0LL, 1LL, 99999LL}) {
+    Ciphertext c = keys.pk.Encrypt(BigInt(v), rng);
+    EXPECT_EQ(JointDecrypt(keys, c).value(), BigInt(v));
+  }
+}
+
+TEST_P(ThresholdPaillierTest, HomomorphismSurvivesThresholdDecryption) {
+  const int parties = GetParam();
+  Rng rng(200 + parties);
+  ThresholdPaillier keys = GenerateThresholdPaillier(256, parties, rng);
+  Ciphertext a = keys.pk.Encrypt(BigInt(30), rng);
+  Ciphertext b = keys.pk.Encrypt(BigInt(12), rng);
+  EXPECT_EQ(JointDecrypt(keys, keys.pk.Add(a, b)).value(), BigInt(42));
+}
+
+INSTANTIATE_TEST_SUITE_P(Parties, ThresholdPaillierTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(ThresholdPaillierTestExtra, MissingPartyFailsDecryption) {
+  Rng rng(77);
+  ThresholdPaillier keys = GenerateThresholdPaillier(256, 3, rng);
+  Ciphertext c = keys.pk.Encrypt(BigInt(5), rng);
+  std::vector<PartialDecryption> parts = {
+      PartialDecrypt(keys.pk, keys.partial_keys[0], c),
+      PartialDecrypt(keys.pk, keys.partial_keys[1], c)};
+  EXPECT_FALSE(CombinePartialDecryptions(keys.pk, parts, 3).ok());
+}
+
+TEST(ThresholdPaillierTestExtra, SubsetOfPartialsYieldsGarbageOrError) {
+  // With only m-1 of m partials (padded with a bogus one), the combined
+  // value must not decrypt to the true plaintext.
+  Rng rng(78);
+  ThresholdPaillier keys = GenerateThresholdPaillier(256, 3, rng);
+  Ciphertext c = keys.pk.Encrypt(BigInt(5), rng);
+  std::vector<PartialDecryption> parts = {
+      PartialDecrypt(keys.pk, keys.partial_keys[0], c),
+      PartialDecrypt(keys.pk, keys.partial_keys[1], c),
+      PartialDecryption{2, BigInt(1)}};  // party 2 replaced by identity
+  Result<BigInt> out = CombinePartialDecryptions(keys.pk, parts, 3);
+  if (out.ok()) {
+    EXPECT_NE(out.value(), BigInt(5));
+  }
+}
+
+TEST(ThresholdPaillierTestExtra, SharesSumToDecryptionExponent) {
+  Rng rng(79);
+  ThresholdPaillier keys = GenerateThresholdPaillier(128, 4, rng);
+  // Indirect check: decryption works for every permutation order of
+  // combination (combination is order-independent).
+  Ciphertext c = keys.pk.Encrypt(BigInt(1234), rng);
+  std::vector<PartialDecryption> parts;
+  for (int i = 3; i >= 0; --i) {
+    parts.push_back(PartialDecrypt(keys.pk, keys.partial_keys[i], c));
+  }
+  EXPECT_EQ(CombinePartialDecryptions(keys.pk, parts, 4).value(), BigInt(1234));
+}
+
+// --------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4 test vectors)
+// --------------------------------------------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  Sha256 h;
+  EXPECT_EQ(HexDigest(h.Finish()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  Sha256 h;
+  h.Update(std::string("abc"));
+  EXPECT_EQ(HexDigest(h.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  Sha256 h;
+  h.Update(std::string("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+  EXPECT_EQ(HexDigest(h.Finish()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HexDigest(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 300; ++i) data.push_back(static_cast<uint8_t>(i * 7));
+  Sha256 h;
+  h.Update(data.data(), 100);
+  h.Update(data.data() + 100, 200);
+  EXPECT_EQ(h.Finish(), Sha256::Hash(data));
+}
+
+// --------------------------------------------------------------------------
+// Zero-knowledge proofs
+// --------------------------------------------------------------------------
+
+class ZkpTest : public PaillierTest {};
+
+TEST_F(ZkpTest, PopkAcceptsHonestProof) {
+  BigInt m(123456);
+  BigInt r = keys_->pk.SampleUnit(*rng_);
+  Ciphertext c = keys_->pk.EncryptWithRandomness(m, r);
+  PopkProof proof = ProvePlaintextKnowledge(keys_->pk, c, m, r, *rng_);
+  EXPECT_TRUE(VerifyPlaintextKnowledge(keys_->pk, c, proof).ok());
+}
+
+TEST_F(ZkpTest, PopkRejectsWrongCiphertext) {
+  BigInt m(5);
+  BigInt r = keys_->pk.SampleUnit(*rng_);
+  Ciphertext c = keys_->pk.EncryptWithRandomness(m, r);
+  PopkProof proof = ProvePlaintextKnowledge(keys_->pk, c, m, r, *rng_);
+  Ciphertext other = keys_->pk.Encrypt(BigInt(6), *rng_);
+  EXPECT_FALSE(VerifyPlaintextKnowledge(keys_->pk, other, proof).ok());
+}
+
+TEST_F(ZkpTest, PopkRejectsTamperedResponse) {
+  BigInt m(5);
+  BigInt r = keys_->pk.SampleUnit(*rng_);
+  Ciphertext c = keys_->pk.EncryptWithRandomness(m, r);
+  PopkProof proof = ProvePlaintextKnowledge(keys_->pk, c, m, r, *rng_);
+  proof.z = proof.z + BigInt(1);
+  EXPECT_FALSE(VerifyPlaintextKnowledge(keys_->pk, c, proof).ok());
+}
+
+TEST_F(ZkpTest, PopcmAcceptsHonestProof) {
+  // Prover: knows a committed in ca, computes c_out = cb^a.
+  BigInt a(17);
+  BigInt ra = keys_->pk.SampleUnit(*rng_);
+  Ciphertext ca = keys_->pk.EncryptWithRandomness(a, ra);
+  Ciphertext cb = keys_->pk.Encrypt(BigInt(100), *rng_);
+  Ciphertext c_out = keys_->pk.ScalarMul(a, cb);
+  PopcmProof proof =
+      ProvePlainCipherMul(keys_->pk, ca, ra, a, cb, BigInt(1), *rng_);
+  EXPECT_TRUE(VerifyPlainCipherMul(keys_->pk, ca, cb, c_out, proof).ok());
+  // Sanity: the relation is the paper's element-wise homomorphic multiply.
+  EXPECT_EQ(keys_->sk.Decrypt(c_out).value(), BigInt(1700));
+}
+
+TEST_F(ZkpTest, PopcmRejectsWrongProduct) {
+  BigInt a(17);
+  BigInt ra = keys_->pk.SampleUnit(*rng_);
+  Ciphertext ca = keys_->pk.EncryptWithRandomness(a, ra);
+  Ciphertext cb = keys_->pk.Encrypt(BigInt(100), *rng_);
+  PopcmProof proof =
+      ProvePlainCipherMul(keys_->pk, ca, ra, a, cb, BigInt(1), *rng_);
+  // Claim a different product: cb^(a+1).
+  Ciphertext wrong = keys_->pk.ScalarMul(a + BigInt(1), cb);
+  EXPECT_FALSE(VerifyPlainCipherMul(keys_->pk, ca, cb, wrong, proof).ok());
+}
+
+TEST_F(ZkpTest, PopcmRejectsSwappedCommitment) {
+  BigInt a(3);
+  BigInt ra = keys_->pk.SampleUnit(*rng_);
+  Ciphertext ca = keys_->pk.EncryptWithRandomness(a, ra);
+  Ciphertext cb = keys_->pk.Encrypt(BigInt(10), *rng_);
+  Ciphertext c_out = keys_->pk.ScalarMul(a, cb);
+  PopcmProof proof =
+      ProvePlainCipherMul(keys_->pk, ca, ra, a, cb, BigInt(1), *rng_);
+  // Verifier pairs the proof with a commitment to a different value.
+  Ciphertext ca2 = keys_->pk.Encrypt(BigInt(4), *rng_);
+  EXPECT_FALSE(VerifyPlainCipherMul(keys_->pk, ca2, cb, c_out, proof).ok());
+}
+
+TEST_F(ZkpTest, PohdpAcceptsHonestProof) {
+  // The POHDP scenario from the paper: a client proves its encrypted split
+  // statistic equals the dot product of its (committed) indicator vector
+  // with the broadcast encrypted mask.
+  std::vector<BigInt> values = {BigInt(1), BigInt(0), BigInt(1), BigInt(1)};
+  std::vector<BigInt> rand;
+  std::vector<Ciphertext> commitments;
+  for (const BigInt& v : values) {
+    rand.push_back(keys_->pk.SampleUnit(*rng_));
+    commitments.push_back(keys_->pk.EncryptWithRandomness(v, rand.back()));
+  }
+  std::vector<Ciphertext> mask;
+  for (int64_t a : {1, 1, 0, 1}) mask.push_back(keys_->pk.Encrypt(BigInt(a), *rng_));
+
+  // c_out = prod mask_j ^ v_j  (the homomorphic dot product).
+  Ciphertext c_out = keys_->pk.One();
+  for (size_t j = 0; j < values.size(); ++j) {
+    c_out = Ciphertext{keys_->pk.MulModN2(
+        c_out.value, keys_->pk.PowModN2(mask[j].value, values[j]))};
+  }
+
+  PohdpProof proof = ProveHomomorphicDotProduct(
+      keys_->pk, commitments, rand, values, mask, BigInt(1), *rng_);
+  EXPECT_TRUE(VerifyHomomorphicDotProduct(keys_->pk, commitments, mask, c_out,
+                                          proof)
+                  .ok());
+  EXPECT_EQ(keys_->sk.Decrypt(c_out).value(), BigInt(2));
+}
+
+TEST_F(ZkpTest, PohdpRejectsInflatedStatistic) {
+  std::vector<BigInt> values = {BigInt(1), BigInt(0)};
+  std::vector<BigInt> rand;
+  std::vector<Ciphertext> commitments;
+  for (const BigInt& v : values) {
+    rand.push_back(keys_->pk.SampleUnit(*rng_));
+    commitments.push_back(keys_->pk.EncryptWithRandomness(v, rand.back()));
+  }
+  std::vector<Ciphertext> mask = {keys_->pk.Encrypt(BigInt(1), *rng_),
+                                  keys_->pk.Encrypt(BigInt(1), *rng_)};
+  PohdpProof proof = ProveHomomorphicDotProduct(
+      keys_->pk, commitments, rand, values, mask, BigInt(1), *rng_);
+  // A malicious client claims a larger count than its data supports.
+  Ciphertext inflated = keys_->pk.Encrypt(BigInt(2), *rng_);
+  EXPECT_FALSE(VerifyHomomorphicDotProduct(keys_->pk, commitments, mask,
+                                           inflated, proof)
+                   .ok());
+}
+
+TEST_F(ZkpTest, PohdpRejectsSizeMismatch) {
+  PohdpProof proof;
+  proof.commitment_a = BigInt(1);
+  proof.w2 = BigInt(1);
+  EXPECT_FALSE(VerifyHomomorphicDotProduct(
+                   keys_->pk, {keys_->pk.Encrypt(BigInt(1), *rng_)}, {},
+                   keys_->pk.One(), proof)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace pivot

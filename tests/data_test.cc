@@ -1,0 +1,158 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "data/synthetic.h"
+
+namespace pivot {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset d;
+  d.features = {{1, 10, 100}, {2, 20, 200}, {3, 30, 300}, {4, 40, 400}};
+  d.labels = {0, 1, 0, 1};
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = TinyDataset();
+  EXPECT_EQ(d.num_samples(), 4u);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_EQ(d.NumClasses(), 2);
+  EXPECT_EQ(d.Column(1), (std::vector<double>{10, 20, 30, 40}));
+}
+
+TEST(DatasetTest, SplitTrainTestPartitions) {
+  ClassificationSpec spec;
+  spec.num_samples = 100;
+  Dataset d = MakeClassification(spec);
+  Rng rng(3);
+  TrainTestSplit split = SplitTrainTest(d, 0.25, rng);
+  EXPECT_EQ(split.test.num_samples(), 25u);
+  EXPECT_EQ(split.train.num_samples(), 75u);
+  EXPECT_EQ(split.train.num_features(), d.num_features());
+}
+
+TEST(DatasetTest, VerticalPartitionRoundTrips) {
+  Dataset d = TinyDataset();
+  for (int m : {1, 2, 3}) {
+    VerticalPartition part = PartitionVertically(d, m);
+    ASSERT_EQ(part.views.size(), static_cast<size_t>(m));
+    // Feature indices are disjoint and cover all features.
+    std::set<int> seen;
+    for (const VerticalView& v : part.views) {
+      for (int j : v.feature_indices) {
+        EXPECT_TRUE(seen.insert(j).second) << "duplicate feature";
+      }
+    }
+    EXPECT_EQ(seen.size(), d.num_features());
+    // Labels live with the partition (super client), not in views.
+    EXPECT_EQ(part.labels, d.labels);
+    Dataset merged = MergeVerticalPartition(part);
+    EXPECT_EQ(merged.features, d.features);
+    EXPECT_EQ(merged.labels, d.labels);
+  }
+}
+
+TEST(DatasetTest, VerticalViewsHoldLocalColumns) {
+  Dataset d = TinyDataset();
+  VerticalPartition part = PartitionVertically(d, 2);
+  // Round-robin: client 0 gets features {0, 2}, client 1 gets {1}.
+  EXPECT_EQ(part.views[0].feature_indices, (std::vector<int>{0, 2}));
+  EXPECT_EQ(part.views[1].feature_indices, (std::vector<int>{1}));
+  EXPECT_EQ(part.views[0].features[1], (std::vector<double>{2, 200}));
+  EXPECT_EQ(part.views[1].features[3], (std::vector<double>{40}));
+}
+
+TEST(MetricsTest, Accuracy) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 1, 0}, {0, 1, 0, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({1.0001, 2.0}, {1.0, 2.0}), 1.0);
+}
+
+TEST(MetricsTest, MeanSquaredError) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1, 2}, {1, 4}), 2.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({0}, {0}), 0.0);
+}
+
+TEST(CsvTest, SaveLoadRoundTrip) {
+  Dataset d = TinyDataset();
+  const std::string path = "/tmp/pivot_csv_test.csv";
+  ASSERT_TRUE(SaveCsv(d, path).ok());
+  Result<Dataset> loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().features, d.features);
+  EXPECT_EQ(loaded.value().labels, d.labels);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(LoadCsv("/tmp/definitely_missing_pivot.csv").ok());
+}
+
+TEST(SyntheticTest, ClassificationShapeAndLabels) {
+  ClassificationSpec spec;
+  spec.num_samples = 500;
+  spec.num_features = 10;
+  spec.num_classes = 4;
+  Dataset d = MakeClassification(spec);
+  EXPECT_EQ(d.num_samples(), 500u);
+  EXPECT_EQ(d.num_features(), 10u);
+  EXPECT_EQ(d.NumClasses(), 4);
+  for (double y : d.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 4);
+  }
+}
+
+TEST(SyntheticTest, ClassificationIsDeterministicInSeed) {
+  ClassificationSpec spec;
+  spec.seed = 42;
+  Dataset a = MakeClassification(spec);
+  Dataset b = MakeClassification(spec);
+  EXPECT_EQ(a.features, b.features);
+  spec.seed = 43;
+  Dataset c = MakeClassification(spec);
+  EXPECT_NE(a.features, c.features);
+}
+
+TEST(SyntheticTest, ClassificationIsSeparable) {
+  // With high separation, a 1-nearest-centroid rule on the informative
+  // features should beat random guessing comfortably.
+  ClassificationSpec spec;
+  spec.num_samples = 400;
+  spec.num_classes = 2;
+  spec.class_separation = 3.0;
+  Dataset d = MakeClassification(spec);
+  // Proxy check: mean of feature 0 differs across classes.
+  double mean0 = 0, mean1 = 0;
+  int n0 = 0, n1 = 0;
+  for (size_t i = 0; i < d.num_samples(); ++i) {
+    if (d.labels[i] == 0) {
+      mean0 += d.features[i][0];
+      ++n0;
+    } else {
+      mean1 += d.features[i][0];
+      ++n1;
+    }
+  }
+  mean0 /= n0;
+  mean1 /= n1;
+  EXPECT_GT(std::abs(mean0 - mean1), 0.5);
+}
+
+TEST(SyntheticTest, RegressionLabelsBounded) {
+  RegressionSpec spec;
+  spec.num_samples = 300;
+  Dataset d = MakeRegression(spec);
+  EXPECT_EQ(d.num_samples(), 300u);
+  double max_abs = 0;
+  for (double y : d.labels) max_abs = std::max(max_abs, std::abs(y));
+  EXPECT_LE(max_abs, 10.0 + 1e-9);
+  EXPECT_GT(max_abs, 1.0);  // labels are not degenerate
+}
+
+}  // namespace
+}  // namespace pivot

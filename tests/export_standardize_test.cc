@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/standardize.h"
+#include "data/synthetic.h"
+#include "tree/cart.h"
+#include "tree/export.h"
+
+namespace pivot {
+namespace {
+
+TEST(TreeExportTest, DebugStringShowsStructure) {
+  Dataset d;
+  for (int i = -10; i <= 10; ++i) {
+    d.features.push_back({static_cast<double>(i)});
+    d.labels.push_back(i > 0 ? 1.0 : 0.0);
+  }
+  TreeParams params;
+  params.max_depth = 1;
+  params.max_splits = 32;
+  params.min_samples_split = 2;
+  TreeModel tree = TrainCart(d, params);
+  std::string text = TreeToDebugString(tree);
+  EXPECT_NE(text.find("f0 <= "), std::string::npos);
+  EXPECT_NE(text.find("leaf: 0"), std::string::npos);
+  EXPECT_NE(text.find("leaf: 1"), std::string::npos);
+}
+
+TEST(TreeExportTest, EmptyTree) {
+  TreeModel empty;
+  EXPECT_EQ(TreeToDebugString(empty), "(empty tree)\n");
+}
+
+TEST(TreeExportTest, DotOutputIsWellFormed) {
+  Dataset d;
+  for (int i = 0; i < 30; ++i) {
+    d.features.push_back({static_cast<double>(i), static_cast<double>(i % 7)});
+    d.labels.push_back(i % 2);
+  }
+  TreeParams params;
+  params.max_depth = 2;
+  TreeModel tree = TrainCart(d, params);
+  std::string dot = TreeToDot(tree, "mytree");
+  EXPECT_EQ(dot.find("digraph mytree {"), 0u);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // One declaration per node.
+  size_t count = 0;
+  for (size_t pos = 0; (pos = dot.find("  n", pos)) != std::string::npos;
+       ++count, ++pos) {
+  }
+  EXPECT_GE(count, tree.nodes().size());
+}
+
+TEST(StandardizeTest, ZeroMeanUnitVariance) {
+  ClassificationSpec spec;
+  spec.num_samples = 200;
+  spec.num_features = 5;
+  Dataset d = MakeClassification(spec);
+  StandardizeStats stats = ComputeStandardizeStats(d);
+  Dataset z = Standardize(d, stats);
+  for (size_t j = 0; j < z.num_features(); ++j) {
+    double mean = 0, var = 0;
+    for (const auto& row : z.features) mean += row[j];
+    mean /= z.num_samples();
+    for (const auto& row : z.features) var += (row[j] - mean) * (row[j] - mean);
+    var /= z.num_samples();
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+  EXPECT_EQ(z.labels, d.labels);
+}
+
+TEST(StandardizeTest, ConstantColumnSafe) {
+  Dataset d;
+  d.features = {{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}};
+  d.labels = {0, 1, 0};
+  StandardizeStats stats = ComputeStandardizeStats(d);
+  Dataset z = Standardize(d, stats);
+  for (const auto& row : z.features) {
+    EXPECT_DOUBLE_EQ(row[0], 0.0);  // centered, divisor clamped to 1
+    EXPECT_TRUE(std::isfinite(row[1]));
+  }
+}
+
+TEST(StandardizeTest, ApplyMatchesBatch) {
+  ClassificationSpec spec;
+  spec.num_samples = 50;
+  spec.num_features = 3;
+  Dataset d = MakeClassification(spec);
+  StandardizeStats stats = ComputeStandardizeStats(d);
+  Dataset z = Standardize(d, stats);
+  for (size_t i = 0; i < d.num_samples(); ++i) {
+    EXPECT_EQ(stats.Apply(d.features[i]), z.features[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,106 @@
+#include "pivot/logreg.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "data/synthetic.h"
+#include "linear/logistic.h"
+#include "pivot/runner.h"
+
+namespace pivot {
+namespace {
+
+Dataset SeparableData(int n, int d, uint64_t seed) {
+  ClassificationSpec spec;
+  spec.num_samples = n;
+  spec.num_features = d;
+  spec.num_classes = 2;
+  spec.class_separation = 3.0;
+  spec.seed = seed;
+  return MakeClassification(spec);
+}
+
+TEST(PlainLogisticTest, LearnsSeparableData) {
+  Dataset data = SeparableData(300, 6, 5);
+  LogisticParams params;
+  params.epochs = 20;
+  LogisticModel model = TrainLogisticPlain(data, params);
+  std::vector<double> preds;
+  for (const auto& row : data.features) preds.push_back(model.PredictLabel(row));
+  EXPECT_GT(Accuracy(preds, data.labels), 0.85);
+}
+
+TEST(PlainLogisticTest, ProbabilitiesAreCalibrated) {
+  Dataset data = SeparableData(200, 4, 6);
+  LogisticModel model = TrainLogisticPlain(data, LogisticParams());
+  for (const auto& row : data.features) {
+    double p = model.PredictProbability(row);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(PivotLogRegTest, TracksPlaintextBaseline) {
+  Dataset data = SeparableData(60, 4, 7);
+  FederationConfig cfg;
+  cfg.num_parties = 2;
+  cfg.params.key_bits = 512;
+
+  LogisticParams np_params;
+  np_params.epochs = 3;
+  np_params.learning_rate = 0.5;
+  np_params.batch_size = 16;
+  LogisticModel np = TrainLogisticPlain(data, np_params);
+  std::vector<double> np_preds;
+  for (const auto& row : data.features) np_preds.push_back(np.PredictLabel(row));
+  const double np_acc = Accuracy(np_preds, data.labels);
+
+  double pivot_acc = -1;
+  std::mutex mu;
+  Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+    PivotLogRegParams params;
+    params.epochs = 3;
+    params.learning_rate = 0.5;
+    params.batch_size = 16;
+    PIVOT_ASSIGN_OR_RETURN(PivotLogRegModel model,
+                           TrainPivotLogReg(ctx, params));
+    // Distributed prediction on the training rows (thresholded at 0.5).
+    auto rows = SliceRowsForParty(data, ctx.id(), 2);
+    int correct = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      PIVOT_ASSIGN_OR_RETURN(double prob,
+                             PredictPivotLogReg(ctx, model, rows[i]));
+      if (prob < -0.01 || prob > 1.01) {
+        return Status::Internal("probability out of range");
+      }
+      correct += ((prob >= 0.5 ? 1.0 : 0.0) == data.labels[i]);
+    }
+    if (ctx.id() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      pivot_acc = static_cast<double>(correct) / rows.size();
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // The private model should be in the same accuracy regime as the
+  // plaintext one (fixed point + secure sigmoid approximation allowed).
+  EXPECT_GT(pivot_acc, np_acc - 0.15);
+  EXPECT_GT(pivot_acc, 0.6);
+}
+
+TEST(PivotLogRegTest, SmallKeyRejected) {
+  Dataset data = SeparableData(20, 4, 8);
+  FederationConfig cfg;
+  cfg.num_parties = 2;
+  cfg.params.key_bits = 256;
+  Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+    Result<PivotLogRegModel> r = TrainPivotLogReg(ctx, PivotLogRegParams());
+    if (r.ok()) return Status::Internal("expected key rejection");
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace pivot

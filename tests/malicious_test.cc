@@ -1,0 +1,204 @@
+#include "pivot/malicious.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/threshold_paillier.h"
+#include "data/synthetic.h"
+#include "mpc/mac.h"
+#include "pivot/runner.h"
+
+namespace pivot {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MAC-authenticated shares (SPDZ MACs, Section 9.1.1)
+// ---------------------------------------------------------------------------
+
+void RunAuth(int m, const std::function<Status(AuthEngine&)>& body) {
+  InMemoryNetwork net(m);
+  Status st = RunParties(net, [&](int id, Endpoint& ep) -> Status {
+    AuthDealer dealer(id, m, 777);
+    AuthEngine eng(&ep, &dealer);
+    return body(eng);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(AuthShareTest, InputOpenRoundTrip) {
+  RunAuth(3, [](AuthEngine& eng) -> Status {
+    for (i128 v : {i128{0}, i128{42}, i128{-5}, i128{1} << 50}) {
+      PIVOT_ASSIGN_OR_RETURN(AuthShare s, eng.Input(1, v));
+      PIVOT_ASSIGN_OR_RETURN(u128 opened, eng.Open(s));
+      if (FpToSigned(opened) != v) return Status::Internal("open mismatch");
+    }
+    return Status::Ok();
+  });
+}
+
+TEST(AuthShareTest, LinearOpsPreserveMacs) {
+  RunAuth(2, [](AuthEngine& eng) -> Status {
+    PIVOT_ASSIGN_OR_RETURN(AuthShare a, eng.Input(0, 30));
+    PIVOT_ASSIGN_OR_RETURN(AuthShare b, eng.Input(1, 12));
+    PIVOT_ASSIGN_OR_RETURN(u128 sum, eng.Open(AuthEngine::Add(a, b)));
+    PIVOT_ASSIGN_OR_RETURN(u128 diff, eng.Open(AuthEngine::Sub(a, b)));
+    PIVOT_ASSIGN_OR_RETURN(u128 scaled, eng.Open(AuthEngine::MulPub(a, 3)));
+    PIVOT_ASSIGN_OR_RETURN(u128 shifted, eng.Open(eng.AddConst(a, 12)));
+    if (FpToSigned(sum) != 42 || FpToSigned(diff) != 18 ||
+        FpToSigned(scaled) != 90 || FpToSigned(shifted) != 42) {
+      return Status::Internal("authenticated linear ops wrong");
+    }
+    return Status::Ok();
+  });
+}
+
+TEST(AuthShareTest, AuthenticatedMultiplication) {
+  RunAuth(3, [](AuthEngine& eng) -> Status {
+    PIVOT_ASSIGN_OR_RETURN(AuthShare a, eng.Input(0, -6));
+    PIVOT_ASSIGN_OR_RETURN(AuthShare b, eng.Input(0, 7));
+    PIVOT_ASSIGN_OR_RETURN(AuthShare c, eng.Mul(a, b));
+    PIVOT_ASSIGN_OR_RETURN(u128 opened, eng.Open(c));
+    if (FpToSigned(opened) != -42) return Status::Internal("mul mismatch");
+    return Status::Ok();
+  });
+}
+
+TEST(AuthShareTest, TamperedShareIsDetected) {
+  RunAuth(2, [](AuthEngine& eng) -> Status {
+    PIVOT_ASSIGN_OR_RETURN(AuthShare s, eng.Input(0, 100));
+    // Party 1 adds 1 to its share of the value without fixing the MAC.
+    AuthShare cheat = eng.party_id() == 1 ? AuthEngine::Tamper(s, 1) : s;
+    Result<u128> opened = eng.Open(cheat);
+    if (opened.ok()) return Status::Internal("tampering went undetected");
+    if (opened.status().code() != StatusCode::kIntegrityError) {
+      return Status::Internal("wrong error: " + opened.status().ToString());
+    }
+    return Status::Ok();
+  });
+}
+
+TEST(AuthShareTest, TamperedMulInputDetected) {
+  RunAuth(2, [](AuthEngine& eng) -> Status {
+    PIVOT_ASSIGN_OR_RETURN(AuthShare a, eng.Input(0, 5));
+    PIVOT_ASSIGN_OR_RETURN(AuthShare b, eng.Input(0, 9));
+    AuthShare cheat = eng.party_id() == 0 ? AuthEngine::Tamper(a, 3) : a;
+    // The tamper is caught when the Beaver masks are opened inside Mul.
+    Result<AuthShare> c = eng.Mul(cheat, b);
+    if (c.ok()) {
+      Result<u128> opened = eng.Open(c.value());
+      if (opened.ok()) return Status::Internal("tampered mul undetected");
+    }
+    return Status::Ok();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ZKP-verified local computation (Section 9.1.2)
+// ---------------------------------------------------------------------------
+
+class MaliciousZkpTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(4242);
+    keys_ = new ThresholdPaillier(GenerateThresholdPaillier(256, 2, *rng_));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete rng_;
+  }
+  static Rng* rng_;
+  static ThresholdPaillier* keys_;
+};
+
+Rng* MaliciousZkpTest::rng_ = nullptr;
+ThresholdPaillier* MaliciousZkpTest::keys_ = nullptr;
+
+TEST_F(MaliciousZkpTest, CommitmentProvesOpenability) {
+  std::vector<uint8_t> bits = {1, 0, 1, 1};
+  CommittedVector committed = CommitIndicatorVector(keys_->pk, bits, *rng_);
+  CommitmentWithProofs proofs = ProveCommitment(keys_->pk, committed, *rng_);
+  EXPECT_TRUE(VerifyCommitment(keys_->pk, proofs).ok());
+  // Swapping a commitment invalidates its proof.
+  std::swap(proofs.commitments[0], proofs.commitments[1]);
+  EXPECT_FALSE(VerifyCommitment(keys_->pk, proofs).ok());
+}
+
+TEST_F(MaliciousZkpTest, HonestStatisticVerifies) {
+  std::vector<uint8_t> bits = {1, 0, 1, 0, 1};
+  CommittedVector committed = CommitIndicatorVector(keys_->pk, bits, *rng_);
+  std::vector<Ciphertext> gamma;
+  for (int g : {1, 1, 0, 1, 1}) {
+    gamma.push_back(keys_->pk.Encrypt(BigInt(g), *rng_));
+  }
+  VerifiedStatistic stat =
+      ComputeVerifiedSplitStatistic(keys_->pk, committed, gamma, *rng_);
+  EXPECT_TRUE(VerifySplitStatistic(keys_->pk, committed.commitments, gamma,
+                                   stat)
+                  .ok());
+  // Statistic decrypts to the true overlap count (positions 0 and 4).
+  EXPECT_EQ(JointDecrypt(*keys_, stat.stat).value(), BigInt(2));
+}
+
+TEST_F(MaliciousZkpTest, InflatedStatisticRejected) {
+  std::vector<uint8_t> bits = {1, 0};
+  CommittedVector committed = CommitIndicatorVector(keys_->pk, bits, *rng_);
+  std::vector<Ciphertext> gamma = {keys_->pk.Encrypt(BigInt(1), *rng_),
+                                   keys_->pk.Encrypt(BigInt(1), *rng_)};
+  VerifiedStatistic stat =
+      ComputeVerifiedSplitStatistic(keys_->pk, committed, gamma, *rng_);
+  // A malicious client swaps in a bigger count.
+  stat.stat = keys_->pk.Encrypt(BigInt(5), *rng_);
+  EXPECT_FALSE(VerifySplitStatistic(keys_->pk, committed.commitments, gamma,
+                                    stat)
+                   .ok());
+}
+
+TEST_F(MaliciousZkpTest, GammaEntryVerifies) {
+  BigInt beta(1);
+  BigInt r = keys_->pk.SampleUnit(*rng_);
+  Ciphertext beta_commit = keys_->pk.EncryptWithRandomness(beta, r);
+  Ciphertext alpha = keys_->pk.Encrypt(BigInt(1), *rng_);
+  VerifiedGammaEntry entry =
+      ComputeVerifiedGammaEntry(keys_->pk, beta_commit, beta, r, alpha, *rng_);
+  EXPECT_TRUE(VerifyGammaEntry(keys_->pk, beta_commit, alpha, entry).ok());
+  EXPECT_EQ(JointDecrypt(*keys_, entry.gamma).value(), BigInt(1));
+  // A gamma entry computed from a different beta fails verification.
+  VerifiedGammaEntry forged = entry;
+  forged.gamma = keys_->pk.ScalarMul(BigInt(2), alpha);
+  EXPECT_FALSE(VerifyGammaEntry(keys_->pk, beta_commit, alpha, forged).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Verified conversion (modified Algorithm 2, Section 9.1.1)
+// ---------------------------------------------------------------------------
+
+TEST(VerifiedConversionTest, HonestPartiesProduceCorrectShares) {
+  ClassificationSpec spec;
+  spec.num_samples = 8;
+  spec.num_features = 4;
+  Dataset data = MakeClassification(spec);
+  FederationConfig cfg;
+  cfg.num_parties = 3;
+  cfg.params.key_bits = 256;
+  Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+    std::vector<Ciphertext> cts;
+    if (ctx.id() == 0) {
+      for (int v : {7, 0, 123456}) {
+        cts.push_back(ctx.pk().Encrypt(BigInt(v), ctx.rng()));
+      }
+    }
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> shares,
+                           VerifiedCiphertextsToShares(ctx, cts, 0));
+    // Reconstruct through the engine to check the values.
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> opened,
+                           ctx.engine().OpenVec(shares));
+    if (FpToSigned(opened[0]) != 7 || FpToSigned(opened[1]) != 0 ||
+        FpToSigned(opened[2]) != 123456) {
+      return Status::Internal("verified conversion wrong values");
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/fixed_point.h"
+#include "mpc/engine.h"
+#include "net/network.h"
+
+namespace pivot {
+namespace {
+
+double FromFix(u128 v) {
+  return FixedToDouble(static_cast<int64_t>(FpToSigned(v)));
+}
+
+void RunMpc(int m, const std::function<Status(MpcEngine&)>& body,
+            uint64_t seed = 555) {
+  InMemoryNetwork net(m);
+  Status st = RunParties(net, [&](int id, Endpoint& ep) -> Status {
+    Preprocessing prep(id, m, seed);
+    MpcEngine eng(&ep, &prep, seed * 7 + id);
+    return body(eng);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+class EngineExtraTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineExtraTest, AbsMatchesPlain) {
+  RunMpc(GetParam(), [](MpcEngine& eng) -> Status {
+    std::vector<i128> xs = {0, 1, -1, 100, -100, (i128{1} << 40),
+                            -(i128{1} << 40)};
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> shares,
+                           eng.InputVector(0, xs, xs.size()));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> abs, eng.AbsVec(shares, 64));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> opened, eng.OpenVec(abs));
+    for (size_t i = 0; i < xs.size(); ++i) {
+      i128 expected = xs[i] < 0 ? -xs[i] : xs[i];
+      if (FpToSigned(opened[i]) != expected) {
+        return Status::Internal("abs mismatch");
+      }
+    }
+    return Status::Ok();
+  });
+}
+
+TEST_P(EngineExtraTest, SignNonzeroMatchesPlain) {
+  RunMpc(GetParam(), [](MpcEngine& eng) -> Status {
+    std::vector<i128> xs = {5, -5, 1, -1, 123456, -99};
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> shares,
+                           eng.InputVector(0, xs, xs.size()));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> sign,
+                           eng.SignNonzeroVec(shares, 64));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> opened, eng.OpenVec(sign));
+    for (size_t i = 0; i < xs.size(); ++i) {
+      i128 expected = xs[i] < 0 ? -1 : 1;
+      if (FpToSigned(opened[i]) != expected) {
+        return Status::Internal("sign mismatch");
+      }
+    }
+    return Status::Ok();
+  });
+}
+
+TEST_P(EngineExtraTest, MinMatchesPlain) {
+  RunMpc(GetParam(), [](MpcEngine& eng) -> Status {
+    std::vector<i128> a = {3, -3, 10, 0};
+    std::vector<i128> b = {5, -5, 10, -1};
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> sa, eng.InputVector(0, a, 4));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> sb, eng.InputVector(0, b, 4));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> mins, eng.MinVec(sa, sb, 64));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> opened, eng.OpenVec(mins));
+    for (int i = 0; i < 4; ++i) {
+      if (FpToSigned(opened[i]) != std::min(a[i], b[i])) {
+        return Status::Internal("min mismatch");
+      }
+    }
+    return Status::Ok();
+  });
+}
+
+TEST_P(EngineExtraTest, ArgminFindsMinimum) {
+  RunMpc(GetParam(), [](MpcEngine& eng) -> Status {
+    std::vector<i128> vals = {7, 3, -2, 8, -2, 0};
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> shares,
+                           eng.InputVector(0, vals, vals.size()));
+    PIVOT_ASSIGN_OR_RETURN(MpcEngine::ArgmaxShares best,
+                           eng.Argmin(shares, 64));
+    PIVOT_ASSIGN_OR_RETURN(u128 idx, eng.Open(best.index));
+    PIVOT_ASSIGN_OR_RETURN(u128 min, eng.Open(best.max));
+    if (FpToSigned(min) != -2) return Status::Internal("argmin value");
+    if (FpToSigned(idx) != 2) return Status::Internal("argmin index");
+    return Status::Ok();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Parties, EngineExtraTest, ::testing::Values(2, 3));
+
+TEST(EngineSqrtTest, SqrtAccuracy) {
+  RunMpc(2, [](MpcEngine& eng) -> Status {
+    std::vector<double> xs = {0.01, 0.25, 1.0, 2.0, 9.0, 100.0, 54321.0};
+    std::vector<i128> raw;
+    for (double x : xs) raw.push_back(FixedFromDouble(x));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> shares,
+                           eng.InputVector(0, raw, raw.size()));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> roots, eng.SqrtFixedVec(shares));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> opened, eng.OpenVec(roots));
+    for (size_t i = 0; i < xs.size(); ++i) {
+      const double got = FromFix(opened[i]);
+      const double want =
+          std::sqrt(FixedToDouble(FixedFromDouble(xs[i])));
+      const double tol = std::max(2e-3 * want, 5.0 / (1 << 16));
+      if (std::abs(got - want) > tol) {
+        return Status::Internal("sqrt off at x=" + std::to_string(xs[i]) +
+                                ": got " + std::to_string(got) + " want " +
+                                std::to_string(want));
+      }
+    }
+    return Status::Ok();
+  });
+}
+
+TEST(EngineSqrtTest, SqrtOfZeroIsZero) {
+  RunMpc(2, [](MpcEngine& eng) -> Status {
+    PIVOT_ASSIGN_OR_RETURN(u128 zero, eng.Input(0, 0));
+    PIVOT_ASSIGN_OR_RETURN(std::vector<u128> roots, eng.SqrtFixedVec({zero}));
+    PIVOT_ASSIGN_OR_RETURN(u128 opened, eng.Open(roots[0]));
+    if (FpToSigned(opened) != 0) return Status::Internal("sqrt(0) != 0");
+    return Status::Ok();
+  });
+}
+
+TEST(EngineSqrtTest, SqrtSquareRoundTrip) {
+  // sqrt(x)^2 ~ x within fixed-point tolerance.
+  RunMpc(3, [](MpcEngine& eng) -> Status {
+    for (double x : {0.5, 4.0, 1000.0}) {
+      PIVOT_ASSIGN_OR_RETURN(u128 s, eng.Input(0, FixedFromDouble(x)));
+      PIVOT_ASSIGN_OR_RETURN(std::vector<u128> r, eng.SqrtFixedVec({s}));
+      PIVOT_ASSIGN_OR_RETURN(u128 sq, eng.MulFixed(r[0], r[0]));
+      PIVOT_ASSIGN_OR_RETURN(u128 opened, eng.Open(sq));
+      if (std::abs(FromFix(opened) - x) > 0.01 * x + 0.01) {
+        return Status::Internal("sqrt round trip off for " + std::to_string(x));
+      }
+    }
+    return Status::Ok();
+  });
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,103 @@
+#include "mpc/field.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.h"
+#include "common/rng.h"
+
+namespace pivot {
+namespace {
+
+BigInt U128ToBig(u128 v) { return FpToBigInt(v); }
+
+const BigInt kPrimeBig = (BigInt(1) << 127) - BigInt(1);
+
+TEST(FieldTest, PrimeIsMersenne127) {
+  EXPECT_EQ(U128ToBig(kFieldPrime), kPrimeBig);
+}
+
+TEST(FieldTest, AddSubNegSmall) {
+  EXPECT_EQ(FpAdd(2, 3), static_cast<u128>(5));
+  EXPECT_EQ(FpSub(3, 5), kFieldPrime - 2);
+  EXPECT_EQ(FpNeg(0), static_cast<u128>(0));
+  EXPECT_EQ(FpAdd(FpNeg(7), 7), static_cast<u128>(0));
+}
+
+TEST(FieldTest, AddWrapsAtPrime) {
+  EXPECT_EQ(FpAdd(kFieldPrime - 1, 1), static_cast<u128>(0));
+  EXPECT_EQ(FpAdd(kFieldPrime - 1, 2), static_cast<u128>(1));
+}
+
+TEST(FieldTest, MulMatchesBigIntRandomized) {
+  Rng rng(31337);
+  for (int i = 0; i < 5000; ++i) {
+    u128 a = FpRandom(rng);
+    u128 b = FpRandom(rng);
+    BigInt expected = U128ToBig(a).ModMul(U128ToBig(b), kPrimeBig);
+    EXPECT_EQ(U128ToBig(FpMul(a, b)), expected);
+  }
+}
+
+TEST(FieldTest, MulEdgeCases) {
+  EXPECT_EQ(FpMul(0, kFieldPrime - 1), static_cast<u128>(0));
+  EXPECT_EQ(FpMul(1, kFieldPrime - 1), kFieldPrime - 1);
+  // (p-1)^2 = 1 mod p
+  EXPECT_EQ(FpMul(kFieldPrime - 1, kFieldPrime - 1), static_cast<u128>(1));
+  // Largest 64-bit operands.
+  u128 big = (static_cast<u128>(1) << 64) - 1;
+  BigInt expected = U128ToBig(big).ModMul(U128ToBig(big), kPrimeBig);
+  EXPECT_EQ(U128ToBig(FpMul(big, big)), expected);
+}
+
+TEST(FieldTest, PowAndInv) {
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    u128 a = FpRandom(rng);
+    if (a == 0) continue;
+    EXPECT_EQ(FpMul(a, FpInv(a)), static_cast<u128>(1));
+  }
+  EXPECT_EQ(FpPow(2, 10), static_cast<u128>(1024));
+  EXPECT_EQ(FpPow(5, 0), static_cast<u128>(1));
+  // Fermat: a^(p-1) = 1.
+  EXPECT_EQ(FpPow(123456789, kFieldPrime - 1), static_cast<u128>(1));
+}
+
+TEST(FieldTest, SignedRoundTrip) {
+  for (i128 v : {i128{0}, i128{1}, i128{-1}, i128{123456789},
+                 -static_cast<i128>(1) << 100, static_cast<i128>(1) << 100}) {
+    EXPECT_EQ(FpToSigned(FpFromSigned(v)), v);
+  }
+}
+
+TEST(FieldTest, RandomInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(FpRandom(rng), kFieldPrime);
+  }
+}
+
+TEST(FieldTest, BigIntBridge) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    u128 v = FpRandom(rng);
+    EXPECT_EQ(FpFromBigInt(FpToBigInt(v)), v);
+  }
+  // Values above p reduce mod p (the ciphertext-congruence bridge).
+  BigInt above = kPrimeBig + BigInt(5);
+  EXPECT_EQ(FpFromBigInt(above), static_cast<u128>(5));
+  BigInt way_above = kPrimeBig * BigInt(12345) + BigInt(77);
+  EXPECT_EQ(FpFromBigInt(way_above), static_cast<u128>(77));
+}
+
+TEST(FieldTest, FoldReduceInvariants) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    u128 x = (static_cast<u128>(rng.NextU64()) << 64) | rng.NextU64();
+    u128 r = FpReduce(x);
+    EXPECT_LT(r, kFieldPrime);
+    EXPECT_EQ(U128ToBig(r), U128ToBig(x).Mod(kPrimeBig));
+  }
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,148 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "net/codec.h"
+
+namespace pivot {
+namespace {
+
+TEST(NetworkTest, PointToPoint) {
+  InMemoryNetwork net(2);
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) {
+      ep.Send(1, Bytes{1, 2, 3});
+      PIVOT_ASSIGN_OR_RETURN(Bytes reply, ep.Recv(1));
+      if (reply != Bytes{9}) return Status::Internal("bad reply");
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
+      if (msg != (Bytes{1, 2, 3})) return Status::Internal("bad msg");
+      ep.Send(0, Bytes{9});
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(NetworkTest, FifoOrderPreserved) {
+  InMemoryNetwork net(2);
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) {
+      for (uint8_t i = 0; i < 10; ++i) ep.Send(1, Bytes{i});
+    } else {
+      for (uint8_t i = 0; i < 10; ++i) {
+        PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
+        if (msg[0] != i) return Status::Internal("order broken");
+      }
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(NetworkTest, BroadcastAndGather) {
+  InMemoryNetwork net(4);
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    ep.Broadcast(Bytes{static_cast<uint8_t>(id)});
+    Bytes own{static_cast<uint8_t>(id)};
+    // Drain the broadcasts via explicit receives.
+    for (int p = 0; p < 4; ++p) {
+      if (p == id) continue;
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(p));
+      if (msg[0] != p) return Status::Internal("wrong broadcast sender");
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(NetworkTest, GatherAllCollectsInOrder) {
+  InMemoryNetwork net(3);
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    ep.Broadcast(Bytes{static_cast<uint8_t>(10 + id)});
+    PIVOT_ASSIGN_OR_RETURN(std::vector<Bytes> all,
+                           ep.GatherAll(Bytes{static_cast<uint8_t>(10 + id)}));
+    for (int p = 0; p < 3; ++p) {
+      if (all[p][0] != 10 + p) return Status::Internal("gather order");
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(NetworkTest, RecvTimesOutInsteadOfHanging) {
+  InMemoryNetwork net(2, /*recv_timeout_ms=*/50);
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) {
+      Result<Bytes> r = ep.Recv(1);  // never sent
+      if (r.ok()) return Status::Internal("expected timeout");
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(NetworkTest, TrafficCounters) {
+  InMemoryNetwork net(2);
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) {
+      ep.Send(1, Bytes(100, 0));
+      if (ep.bytes_sent() != 100) return Status::Internal("bytes_sent");
+      if (ep.messages_sent() != 1) return Status::Internal("messages_sent");
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
+      (void)msg;
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(net.total_bytes(), 100u);
+}
+
+TEST(NetworkTest, PartyErrorPropagatesWithId) {
+  InMemoryNetwork net(2, 50);
+  Status st = RunParties(net, [](int id, Endpoint&) -> Status {
+    return id == 1 ? Status::Internal("boom") : Status::Ok();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("party 1"), std::string::npos);
+}
+
+TEST(CodecTest, BigIntVectorRoundTrip) {
+  std::vector<BigInt> vals = {BigInt(0), BigInt(-123), BigInt(1) << 200};
+  Bytes data = EncodeBigIntVector(vals);
+  std::vector<BigInt> back = DecodeBigIntVector(data).value();
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0], vals[0]);
+  EXPECT_EQ(back[1], vals[1]);
+  EXPECT_EQ(back[2], vals[2]);
+}
+
+TEST(CodecTest, U128VectorRoundTrip) {
+  std::vector<u128> vals = {0, 1, (static_cast<u128>(1) << 100) + 7};
+  Bytes data = EncodeU128Vector(vals);
+  std::vector<u128> back = DecodeU128Vector(data).value();
+  ASSERT_EQ(back.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_TRUE(back[i] == vals[i]);
+}
+
+TEST(CodecTest, CiphertextVectorRoundTrip) {
+  std::vector<Ciphertext> cts = {Ciphertext{BigInt(5)},
+                                 Ciphertext{BigInt(1) << 300}};
+  Bytes data = EncodeCiphertextVector(cts);
+  std::vector<Ciphertext> back = DecodeCiphertextVector(data).value();
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].value, BigInt(5));
+  EXPECT_EQ(back[1].value, BigInt(1) << 300);
+}
+
+TEST(CodecTest, MalformedInputRejected) {
+  EXPECT_FALSE(DecodeBigIntVector(Bytes{1, 2}).ok());
+  ByteWriter w;
+  w.WriteU64(1000000);  // claims a million entries in 8 bytes
+  EXPECT_FALSE(DecodeBigIntVector(w.data()).ok());
+  EXPECT_FALSE(DecodeU128Vector(w.data()).ok());
+}
+
+}  // namespace
+}  // namespace pivot

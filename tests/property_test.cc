@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "crypto/paillier.h"
+#include "mpc/preprocessing.h"
+#include "net/network.h"
+
+namespace pivot {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Paillier: randomized homomorphic-circuit property test. A random
+// sequence of Add / ScalarMul / AddPlain ops applied to ciphertexts must
+// track the same sequence applied to plaintexts mod n.
+// ---------------------------------------------------------------------------
+
+class PaillierPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PaillierPropertyTest, RandomCircuitTracksPlaintext) {
+  Rng rng(GetParam());
+  static PaillierKeyPair* keys = nullptr;
+  if (keys == nullptr) {
+    Rng key_rng(2026);
+    keys = new PaillierKeyPair(GeneratePaillierKeyPair(256, key_rng));
+  }
+  const BigInt& n = keys->pk.n();
+
+  // Working set of (ciphertext, expected plaintext) pairs.
+  std::vector<std::pair<Ciphertext, BigInt>> slots;
+  for (int i = 0; i < 4; ++i) {
+    BigInt v(static_cast<int64_t>(rng.NextBelow(1'000'000)));
+    slots.push_back({keys->pk.Encrypt(v, rng), v});
+  }
+  for (int step = 0; step < 30; ++step) {
+    const size_t a = rng.NextBelow(slots.size());
+    const size_t b = rng.NextBelow(slots.size());
+    switch (rng.NextBelow(4)) {
+      case 0:  // homomorphic add
+        slots[a].first = keys->pk.Add(slots[a].first, slots[b].first);
+        slots[a].second = slots[a].second.ModAdd(slots[b].second, n);
+        break;
+      case 1: {  // scalar multiply
+        BigInt k(static_cast<int64_t>(rng.NextBelow(1000)));
+        slots[a].first = keys->pk.ScalarMul(k, slots[a].first);
+        slots[a].second = slots[a].second.ModMul(k, n);
+        break;
+      }
+      case 2: {  // add plaintext constant
+        BigInt k(static_cast<int64_t>(rng.NextBelow(100000)));
+        slots[a].first = keys->pk.AddPlain(slots[a].first, k);
+        slots[a].second = slots[a].second.ModAdd(k, n);
+        break;
+      }
+      default:  // rerandomize (no plaintext change)
+        slots[a].first = keys->pk.Rerandomize(slots[a].first, rng);
+        break;
+    }
+  }
+  for (auto& [ct, expected] : slots) {
+    EXPECT_EQ(keys->sk.Decrypt(ct).value(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaillierPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// Preprocessing: the dealer's correlated randomness must satisfy its
+// invariants when the per-party shares are summed, across party counts.
+// ---------------------------------------------------------------------------
+
+class DealerInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DealerInvariantTest, TriplesMultiplyCorrectly) {
+  const int m = GetParam();
+  std::vector<Preprocessing> parties;
+  for (int i = 0; i < m; ++i) parties.emplace_back(i, m, 777);
+  for (int round = 0; round < 20; ++round) {
+    u128 a = 0, b = 0, c = 0;
+    for (int i = 0; i < m; ++i) {
+      Preprocessing::Triple t = parties[i].NextTriple();
+      a = FpAdd(a, t.a);
+      b = FpAdd(b, t.b);
+      c = FpAdd(c, t.c);
+    }
+    EXPECT_TRUE(FpMul(a, b) == c) << "round " << round;
+  }
+}
+
+TEST_P(DealerInvariantTest, BitsAreBits) {
+  const int m = GetParam();
+  std::vector<Preprocessing> parties;
+  for (int i = 0; i < m; ++i) parties.emplace_back(i, m, 778);
+  int ones = 0;
+  for (int round = 0; round < 64; ++round) {
+    u128 bit = 0;
+    for (int i = 0; i < m; ++i) bit = FpAdd(bit, parties[i].NextBitShare());
+    ASSERT_TRUE(bit == 0 || bit == 1);
+    ones += (bit == 1);
+  }
+  EXPECT_GT(ones, 10);  // not constant
+  EXPECT_LT(ones, 54);
+}
+
+TEST_P(DealerInvariantTest, TruncMasksDecomposeCorrectly) {
+  const int m = GetParam();
+  std::vector<Preprocessing> parties;
+  for (int i = 0; i < m; ++i) parties.emplace_back(i, m, 779);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Preprocessing::TruncMask> masks;
+    for (int i = 0; i < m; ++i) masks.push_back(parties[i].NextTruncMask(16, 24));
+    // Reconstruct each bit; all must be 0/1; r1 < 2^24.
+    for (int j = 0; j < 16; ++j) {
+      u128 bit = 0;
+      for (int i = 0; i < m; ++i) {
+        bit = FpAdd(bit, masks[i].low_bit_shares[j]);
+      }
+      ASSERT_TRUE(bit == 0 || bit == 1);
+    }
+    u128 r1 = 0;
+    for (int i = 0; i < m; ++i) r1 = FpAdd(r1, masks[i].r1_share);
+    EXPECT_TRUE(r1 < (static_cast<u128>(1) << 24));
+  }
+}
+
+TEST_P(DealerInvariantTest, DifferentSeedsDifferentStreams) {
+  const int m = GetParam();
+  Preprocessing a(0, m, 1), b(0, m, 2);
+  int same = 0;
+  for (int i = 0; i < 16; ++i) {
+    same += (a.NextRandomShare() == b.NextRandomShare());
+  }
+  EXPECT_LT(same, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parties, DealerInvariantTest,
+                         ::testing::Values(1, 2, 3, 5));
+
+// ---------------------------------------------------------------------------
+// Network simulation: the LAN emulation must actually delay messages.
+// ---------------------------------------------------------------------------
+
+TEST(NetworkSimTest, LatencyDelaysSends) {
+  NetworkSim sim;
+  sim.latency_us = 2000;  // 2 ms per message
+  InMemoryNetwork net(2, 60'000, sim);
+  const auto start = std::chrono::steady_clock::now();
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) {
+      for (int i = 0; i < 10; ++i) ep.Send(1, Bytes{1});
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
+        (void)msg;
+      }
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok());
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_GE(ms, 18.0);  // 10 messages x 2 ms, minus scheduling slack
+}
+
+TEST(NetworkSimTest, BandwidthDelaysLargeMessages) {
+  NetworkSim sim;
+  sim.bandwidth_gbps = 0.001;  // 1 Mbps: 1 MB takes ~8 s -> use 10 KB ~ 80 ms
+  InMemoryNetwork net(2, 60'000, sim);
+  const auto start = std::chrono::steady_clock::now();
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) {
+      ep.Send(1, Bytes(10'000, 7));
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
+      if (msg.size() != 10'000) return Status::Internal("size");
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok());
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_GE(ms, 60.0);
+}
+
+TEST(NetworkSimTest, DisabledByDefault) {
+  NetworkSim sim;
+  EXPECT_FALSE(sim.enabled());
+  sim.latency_us = 1;
+  EXPECT_TRUE(sim.enabled());
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,75 @@
+#include "psi/psi.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+namespace pivot {
+namespace {
+
+// Runs m-party PSI with the given per-party id sets and returns each
+// party's computed intersection.
+std::vector<std::vector<uint64_t>> RunPsi(
+    const std::vector<std::vector<uint64_t>>& sets) {
+  const int m = static_cast<int>(sets.size());
+  InMemoryNetwork net(m);
+  std::vector<std::vector<uint64_t>> results(m);
+  std::mutex mu;
+  Status st = RunParties(net, [&](int id, Endpoint& ep) -> Status {
+    Rng rng(1000 + id);
+    PIVOT_ASSIGN_OR_RETURN(std::vector<uint64_t> inter,
+                           IntersectSampleIds(ep, sets[id], rng));
+    std::lock_guard<std::mutex> lock(mu);
+    results[id] = std::move(inter);
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return results;
+}
+
+TEST(PsiTest, TwoPartyIntersection) {
+  auto results = RunPsi({{1, 2, 3, 4, 5}, {4, 2, 9, 100}});
+  EXPECT_EQ(results[0], (std::vector<uint64_t>{2, 4}));
+  EXPECT_EQ(results[1], (std::vector<uint64_t>{4, 2}));
+}
+
+TEST(PsiTest, ThreePartyIntersection) {
+  auto results = RunPsi({{10, 20, 30, 40}, {20, 40, 50}, {40, 20, 60, 70}});
+  EXPECT_EQ(results[0], (std::vector<uint64_t>{20, 40}));
+  EXPECT_EQ(results[1], (std::vector<uint64_t>{20, 40}));
+  EXPECT_EQ(results[2], (std::vector<uint64_t>{40, 20}));
+}
+
+TEST(PsiTest, DisjointSetsGiveEmptyIntersection) {
+  auto results = RunPsi({{1, 2}, {3, 4}, {5, 6}});
+  for (const auto& r : results) EXPECT_TRUE(r.empty());
+}
+
+TEST(PsiTest, IdenticalSets) {
+  auto results = RunPsi({{7, 8, 9}, {9, 8, 7}});
+  EXPECT_EQ(results[0].size(), 3u);
+  EXPECT_EQ(results[1].size(), 3u);
+}
+
+TEST(PsiTest, SinglePartyReturnsOwnSet) {
+  auto results = RunPsi({{5, 6, 7}});
+  EXPECT_EQ(results[0], (std::vector<uint64_t>{5, 6, 7}));
+}
+
+TEST(PsiTest, UnevenSizesAndLargeIds) {
+  auto results =
+      RunPsi({{0xFFFFFFFFFFFFFFFFULL, 1}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}});
+  EXPECT_EQ(results[0], (std::vector<uint64_t>{1}));
+  EXPECT_EQ(results[1], (std::vector<uint64_t>{1}));
+}
+
+TEST(PsiTest, BlindedEncodingsHideNonMembers) {
+  // Structural property: two different ids never produce the same group
+  // element before blinding (hash injectivity in practice), and the
+  // protocol returns only common ids — checked by a superset/subset case.
+  auto results = RunPsi({{1, 2, 3, 4, 5, 6}, {2, 4, 6}});
+  EXPECT_EQ(results[0], (std::vector<uint64_t>{2, 4, 6}));
+}
+
+}  // namespace
+}  // namespace pivot

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <tuple>
+
+#include "data/synthetic.h"
+#include "pivot/runner.h"
+#include "pivot/trainer.h"
+
+namespace pivot {
+namespace {
+
+// Structural invariants of trained Pivot trees over a parameter grid:
+// protocol x task x (m, depth). Every tree must be a well-formed binary
+// tree within the depth budget, with valid owners/features and exactly
+// one more leaf than internal node.
+
+using GridParam = std::tuple<Protocol, TreeTask, int /*m*/, int /*depth*/>;
+
+class TrainerInvariantsTest : public ::testing::TestWithParam<GridParam> {};
+
+int DepthOf(const PivotTree& tree, int id) {
+  const PivotNode& n = tree.nodes[id];
+  if (n.is_leaf) return 0;
+  return 1 + std::max(DepthOf(tree, n.left), DepthOf(tree, n.right));
+}
+
+TEST_P(TrainerInvariantsTest, WellFormedTree) {
+  const auto [protocol, task, m, depth] = GetParam();
+  Dataset data;
+  if (task == TreeTask::kRegression) {
+    RegressionSpec spec;
+    spec.num_samples = 30;
+    spec.num_features = 2 * m;
+    spec.seed = 1000 + m + depth;
+    data = MakeRegression(spec);
+  } else {
+    ClassificationSpec spec;
+    spec.num_samples = 30;
+    spec.num_features = 2 * m;
+    spec.num_classes = 2;
+    spec.seed = 2000 + m + depth;
+    data = MakeClassification(spec);
+  }
+  FederationConfig cfg;
+  cfg.num_parties = m;
+  cfg.params.tree.task = task;
+  cfg.params.tree.num_classes = 2;
+  cfg.params.tree.max_depth = depth;
+  cfg.params.tree.max_splits = 3;
+  cfg.params.tree.min_samples_split = 4;
+  cfg.params.key_bits = protocol == Protocol::kEnhanced ? 384 : 256;
+
+  Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+    TrainTreeOptions opts;
+    opts.protocol = protocol;
+    PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainPivotTree(ctx, opts));
+
+    if (tree.nodes.empty()) return Status::Internal("empty tree");
+    if (DepthOf(tree, 0) > depth) return Status::Internal("depth exceeded");
+    if (tree.NumLeaves() != tree.NumInternalNodes() + 1) {
+      return Status::Internal("leaf/internal count broken");
+    }
+    std::vector<int> seen(tree.nodes.size(), 0);
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+      const PivotNode& n = tree.nodes[i];
+      if (n.is_leaf) continue;
+      if (n.left < 0 || n.right < 0 ||
+          n.left >= static_cast<int>(tree.nodes.size()) ||
+          n.right >= static_cast<int>(tree.nodes.size()) ||
+          n.left == n.right) {
+        return Status::Internal("bad child links");
+      }
+      ++seen[n.left];
+      ++seen[n.right];
+      if (n.owner < -1 || n.owner >= m) return Status::Internal("bad owner");
+      if (protocol == Protocol::kBasic) {
+        if (n.owner < 0 || n.feature_local < 0) {
+          return Status::Internal("basic node missing identity");
+        }
+        const int d_local = static_cast<int>(
+            PartitionVertically(data, m).views[n.owner].num_features());
+        if (n.feature_local >= d_local) {
+          return Status::Internal("feature index out of range");
+        }
+      }
+      if (task == TreeTask::kClassification &&
+          protocol == Protocol::kBasic) {
+        // leaf classes valid
+      }
+    }
+    // Every non-root node has exactly one parent; the root has none.
+    if (seen[0] != 0) return Status::Internal("root has a parent");
+    for (size_t i = 1; i < tree.nodes.size(); ++i) {
+      if (seen[i] != 1) return Status::Internal("node parent count != 1");
+    }
+    if (protocol == Protocol::kBasic &&
+        task == TreeTask::kClassification) {
+      for (const PivotNode& n : tree.nodes) {
+        if (n.is_leaf && (n.leaf_value < 0 || n.leaf_value > 1)) {
+          return Status::Internal("leaf class out of range");
+        }
+      }
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TrainerInvariantsTest,
+    ::testing::Values(
+        GridParam{Protocol::kBasic, TreeTask::kClassification, 2, 1},
+        GridParam{Protocol::kBasic, TreeTask::kClassification, 3, 2},
+        GridParam{Protocol::kBasic, TreeTask::kRegression, 2, 2},
+        GridParam{Protocol::kEnhanced, TreeTask::kClassification, 2, 2},
+        GridParam{Protocol::kEnhanced, TreeTask::kRegression, 2, 1}));
+
+// Parallel threshold decryption must not change results.
+TEST(ParallelDecryptionTest, SameTreeAsSequential) {
+  ClassificationSpec spec;
+  spec.num_samples = 30;
+  spec.num_features = 4;
+  spec.seed = 99;
+  Dataset data = MakeClassification(spec);
+
+  auto train = [&](int threads) {
+    FederationConfig cfg;
+    cfg.num_parties = 2;
+    cfg.params.tree.num_classes = 2;
+    cfg.params.tree.max_depth = 2;
+    cfg.params.key_bits = 256;
+    cfg.params.decryption_threads = threads;
+    std::vector<PivotNode> nodes;
+    std::mutex mu;
+    Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+      TrainTreeOptions opts;
+      PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainPivotTree(ctx, opts));
+      if (ctx.id() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        nodes = tree.nodes;
+      }
+      return Status::Ok();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return nodes;
+  };
+  auto seq = train(1);
+  auto par = train(4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].owner, par[i].owner);
+    EXPECT_DOUBLE_EQ(seq[i].threshold, par[i].threshold);
+    EXPECT_DOUBLE_EQ(seq[i].leaf_value, par[i].leaf_value);
+  }
+}
+
+}  // namespace
+}  // namespace pivot

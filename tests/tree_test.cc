@@ -1,0 +1,277 @@
+#include "tree/cart.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "tree/forest.h"
+#include "tree/gbdt.h"
+#include "tree/splits.h"
+#include "tree/tree_model.h"
+
+namespace pivot {
+namespace {
+
+TEST(SplitCandidatesTest, MidpointsOfDistinctValues) {
+  std::vector<double> candidates = ComputeSplitCandidates({1, 2, 3}, 8);
+  EXPECT_EQ(candidates, (std::vector<double>{1.5, 2.5}));
+}
+
+TEST(SplitCandidatesTest, HandlesDuplicatesAndConstants) {
+  EXPECT_EQ(ComputeSplitCandidates({5, 5, 5}, 8).size(), 0u);
+  std::vector<double> c = ComputeSplitCandidates({1, 1, 2, 2}, 8);
+  EXPECT_EQ(c, (std::vector<double>{1.5}));
+}
+
+TEST(SplitCandidatesTest, RespectsMaxSplits) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i);
+  std::vector<double> c = ComputeSplitCandidates(values, 8);
+  EXPECT_LE(c.size(), 8u);
+  EXPECT_GE(c.size(), 4u);
+  for (size_t i = 1; i < c.size(); ++i) EXPECT_LT(c[i - 1], c[i]);
+}
+
+TEST(TreeModelTest, PredictRouting) {
+  TreeModel model;
+  TreeNode root;
+  root.feature = 0;
+  root.threshold = 5.0;
+  int root_id = model.AddNode(root);
+  TreeNode l, r;
+  l.is_leaf = true;
+  l.leaf_value = 1.0;
+  r.is_leaf = true;
+  r.leaf_value = 2.0;
+  model.node(root_id).left = model.AddNode(l);
+  model.node(root_id).right = model.AddNode(r);
+
+  EXPECT_DOUBLE_EQ(model.Predict({3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(model.Predict({5.0}), 1.0);  // <= goes left
+  EXPECT_DOUBLE_EQ(model.Predict({7.0}), 2.0);
+  EXPECT_EQ(model.NumInternalNodes(), 1);
+  EXPECT_EQ(model.NumLeaves(), 2);
+  EXPECT_EQ(model.MaxDepth(), 1);
+}
+
+TEST(GiniGainTest, PerfectSplitMaximizesGain) {
+  // 4 of class 0 left, 4 of class 1 right: gain = 1 - 0.5 = 0.5.
+  double perfect = GiniGain({4, 0}, {0, 4});
+  EXPECT_NEAR(perfect, 0.5, 1e-12);
+  // Useless split: same distribution both sides.
+  double useless = GiniGain({2, 2}, {2, 2});
+  EXPECT_NEAR(useless, 0.0, 1e-12);
+  EXPECT_GT(perfect, GiniGain({3, 1}, {1, 3}));
+}
+
+TEST(GiniGainTest, EmptyChildGivesZeroGain) {
+  EXPECT_NEAR(GiniGain({3, 2}, {0, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(GiniGain({0, 0}, {0, 0}), 0.0, 1e-12);
+}
+
+TEST(VarianceGainTest, SeparatingMeansGivesPositiveGain) {
+  // Left: values {1,1}, right: values {5,5}: total variance 4, children 0.
+  double gain = VarianceGain(2, 2, 2, 2, 10, 50);
+  EXPECT_NEAR(gain, 4.0, 1e-12);
+  // No separation: zero gain.
+  EXPECT_NEAR(VarianceGain(2, 6, 26, 2, 6, 26), 0.0, 1e-12);
+}
+
+TEST(CartTest, LearnsSimpleThresholdRule) {
+  // y = [x > 0]; tree should recover it exactly.
+  Dataset d;
+  for (int i = -20; i <= 20; ++i) {
+    if (i == 0) continue;
+    d.features.push_back({static_cast<double>(i)});
+    d.labels.push_back(i > 0 ? 1.0 : 0.0);
+  }
+  TreeParams params;
+  params.max_depth = 2;
+  params.num_classes = 2;
+  // Keep every midpoint as a candidate so the exact boundary is available.
+  params.max_splits = 64;
+  params.min_samples_split = 2;
+  TreeModel model = TrainCart(d, params);
+  EXPECT_DOUBLE_EQ(Accuracy(PredictAll(model, d), d.labels), 1.0);
+}
+
+TEST(CartTest, PureNodeBecomesLeafEarly) {
+  Dataset d;
+  for (int i = 0; i < 20; ++i) {
+    d.features.push_back({static_cast<double>(i)});
+    d.labels.push_back(0.0);  // single class
+  }
+  TreeParams params;
+  TreeModel model = TrainCart(d, params);
+  EXPECT_EQ(model.NumInternalNodes(), 0);
+  EXPECT_DOUBLE_EQ(model.Predict({5}), 0.0);
+}
+
+TEST(CartTest, RespectsMaxDepth) {
+  ClassificationSpec spec;
+  spec.num_samples = 400;
+  spec.num_features = 8;
+  Dataset d = MakeClassification(spec);
+  for (int depth : {1, 2, 3}) {
+    TreeParams params;
+    params.num_classes = spec.num_classes;
+    params.max_depth = depth;
+    params.min_samples_split = 2;
+    TreeModel model = TrainCart(d, params);
+    EXPECT_LE(model.MaxDepth(), depth);
+  }
+}
+
+TEST(CartTest, BeatsMajorityClassOnSyntheticData) {
+  ClassificationSpec spec;
+  spec.num_samples = 600;
+  spec.num_features = 10;
+  spec.num_classes = 2;
+  spec.class_separation = 2.0;
+  Dataset d = MakeClassification(spec);
+  Rng rng(5);
+  TrainTestSplit split = SplitTrainTest(d, 0.3, rng);
+
+  TreeParams params;
+  params.num_classes = 2;
+  params.max_depth = 4;
+  TreeModel model = TrainCart(split.train, params);
+  double acc = Accuracy(PredictAll(model, split.test), split.test.labels);
+  EXPECT_GT(acc, 0.7);
+}
+
+TEST(CartTest, RegressionReducesMseVsMeanPredictor) {
+  RegressionSpec spec;
+  spec.num_samples = 600;
+  Dataset d = MakeRegression(spec);
+  Rng rng(6);
+  TrainTestSplit split = SplitTrainTest(d, 0.3, rng);
+
+  TreeParams params;
+  params.task = TreeTask::kRegression;
+  params.max_depth = 5;
+  TreeModel model = TrainCart(split.train, params);
+
+  double mean = 0;
+  for (double y : split.train.labels) mean += y;
+  mean /= split.train.labels.size();
+  std::vector<double> mean_pred(split.test.num_samples(), mean);
+
+  double tree_mse = MeanSquaredError(PredictAll(model, split.test),
+                                     split.test.labels);
+  double mean_mse = MeanSquaredError(mean_pred, split.test.labels);
+  EXPECT_LT(tree_mse, 0.8 * mean_mse);
+}
+
+TEST(CartTest, FeatureRemovedAlongPath) {
+  // Algorithm 1 removes a used feature from F; with one feature the tree
+  // can split at most once regardless of depth budget.
+  Dataset d;
+  for (int i = 0; i < 40; ++i) {
+    d.features.push_back({static_cast<double>(i % 10)});
+    d.labels.push_back((i % 10) < 5 ? 0.0 : 1.0);
+  }
+  TreeParams params;
+  params.max_depth = 5;
+  params.min_samples_split = 2;
+  params.max_splits = 16;
+  TreeModel model = TrainCart(d, params);
+  EXPECT_LE(model.MaxDepth(), 1);
+}
+
+TEST(ForestTest, ClassificationVoteBeatsChance) {
+  ClassificationSpec spec;
+  spec.num_samples = 500;
+  spec.num_classes = 3;
+  spec.class_separation = 2.0;
+  Dataset d = MakeClassification(spec);
+  Rng rng(9);
+  TrainTestSplit split = SplitTrainTest(d, 0.3, rng);
+
+  ForestParams params;
+  params.tree.num_classes = 3;
+  params.tree.max_depth = 4;
+  params.num_trees = 10;
+  ForestModel model = TrainForest(split.train, params);
+  EXPECT_EQ(model.trees.size(), 10u);
+  double acc = Accuracy(PredictAll(model, split.test), split.test.labels);
+  EXPECT_GT(acc, 0.55);
+}
+
+TEST(ForestTest, RegressionMeanAggregation) {
+  RegressionSpec spec;
+  spec.num_samples = 400;
+  Dataset d = MakeRegression(spec);
+  ForestParams params;
+  params.tree.task = TreeTask::kRegression;
+  params.num_trees = 5;
+  ForestModel model = TrainForest(d, params);
+  // Aggregate equals mean of individual trees.
+  const auto& row = d.features[0];
+  double mean = 0;
+  for (const TreeModel& t : model.trees) mean += t.Predict(row);
+  mean /= model.trees.size();
+  EXPECT_NEAR(model.Predict(row), mean, 1e-12);
+}
+
+TEST(GbdtTest, RegressionImprovesWithRounds) {
+  RegressionSpec spec;
+  spec.num_samples = 500;
+  Dataset d = MakeRegression(spec);
+  Rng rng(11);
+  TrainTestSplit split = SplitTrainTest(d, 0.3, rng);
+
+  GbdtParams p1;
+  p1.tree.task = TreeTask::kRegression;
+  p1.tree.max_depth = 3;
+  p1.num_rounds = 1;
+  GbdtParams p8 = p1;
+  p8.num_rounds = 8;
+
+  double mse1 = MeanSquaredError(
+      PredictAll(TrainGbdt(split.train, p1), split.test), split.test.labels);
+  double mse8 = MeanSquaredError(
+      PredictAll(TrainGbdt(split.train, p8), split.test), split.test.labels);
+  EXPECT_LT(mse8, mse1);
+}
+
+TEST(GbdtTest, ClassificationOneVsRest) {
+  ClassificationSpec spec;
+  spec.num_samples = 500;
+  spec.num_classes = 3;
+  spec.class_separation = 2.0;
+  Dataset d = MakeClassification(spec);
+  Rng rng(13);
+  TrainTestSplit split = SplitTrainTest(d, 0.3, rng);
+
+  GbdtParams params;
+  params.tree.task = TreeTask::kClassification;
+  params.tree.num_classes = 3;
+  params.tree.max_depth = 3;
+  params.num_rounds = 5;
+  GbdtModel model = TrainGbdt(split.train, params);
+  EXPECT_EQ(model.trees.size(), 3u);       // one forest per class
+  EXPECT_EQ(model.trees[0].size(), 5u);    // W rounds each
+  double acc = Accuracy(PredictAll(model, split.test), split.test.labels);
+  EXPECT_GT(acc, 0.6);
+}
+
+TEST(GbdtTest, PredictionsAreFiniteAndInRange) {
+  ClassificationSpec spec;
+  spec.num_samples = 200;
+  spec.num_classes = 4;
+  Dataset d = MakeClassification(spec);
+  GbdtParams params;
+  params.tree.task = TreeTask::kClassification;
+  params.tree.num_classes = 4;
+  params.num_rounds = 3;
+  GbdtModel model = TrainGbdt(d, params);
+  for (double p : PredictAll(model, d)) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 4);
+  }
+}
+
+}  // namespace
+}  // namespace pivot
