@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_gbdt_update"
+  "../bench/bench_ablation_gbdt_update.pdb"
+  "CMakeFiles/bench_ablation_gbdt_update.dir/bench_ablation_gbdt_update.cc.o"
+  "CMakeFiles/bench_ablation_gbdt_update.dir/bench_ablation_gbdt_update.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gbdt_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hiding"
+  "../bench/bench_ablation_hiding.pdb"
+  "CMakeFiles/bench_ablation_hiding.dir/bench_ablation_hiding.cc.o"
+  "CMakeFiles/bench_ablation_hiding.dir/bench_ablation_hiding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

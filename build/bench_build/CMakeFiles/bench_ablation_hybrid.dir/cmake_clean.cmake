@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hybrid"
+  "../bench/bench_ablation_hybrid.pdb"
+  "CMakeFiles/bench_ablation_hybrid.dir/bench_ablation_hybrid.cc.o"
+  "CMakeFiles/bench_ablation_hybrid.dir/bench_ablation_hybrid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_parallel_dec"
+  "../bench/bench_ablation_parallel_dec.pdb"
+  "CMakeFiles/bench_ablation_parallel_dec.dir/bench_ablation_parallel_dec.cc.o"
+  "CMakeFiles/bench_ablation_parallel_dec.dir/bench_ablation_parallel_dec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parallel_dec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4a_vary_m"
+  "../bench/bench_fig4a_vary_m.pdb"
+  "CMakeFiles/bench_fig4a_vary_m.dir/bench_fig4a_vary_m.cc.o"
+  "CMakeFiles/bench_fig4a_vary_m.dir/bench_fig4a_vary_m.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_vary_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

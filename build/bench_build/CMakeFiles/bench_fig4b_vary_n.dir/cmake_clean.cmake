@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4b_vary_n"
+  "../bench/bench_fig4b_vary_n.pdb"
+  "CMakeFiles/bench_fig4b_vary_n.dir/bench_fig4b_vary_n.cc.o"
+  "CMakeFiles/bench_fig4b_vary_n.dir/bench_fig4b_vary_n.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_vary_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4c_vary_d"
+  "../bench/bench_fig4c_vary_d.pdb"
+  "CMakeFiles/bench_fig4c_vary_d.dir/bench_fig4c_vary_d.cc.o"
+  "CMakeFiles/bench_fig4c_vary_d.dir/bench_fig4c_vary_d.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_vary_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

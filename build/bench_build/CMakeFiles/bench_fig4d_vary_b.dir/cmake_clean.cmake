@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4d_vary_b"
+  "../bench/bench_fig4d_vary_b.pdb"
+  "CMakeFiles/bench_fig4d_vary_b.dir/bench_fig4d_vary_b.cc.o"
+  "CMakeFiles/bench_fig4d_vary_b.dir/bench_fig4d_vary_b.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4d_vary_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4e_vary_h"
+  "../bench/bench_fig4e_vary_h.pdb"
+  "CMakeFiles/bench_fig4e_vary_h.dir/bench_fig4e_vary_h.cc.o"
+  "CMakeFiles/bench_fig4e_vary_h.dir/bench_fig4e_vary_h.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4e_vary_h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

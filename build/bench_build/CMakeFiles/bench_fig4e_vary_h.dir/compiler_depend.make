@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4e_vary_h.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4f_vary_trees"
+  "../bench/bench_fig4f_vary_trees.pdb"
+  "CMakeFiles/bench_fig4f_vary_trees.dir/bench_fig4f_vary_trees.cc.o"
+  "CMakeFiles/bench_fig4f_vary_trees.dir/bench_fig4f_vary_trees.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4f_vary_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4g_predict_m.
+# This may be replaced when dependencies are built.

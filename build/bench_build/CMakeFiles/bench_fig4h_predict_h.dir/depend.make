@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4h_predict_h.
+# This may be replaced when dependencies are built.

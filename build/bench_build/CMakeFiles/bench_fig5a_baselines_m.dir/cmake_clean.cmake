@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5a_baselines_m"
+  "../bench/bench_fig5a_baselines_m.pdb"
+  "CMakeFiles/bench_fig5a_baselines_m.dir/bench_fig5a_baselines_m.cc.o"
+  "CMakeFiles/bench_fig5a_baselines_m.dir/bench_fig5a_baselines_m.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_baselines_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5b_baselines_n"
+  "../bench/bench_fig5b_baselines_n.pdb"
+  "CMakeFiles/bench_fig5b_baselines_n.dir/bench_fig5b_baselines_n.cc.o"
+  "CMakeFiles/bench_fig5b_baselines_n.dir/bench_fig5b_baselines_n.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_baselines_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

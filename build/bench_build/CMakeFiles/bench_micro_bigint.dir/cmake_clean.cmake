@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_bigint"
+  "../bench/bench_micro_bigint.pdb"
+  "CMakeFiles/bench_micro_bigint.dir/bench_micro_bigint.cc.o"
+  "CMakeFiles/bench_micro_bigint.dir/bench_micro_bigint.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

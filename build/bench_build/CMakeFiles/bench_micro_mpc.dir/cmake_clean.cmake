@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_mpc"
+  "../bench/bench_micro_mpc.pdb"
+  "CMakeFiles/bench_micro_mpc.dir/bench_micro_mpc.cc.o"
+  "CMakeFiles/bench_micro_mpc.dir/bench_micro_mpc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_paillier"
+  "../bench/bench_micro_paillier.pdb"
+  "CMakeFiles/bench_micro_paillier.dir/bench_micro_paillier.cc.o"
+  "CMakeFiles/bench_micro_paillier.dir/bench_micro_paillier.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_paillier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_costmodel"
+  "../bench/bench_table2_costmodel.pdb"
+  "CMakeFiles/bench_table2_costmodel.dir/bench_table2_costmodel.cc.o"
+  "CMakeFiles/bench_table2_costmodel.dir/bench_table2_costmodel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_regression.dir/energy_regression.cpp.o"
+  "CMakeFiles/energy_regression.dir/energy_regression.cpp.o.d"
+  "energy_regression"
+  "energy_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

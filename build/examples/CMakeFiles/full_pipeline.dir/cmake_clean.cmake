@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_pipeline.dir/full_pipeline.cpp.o"
+  "CMakeFiles/full_pipeline.dir/full_pipeline.cpp.o.d"
+  "full_pipeline"
+  "full_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_medical_dp.dir/private_medical_dp.cpp.o"
+  "CMakeFiles/private_medical_dp.dir/private_medical_dp.cpp.o.d"
+  "private_medical_dp"
+  "private_medical_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_medical_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

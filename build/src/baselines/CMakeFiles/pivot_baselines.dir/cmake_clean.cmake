@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_baselines.dir/npd_dt.cc.o"
+  "CMakeFiles/pivot_baselines.dir/npd_dt.cc.o.d"
+  "CMakeFiles/pivot_baselines.dir/spdz_dt.cc.o"
+  "CMakeFiles/pivot_baselines.dir/spdz_dt.cc.o.d"
+  "libpivot_baselines.a"
+  "libpivot_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_bigint.dir/bigint.cc.o"
+  "CMakeFiles/pivot_bigint.dir/bigint.cc.o.d"
+  "CMakeFiles/pivot_bigint.dir/prime.cc.o"
+  "CMakeFiles/pivot_bigint.dir/prime.cc.o.d"
+  "libpivot_bigint.a"
+  "libpivot_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_common.dir/bytes.cc.o"
+  "CMakeFiles/pivot_common.dir/bytes.cc.o.d"
+  "CMakeFiles/pivot_common.dir/op_counters.cc.o"
+  "CMakeFiles/pivot_common.dir/op_counters.cc.o.d"
+  "CMakeFiles/pivot_common.dir/rng.cc.o"
+  "CMakeFiles/pivot_common.dir/rng.cc.o.d"
+  "CMakeFiles/pivot_common.dir/sha256.cc.o"
+  "CMakeFiles/pivot_common.dir/sha256.cc.o.d"
+  "CMakeFiles/pivot_common.dir/status.cc.o"
+  "CMakeFiles/pivot_common.dir/status.cc.o.d"
+  "libpivot_common.a"
+  "libpivot_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

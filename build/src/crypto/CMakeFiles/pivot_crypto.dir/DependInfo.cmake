@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/paillier.cc" "src/crypto/CMakeFiles/pivot_crypto.dir/paillier.cc.o" "gcc" "src/crypto/CMakeFiles/pivot_crypto.dir/paillier.cc.o.d"
+  "/root/repo/src/crypto/threshold_paillier.cc" "src/crypto/CMakeFiles/pivot_crypto.dir/threshold_paillier.cc.o" "gcc" "src/crypto/CMakeFiles/pivot_crypto.dir/threshold_paillier.cc.o.d"
+  "/root/repo/src/crypto/zkp.cc" "src/crypto/CMakeFiles/pivot_crypto.dir/zkp.cc.o" "gcc" "src/crypto/CMakeFiles/pivot_crypto.dir/zkp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/pivot_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pivot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

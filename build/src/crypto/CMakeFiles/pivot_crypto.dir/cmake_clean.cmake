@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_crypto.dir/paillier.cc.o"
+  "CMakeFiles/pivot_crypto.dir/paillier.cc.o.d"
+  "CMakeFiles/pivot_crypto.dir/threshold_paillier.cc.o"
+  "CMakeFiles/pivot_crypto.dir/threshold_paillier.cc.o.d"
+  "CMakeFiles/pivot_crypto.dir/zkp.cc.o"
+  "CMakeFiles/pivot_crypto.dir/zkp.cc.o.d"
+  "libpivot_crypto.a"
+  "libpivot_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

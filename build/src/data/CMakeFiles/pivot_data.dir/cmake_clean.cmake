@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_data.dir/dataset.cc.o"
+  "CMakeFiles/pivot_data.dir/dataset.cc.o.d"
+  "CMakeFiles/pivot_data.dir/standardize.cc.o"
+  "CMakeFiles/pivot_data.dir/standardize.cc.o.d"
+  "CMakeFiles/pivot_data.dir/synthetic.cc.o"
+  "CMakeFiles/pivot_data.dir/synthetic.cc.o.d"
+  "libpivot_data.a"
+  "libpivot_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_linear.dir/logistic.cc.o"
+  "CMakeFiles/pivot_linear.dir/logistic.cc.o.d"
+  "libpivot_linear.a"
+  "libpivot_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

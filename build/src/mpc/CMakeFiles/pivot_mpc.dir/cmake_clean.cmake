@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_mpc.dir/dp.cc.o"
+  "CMakeFiles/pivot_mpc.dir/dp.cc.o.d"
+  "CMakeFiles/pivot_mpc.dir/engine.cc.o"
+  "CMakeFiles/pivot_mpc.dir/engine.cc.o.d"
+  "CMakeFiles/pivot_mpc.dir/mac.cc.o"
+  "CMakeFiles/pivot_mpc.dir/mac.cc.o.d"
+  "CMakeFiles/pivot_mpc.dir/preprocessing.cc.o"
+  "CMakeFiles/pivot_mpc.dir/preprocessing.cc.o.d"
+  "libpivot_mpc.a"
+  "libpivot_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/codec.cc" "src/net/CMakeFiles/pivot_net.dir/codec.cc.o" "gcc" "src/net/CMakeFiles/pivot_net.dir/codec.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/pivot_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/pivot_net.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pivot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/pivot_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pivot_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

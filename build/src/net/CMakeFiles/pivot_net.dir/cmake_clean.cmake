@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_net.dir/codec.cc.o"
+  "CMakeFiles/pivot_net.dir/codec.cc.o.d"
+  "CMakeFiles/pivot_net.dir/network.cc.o"
+  "CMakeFiles/pivot_net.dir/network.cc.o.d"
+  "libpivot_net.a"
+  "libpivot_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

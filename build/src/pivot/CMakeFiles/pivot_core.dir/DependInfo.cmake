@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pivot/context.cc" "src/pivot/CMakeFiles/pivot_core.dir/context.cc.o" "gcc" "src/pivot/CMakeFiles/pivot_core.dir/context.cc.o.d"
+  "/root/repo/src/pivot/ensemble.cc" "src/pivot/CMakeFiles/pivot_core.dir/ensemble.cc.o" "gcc" "src/pivot/CMakeFiles/pivot_core.dir/ensemble.cc.o.d"
+  "/root/repo/src/pivot/logreg.cc" "src/pivot/CMakeFiles/pivot_core.dir/logreg.cc.o" "gcc" "src/pivot/CMakeFiles/pivot_core.dir/logreg.cc.o.d"
+  "/root/repo/src/pivot/malicious.cc" "src/pivot/CMakeFiles/pivot_core.dir/malicious.cc.o" "gcc" "src/pivot/CMakeFiles/pivot_core.dir/malicious.cc.o.d"
+  "/root/repo/src/pivot/model.cc" "src/pivot/CMakeFiles/pivot_core.dir/model.cc.o" "gcc" "src/pivot/CMakeFiles/pivot_core.dir/model.cc.o.d"
+  "/root/repo/src/pivot/prediction.cc" "src/pivot/CMakeFiles/pivot_core.dir/prediction.cc.o" "gcc" "src/pivot/CMakeFiles/pivot_core.dir/prediction.cc.o.d"
+  "/root/repo/src/pivot/runner.cc" "src/pivot/CMakeFiles/pivot_core.dir/runner.cc.o" "gcc" "src/pivot/CMakeFiles/pivot_core.dir/runner.cc.o.d"
+  "/root/repo/src/pivot/secure_gain.cc" "src/pivot/CMakeFiles/pivot_core.dir/secure_gain.cc.o" "gcc" "src/pivot/CMakeFiles/pivot_core.dir/secure_gain.cc.o.d"
+  "/root/repo/src/pivot/serialize.cc" "src/pivot/CMakeFiles/pivot_core.dir/serialize.cc.o" "gcc" "src/pivot/CMakeFiles/pivot_core.dir/serialize.cc.o.d"
+  "/root/repo/src/pivot/trainer.cc" "src/pivot/CMakeFiles/pivot_core.dir/trainer.cc.o" "gcc" "src/pivot/CMakeFiles/pivot_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pivot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/pivot_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pivot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pivot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/pivot_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pivot_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/pivot_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

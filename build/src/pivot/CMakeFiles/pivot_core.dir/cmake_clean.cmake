@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_core.dir/context.cc.o"
+  "CMakeFiles/pivot_core.dir/context.cc.o.d"
+  "CMakeFiles/pivot_core.dir/ensemble.cc.o"
+  "CMakeFiles/pivot_core.dir/ensemble.cc.o.d"
+  "CMakeFiles/pivot_core.dir/logreg.cc.o"
+  "CMakeFiles/pivot_core.dir/logreg.cc.o.d"
+  "CMakeFiles/pivot_core.dir/malicious.cc.o"
+  "CMakeFiles/pivot_core.dir/malicious.cc.o.d"
+  "CMakeFiles/pivot_core.dir/model.cc.o"
+  "CMakeFiles/pivot_core.dir/model.cc.o.d"
+  "CMakeFiles/pivot_core.dir/prediction.cc.o"
+  "CMakeFiles/pivot_core.dir/prediction.cc.o.d"
+  "CMakeFiles/pivot_core.dir/runner.cc.o"
+  "CMakeFiles/pivot_core.dir/runner.cc.o.d"
+  "CMakeFiles/pivot_core.dir/secure_gain.cc.o"
+  "CMakeFiles/pivot_core.dir/secure_gain.cc.o.d"
+  "CMakeFiles/pivot_core.dir/serialize.cc.o"
+  "CMakeFiles/pivot_core.dir/serialize.cc.o.d"
+  "CMakeFiles/pivot_core.dir/trainer.cc.o"
+  "CMakeFiles/pivot_core.dir/trainer.cc.o.d"
+  "libpivot_core.a"
+  "libpivot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_psi.dir/psi.cc.o"
+  "CMakeFiles/pivot_psi.dir/psi.cc.o.d"
+  "libpivot_psi.a"
+  "libpivot_psi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_psi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

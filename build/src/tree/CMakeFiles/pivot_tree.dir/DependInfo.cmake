@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/cart.cc" "src/tree/CMakeFiles/pivot_tree.dir/cart.cc.o" "gcc" "src/tree/CMakeFiles/pivot_tree.dir/cart.cc.o.d"
+  "/root/repo/src/tree/export.cc" "src/tree/CMakeFiles/pivot_tree.dir/export.cc.o" "gcc" "src/tree/CMakeFiles/pivot_tree.dir/export.cc.o.d"
+  "/root/repo/src/tree/forest.cc" "src/tree/CMakeFiles/pivot_tree.dir/forest.cc.o" "gcc" "src/tree/CMakeFiles/pivot_tree.dir/forest.cc.o.d"
+  "/root/repo/src/tree/gbdt.cc" "src/tree/CMakeFiles/pivot_tree.dir/gbdt.cc.o" "gcc" "src/tree/CMakeFiles/pivot_tree.dir/gbdt.cc.o.d"
+  "/root/repo/src/tree/splits.cc" "src/tree/CMakeFiles/pivot_tree.dir/splits.cc.o" "gcc" "src/tree/CMakeFiles/pivot_tree.dir/splits.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pivot_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pivot_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_tree.dir/cart.cc.o"
+  "CMakeFiles/pivot_tree.dir/cart.cc.o.d"
+  "CMakeFiles/pivot_tree.dir/export.cc.o"
+  "CMakeFiles/pivot_tree.dir/export.cc.o.d"
+  "CMakeFiles/pivot_tree.dir/forest.cc.o"
+  "CMakeFiles/pivot_tree.dir/forest.cc.o.d"
+  "CMakeFiles/pivot_tree.dir/gbdt.cc.o"
+  "CMakeFiles/pivot_tree.dir/gbdt.cc.o.d"
+  "CMakeFiles/pivot_tree.dir/splits.cc.o"
+  "CMakeFiles/pivot_tree.dir/splits.cc.o.d"
+  "libpivot_tree.a"
+  "libpivot_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_standardize_test.dir/export_standardize_test.cc.o"
+  "CMakeFiles/export_standardize_test.dir/export_standardize_test.cc.o.d"
+  "export_standardize_test"
+  "export_standardize_test.pdb"
+  "export_standardize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_standardize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiding_test.dir/hiding_test.cc.o"
+  "CMakeFiles/hiding_test.dir/hiding_test.cc.o.d"
+  "hiding_test"
+  "hiding_test.pdb"
+  "hiding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

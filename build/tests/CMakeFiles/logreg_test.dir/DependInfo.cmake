@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/logreg_test.cc" "tests/CMakeFiles/logreg_test.dir/logreg_test.cc.o" "gcc" "tests/CMakeFiles/logreg_test.dir/logreg_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pivot/CMakeFiles/pivot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/pivot_linear.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/pivot_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pivot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pivot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/pivot_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/pivot_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pivot_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pivot_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

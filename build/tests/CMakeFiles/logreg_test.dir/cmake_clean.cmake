@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logreg_test.dir/logreg_test.cc.o"
+  "CMakeFiles/logreg_test.dir/logreg_test.cc.o.d"
+  "logreg_test"
+  "logreg_test.pdb"
+  "logreg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logreg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

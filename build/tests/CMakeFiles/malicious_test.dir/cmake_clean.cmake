@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malicious_test.dir/malicious_test.cc.o"
+  "CMakeFiles/malicious_test.dir/malicious_test.cc.o.d"
+  "malicious_test"
+  "malicious_test.pdb"
+  "malicious_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malicious_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

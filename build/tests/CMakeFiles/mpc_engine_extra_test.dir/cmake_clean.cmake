@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_engine_extra_test.dir/mpc_engine_extra_test.cc.o"
+  "CMakeFiles/mpc_engine_extra_test.dir/mpc_engine_extra_test.cc.o.d"
+  "mpc_engine_extra_test"
+  "mpc_engine_extra_test.pdb"
+  "mpc_engine_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_engine_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_field_test.dir/mpc_field_test.cc.o"
+  "CMakeFiles/mpc_field_test.dir/mpc_field_test.cc.o.d"
+  "mpc_field_test"
+  "mpc_field_test.pdb"
+  "mpc_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

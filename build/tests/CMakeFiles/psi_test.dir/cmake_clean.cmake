@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_test.dir/psi_test.cc.o"
+  "CMakeFiles/psi_test.dir/psi_test.cc.o.d"
+  "psi_test"
+  "psi_test.pdb"
+  "psi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

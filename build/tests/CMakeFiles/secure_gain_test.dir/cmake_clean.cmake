@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_gain_test.dir/secure_gain_test.cc.o"
+  "CMakeFiles/secure_gain_test.dir/secure_gain_test.cc.o.d"
+  "secure_gain_test"
+  "secure_gain_test.pdb"
+  "secure_gain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_gain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

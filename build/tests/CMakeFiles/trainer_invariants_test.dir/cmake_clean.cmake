@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_invariants_test.dir/trainer_invariants_test.cc.o"
+  "CMakeFiles/trainer_invariants_test.dir/trainer_invariants_test.cc.o.d"
+  "trainer_invariants_test"
+  "trainer_invariants_test.pdb"
+  "trainer_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

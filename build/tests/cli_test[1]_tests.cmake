@@ -1,0 +1,3 @@
+add_test([=[CliTest.TrainPredictRoundTrip]=]  /root/repo/build/tests/cli_test [==[--gtest_filter=CliTest.TrainPredictRoundTrip]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[CliTest.TrainPredictRoundTrip]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  cli_test_TESTS CliTest.TrainPredictRoundTrip)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_cli.dir/pivot_cli.cc.o"
+  "CMakeFiles/pivot_cli.dir/pivot_cli.cc.o.d"
+  "pivot_cli"
+  "pivot_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
