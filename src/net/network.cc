@@ -65,8 +65,8 @@ void Endpoint::Send(int to, Bytes msg) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(static_cast<int64_t>(micros)));
   }
-  bytes_sent_ += msg.size();
-  ++messages_sent_;
+  bytes_sent_.fetch_add(msg.size(), std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
   OpCounters::Global().AddBytesSent(msg.size());
   OpCounters::Global().AddMessage();
   net_->queue(id_, to).Push(std::move(msg));

@@ -1,6 +1,7 @@
 #ifndef PIVOT_NET_NETWORK_H_
 #define PIVOT_NET_NETWORK_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -72,9 +73,26 @@ class Endpoint {
   // Receives one message from every other party; slot id() holds `own`.
   Result<std::vector<Bytes>> GatherAll(Bytes own);
 
-  // Cumulative traffic outbound from this endpoint.
-  uint64_t bytes_sent() const { return bytes_sent_; }
-  uint64_t messages_sent() const { return messages_sent_; }
+  // Cumulative traffic outbound from this endpoint. Atomic: the counters
+  // are incremented by the owning party thread but read by the harness
+  // thread (progress reporting, InMemoryNetwork::total_bytes) while party
+  // threads may still be running.
+  uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+
+  // Endpoints live in InMemoryNetwork's vector; atomics are not movable,
+  // so moves (vector growth during construction) copy the counter values.
+  // Safe: endpoints are only moved before any party thread starts.
+  Endpoint(Endpoint&& other) noexcept
+      : net_(other.net_),
+        id_(other.id_),
+        num_parties_(other.num_parties_),
+        bytes_sent_(other.bytes_sent_.load(std::memory_order_relaxed)),
+        messages_sent_(other.messages_sent_.load(std::memory_order_relaxed)) {}
 
  private:
   friend class InMemoryNetwork;
@@ -84,8 +102,8 @@ class Endpoint {
   InMemoryNetwork* net_;
   int id_;
   int num_parties_;
-  uint64_t bytes_sent_ = 0;
-  uint64_t messages_sent_ = 0;
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> messages_sent_{0};
 };
 
 class InMemoryNetwork {
