@@ -55,7 +55,7 @@ void Report(const char* name, const OpStats& s) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main() {
   const int m = 3;
   const int batch = 64;
   std::printf("# MPC primitive costs (m=%d, batch=%d, in-process network)\n",

@@ -16,8 +16,9 @@ constexpr std::array<uint64_t, 54> kSmallPrimes = {
 
 // One Miller-Rabin round with the provided base, using a shared Montgomery
 // context for the modulus.
-bool MillerRabinRound(const BigInt& n, const BigInt& n_minus_1, const BigInt& d,
-                      int r, const MontgomeryContext& ctx, const BigInt& base) {
+bool MillerRabinRound([[maybe_unused]] const BigInt& n,
+                      const BigInt& n_minus_1, const BigInt& d, int r,
+                      const MontgomeryContext& ctx, const BigInt& base) {
   BigInt x = ctx.ModExp(base, d);
   if (x.IsOne() || x == n_minus_1) return true;
   for (int i = 0; i < r - 1; ++i) {

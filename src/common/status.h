@@ -26,7 +26,10 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 // A success-or-error value. Cheap to copy in the success case.
-class Status {
+// [[nodiscard]]: silently dropping a Status can mask failed decryptions,
+// aborted protocol rounds, or truncated wire reads — callers must consume
+// it (propagate, check, or test-assert on it).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -79,7 +82,7 @@ inline bool operator==(const Status& a, const Status& b) {
 
 // A value-or-error. `value()` must only be called when `ok()`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}               // NOLINT
   Result(Status status) : data_(std::move(status)) {}        // NOLINT

@@ -732,7 +732,8 @@ class TreeTrainer {
 
 }  // namespace
 
-int MinimumKeyBits(const PivotParams& params, const TrainTreeOptions& options) {
+int MinimumKeyBits([[maybe_unused]] const PivotParams& params,
+                   const TrainTreeOptions& options) {
   // Plaintext headroom: carried values stay below m^2·b·p^2 (enhanced) or
   // n·(2^2f·y_max^2 + m·p) (basic); see DESIGN.md §3.
   if (options.protocol == Protocol::kEnhanced) return 384;

@@ -14,7 +14,9 @@ namespace {
 
 constexpr double kFixTol = 3.0 / (1 << 16);  // a few ulp of f=16 fixed point
 
-u128 ToFix(double x) { return FpFromSigned(FixedFromDouble(x)); }
+[[maybe_unused]] u128 ToFix(double x) {
+  return FpFromSigned(FixedFromDouble(x));
+}
 double FromFix(u128 v) {
   return FixedToDouble(static_cast<int64_t>(FpToSigned(v)));
 }
