@@ -446,7 +446,9 @@ std::string BigInt::ToDecString() const {
   const BigInt chunk_div(uint64_t{10'000'000'000'000'000'000ULL});  // 10^19
   while (!v.IsZero()) {
     DivModResult dm = v.DivMod(chunk_div);
-    uint64_t chunk = dm.remainder.ToU64().value();
+    Result<uint64_t> chunk_r = dm.remainder.ToU64();
+    PIVOT_CHECK_MSG(chunk_r.ok(), "DivMod remainder exceeds 64 bits");
+    uint64_t chunk = chunk_r.value();
     v = std::move(dm.quotient);
     for (int i = 0; i < 19; ++i) {
       digits.push_back(static_cast<char>('0' + chunk % 10));

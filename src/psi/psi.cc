@@ -21,15 +21,18 @@ constexpr const char* kModp1536Hex =
     "98da48361c55d39a69163fa8fd24cf5f83655d23dca3ad961c62f356208552bb"
     "9ed529077096966d670c354e4abc9804f1746c08ca237327ffffffffffffffff";
 
+BigInt MustParseGroupPrime() {
+  Result<BigInt> p = BigInt::FromHexString(kModp1536Hex);
+  PIVOT_CHECK_MSG(p.ok(), "MODP group prime constant failed to parse");
+  return std::move(p).value();
+}
+
 struct Group {
   BigInt p;       // safe prime
   BigInt q;       // (p-1)/2
   MontgomeryContext ctx;
 
-  Group()
-      : p(BigInt::FromHexString(kModp1536Hex).value()),
-        q((p - BigInt(1)) >> 1),
-        ctx(p) {}
+  Group() : p(MustParseGroupPrime()), q((p - BigInt(1)) >> 1), ctx(p) {}
 };
 
 const Group& TheGroup() {

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""pivot_lint: repo-invariant checks the C++ compiler cannot express.
+
+Rules (see DESIGN.md, "Correctness tooling"):
+
+  banned-random     rand()/srand()/std::random_device anywhere except
+                    src/common/rng.* — all randomness must flow through the
+                    seeded Rng so multi-party protocol runs stay
+                    deterministic and reproducible.
+
+  secret-print      printf/std::cout/puts/fprintf(stdout, ...) inside src/.
+                    Library code handles shares, ciphertexts, and key
+                    material; it must never print to stdout. Diagnostics go
+                    to stderr (PIVOT_CHECK) or into Status messages. Tools,
+                    benches, examples, and tests are exempt.
+
+  include-guard     Headers under src/ must use the canonical guard
+                    PIVOT_<RELPATH>_H_ (e.g. src/net/network.h ->
+                    PIVOT_NET_NETWORK_H_), with a matching #define.
+
+  unchecked-value   .value() on a Result inside src/ without a preceding
+                    check in the same function (an ok() test, a PIVOT_CHECK,
+                    or a PIVOT_ASSIGN_OR_RETURN / PIVOT_RETURN_IF_ERROR).
+                    src/common/status.h (the definition site) is exempt.
+
+Usage:
+  tools/pivot_lint.py [ROOT]            lint the whole tree (default: cwd)
+  tools/pivot_lint.py ROOT --files F... lint specific files only
+
+Exit status: 0 if clean, 1 if any finding, 2 on usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
+SKIP_DIR_NAMES = {".git", "bench_results", "third_party", "__pycache__"}
+SKIP_DIR_PREFIXES = ("build",)
+
+RE_BANNED_RANDOM = re.compile(
+    r"(?<![A-Za-z0-9_])(?:srand|rand)\s*\(|(?<![A-Za-z0-9_])random_device\b"
+)
+RE_SECRET_PRINT = re.compile(
+    r"(?<![A-Za-z0-9_])printf\s*\(|std::cout\b|(?<![A-Za-z0-9_])puts\s*\(|"
+    r"fprintf\s*\(\s*stdout\b"
+)
+RE_VALUE_CALL = re.compile(r"\.value\(\)")
+RE_VALUE_CHECKED = re.compile(
+    r"\bok\s*\(\)|PIVOT_ASSIGN_OR_RETURN|PIVOT_RETURN_IF_ERROR|PIVOT_CHECK"
+)
+RE_LINE_COMMENT = re.compile(r"//.*$")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def is_rng_impl(rel):
+    return rel in ("src/common/rng.h", "src/common/rng.cc")
+
+
+def strip_comment(line):
+    """Drop a trailing // comment so commented-out code is not flagged."""
+    return RE_LINE_COMMENT.sub("", line)
+
+
+def expected_guard(rel):
+    """src/net/network.h -> PIVOT_NET_NETWORK_H_"""
+    stem = rel[len("src/"):]
+    return "PIVOT_" + re.sub(r"[/.\-]", "_", stem).upper() + "_"
+
+
+def check_banned_random(rel, lines, findings):
+    if is_rng_impl(rel):
+        return
+    for i, line in enumerate(lines, 1):
+        if RE_BANNED_RANDOM.search(strip_comment(line)):
+            findings.append(Finding(
+                rel, i, "banned-random",
+                "rand()/srand()/std::random_device outside src/common/rng.*; "
+                "use pivot::Rng so runs stay deterministic"))
+
+
+def check_secret_print(rel, lines, findings):
+    if not rel.startswith("src/"):
+        return
+    for i, line in enumerate(lines, 1):
+        if RE_SECRET_PRINT.search(strip_comment(line)):
+            findings.append(Finding(
+                rel, i, "secret-print",
+                "stdout printing in library code (share/ciphertext hygiene); "
+                "use stderr or Status messages"))
+
+
+def check_include_guard(rel, lines, findings):
+    if not (rel.startswith("src/") and rel.endswith((".h", ".hpp"))):
+        return
+    want = expected_guard(rel)
+    ifndef_idx = None
+    guard = None
+    for i, line in enumerate(lines, 1):
+        m = re.match(r"\s*#ifndef\s+(\S+)", line)
+        if m:
+            ifndef_idx, guard = i, m.group(1)
+            break
+    if guard is None:
+        findings.append(Finding(rel, 1, "include-guard",
+                                f"missing include guard (expected {want})"))
+        return
+    if guard != want:
+        findings.append(Finding(rel, ifndef_idx, "include-guard",
+                                f"guard is {guard}, expected {want}"))
+        return
+    defines = any(re.match(r"\s*#define\s+" + re.escape(want) + r"\b", l)
+                  for l in lines)
+    if not defines:
+        findings.append(Finding(rel, ifndef_idx, "include-guard",
+                                f"#ifndef {want} without matching #define"))
+
+
+def check_unchecked_value(rel, lines, findings):
+    if not rel.startswith("src/") or rel == "src/common/status.h":
+        return
+    for i, line in enumerate(lines, 1):
+        code = strip_comment(line)
+        if not RE_VALUE_CALL.search(code):
+            continue
+        # Scan backwards through the enclosing function (approximated as
+        # everything up to the previous column-0 '}' or the file start)
+        # looking for an ok() check or a check/propagation macro.
+        checked = False
+        for j in range(i - 2, -1, -1):
+            prev = lines[j]
+            if prev.startswith("}"):
+                break
+            if RE_VALUE_CHECKED.search(strip_comment(prev)):
+                checked = True
+                break
+        if not checked:
+            findings.append(Finding(
+                rel, i, "unchecked-value",
+                ".value() on a Result with no preceding ok() check or "
+                "PIVOT_* check macro in the same function"))
+
+
+CHECKS = (
+    check_banned_random,
+    check_secret_print,
+    check_include_guard,
+    check_unchecked_value,
+)
+
+
+def lint_file(root, rel):
+    path = os.path.join(root, rel)
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [Finding(rel, 0, "io", f"cannot read file: {e}")]
+    findings = []
+    for check in CHECKS:
+        check(rel, lines, findings)
+    return findings
+
+
+def collect_files(root):
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in SKIP_DIR_NAMES
+            and not any(d.startswith(p) for p in SKIP_DIR_PREFIXES))
+        for name in sorted(filenames):
+            if name.endswith(CXX_EXTENSIONS):
+                out.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return out
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", nargs="?", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--files", nargs="*", default=None,
+                        help="lint only these paths (relative to ROOT)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"pivot_lint: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    rels = (args.files if args.files is not None else collect_files(root))
+    findings = []
+    for rel in rels:
+        rel = rel.replace(os.sep, "/")
+        findings.extend(lint_file(root, rel))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"pivot_lint: {len(findings)} finding(s) in "
+              f"{len(set(f.path for f in findings))} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"pivot_lint: OK ({len(rels)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
