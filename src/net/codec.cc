@@ -73,7 +73,9 @@ Bytes EncodeU128Vector(const std::vector<u128>& values) {
 Result<std::vector<u128>> DecodeU128Vector(const Bytes& data) {
   ByteReader r(data);
   PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
-  if (count * 16 > data.size()) {
+  // Divide instead of multiply: `count * 16` can wrap for a hostile
+  // length prefix near 2^64 and slip past the bound.
+  if (count > (data.size() - 8) / 16) {
     return Status::ProtocolError("implausible u128 vector length");
   }
   std::vector<u128> out;
