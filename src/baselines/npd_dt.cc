@@ -48,8 +48,7 @@ class NpdTrainer {
       ByteWriter w;
       w.WriteU64(labels_.size());
       for (double y : labels_) w.WriteDouble(y);
-      ctx_.endpoint().Broadcast(w.Take());
-      return Status::Ok();
+      return ctx_.endpoint().Broadcast(w.Take());
     }
     PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx_.endpoint().Recv(ctx_.super_client()));
     ByteReader r(msg);
@@ -64,7 +63,7 @@ class NpdTrainer {
   Status ExchangeFeatureCounts() {
     ByteWriter w;
     w.WriteU64(ctx_.split_candidates().size());
-    ctx_.endpoint().Broadcast(w.Take());
+    PIVOT_RETURN_IF_ERROR(ctx_.endpoint().Broadcast(w.Take()));
     feature_counts_.assign(m_, 0);
     for (int p = 0; p < m_; ++p) {
       if (p == me_) {
@@ -141,7 +140,7 @@ class NpdTrainer {
     w.WriteU32(static_cast<uint32_t>(mine.feature + 1));
     w.WriteU32(static_cast<uint32_t>(mine.split + 1));
     w.WriteDouble(mine.threshold);
-    ctx_.endpoint().Broadcast(w.Take());
+    PIVOT_RETURN_IF_ERROR(ctx_.endpoint().Broadcast(w.Take()));
 
     Candidate best = mine;
     for (int p = 0; p < m_; ++p) {
@@ -170,7 +169,8 @@ class NpdTrainer {
       const std::vector<uint8_t>& left =
           ctx_.LeftIndicator(best.feature, best.split);
       for (int t = 0; t < n_; ++t) left_mask[t] = mask[t] && left[t];
-      ctx_.endpoint().Broadcast(Bytes(left_mask.begin(), left_mask.end()));
+      PIVOT_RETURN_IF_ERROR(
+          ctx_.endpoint().Broadcast(Bytes(left_mask.begin(), left_mask.end())));
     } else {
       PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx_.endpoint().Recv(best.owner));
       left_mask.assign(msg.begin(), msg.end());
@@ -245,7 +245,7 @@ Result<double> PredictNpdDt(PartyContext& ctx, const PivotTree& tree,
     uint8_t go_left;
     if (ctx.id() == n.owner) {
       go_left = my_features[n.feature_local] <= n.threshold ? 1 : 0;
-      ctx.endpoint().Broadcast(Bytes{go_left});
+      PIVOT_RETURN_IF_ERROR(ctx.endpoint().Broadcast(Bytes{go_left}));
     } else {
       PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx.endpoint().Recv(n.owner));
       go_left = msg[0];

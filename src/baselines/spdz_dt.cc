@@ -49,7 +49,7 @@ class SpdzTrainer {
     const auto& cands = ctx_.split_candidates();
     w.WriteU64(cands.size());
     for (const auto& cand : cands) w.WriteU64(cand.size());
-    ctx_.endpoint().Broadcast(w.Take());
+    PIVOT_RETURN_IF_ERROR(ctx_.endpoint().Broadcast(w.Take()));
     split_counts_.assign(m_, {});
     for (int p = 0; p < m_; ++p) {
       if (p == me_) {
@@ -267,7 +267,7 @@ class SpdzTrainer {
       node.threshold = ctx_.split_candidates()[win->feature][split_local];
       ByteWriter w;
       w.WriteDouble(node.threshold);
-      ctx_.endpoint().Broadcast(w.Take());
+      PIVOT_RETURN_IF_ERROR(ctx_.endpoint().Broadcast(w.Take()));
     } else {
       PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx_.endpoint().Recv(win->client));
       ByteReader r(msg);

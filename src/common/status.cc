@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ProtocolError";
     case StatusCode::kIntegrityError:
       return "IntegrityError";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kIoError,
   kProtocolError,   // a multi-party protocol step failed or was aborted
   kIntegrityError,  // a ZKP or MAC check failed (malicious behaviour)
+  kAborted,         // the party mesh was aborted after a peer failed
 };
 
 const char* StatusCodeToString(StatusCode code);
@@ -62,6 +63,9 @@ class [[nodiscard]] Status {
   }
   static Status IntegrityError(std::string msg) {
     return Status(StatusCode::kIntegrityError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -65,7 +65,9 @@ Result<std::vector<u128>> MpcEngine::InputVector(
       all[owner][i] = FpSub(FpFromSigned(values[i]), sum);
     }
     for (int p = 0; p < m; ++p) {
-      if (p != owner) endpoint_->Send(p, EncodeU128Vector(all[p]));
+      if (p != owner) {
+        PIVOT_RETURN_IF_ERROR(endpoint_->Send(p, EncodeU128Vector(all[p])));
+      }
     }
     return all[owner];
   }
@@ -86,7 +88,7 @@ Result<std::vector<u128>> MpcEngine::OpenVec(const std::vector<u128>& shares) {
   if (shares.empty()) return std::vector<u128>{};
   if (num_parties() == 1) return shares;
   ++rounds_;
-  endpoint_->Broadcast(EncodeU128Vector(shares));
+  PIVOT_RETURN_IF_ERROR(endpoint_->Broadcast(EncodeU128Vector(shares)));
   std::vector<u128> sum = shares;
   for (int p = 0; p < num_parties(); ++p) {
     if (p == party_id()) continue;

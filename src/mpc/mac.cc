@@ -90,7 +90,7 @@ Result<AuthShare> AuthEngine::Input(int owner, i128 value) {
         r_clear = FpAdd(r_clear, v);
       }
     } else {
-      endpoint_->Send(owner, mine);
+      PIVOT_RETURN_IF_ERROR(endpoint_->Send(owner, mine));
     }
   }
   // Owner broadcasts eps = value - r.
@@ -99,7 +99,9 @@ Result<AuthShare> AuthEngine::Input(int owner, i128 value) {
     eps = FpSub(FpFromSigned(value), r_clear);
     ByteWriter we;
     EncodeU128(eps, we);
-    if (num_parties() > 1) endpoint_->Broadcast(we.Take());
+    if (num_parties() > 1) {
+      PIVOT_RETURN_IF_ERROR(endpoint_->Broadcast(we.Take()));
+    }
   } else {
     PIVOT_ASSIGN_OR_RETURN(Bytes msg, endpoint_->Recv(owner));
     ByteReader rd(msg);
@@ -123,7 +125,8 @@ Result<std::vector<u128>> AuthEngine::OpenVec(
   for (size_t i = 0; i < n; ++i) value_shares[i] = shares[i].value;
   std::vector<u128> opened = value_shares;
   if (num_parties() > 1) {
-    endpoint_->Broadcast(EncodeU128Vector(value_shares));
+    PIVOT_RETURN_IF_ERROR(
+        endpoint_->Broadcast(EncodeU128Vector(value_shares)));
     for (int p = 0; p < num_parties(); ++p) {
       if (p == party_id()) continue;
       PIVOT_ASSIGN_OR_RETURN(Bytes msg, endpoint_->Recv(p));
@@ -143,7 +146,7 @@ Result<std::vector<u128>> AuthEngine::OpenVec(
   }
   std::vector<u128> zsum = zs;
   if (num_parties() > 1) {
-    endpoint_->Broadcast(EncodeU128Vector(zs));
+    PIVOT_RETURN_IF_ERROR(endpoint_->Broadcast(EncodeU128Vector(zs)));
     for (int p = 0; p < num_parties(); ++p) {
       if (p == party_id()) continue;
       PIVOT_ASSIGN_OR_RETURN(Bytes msg, endpoint_->Recv(p));

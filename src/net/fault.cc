@@ -1,0 +1,127 @@
+#include "net/fault.h"
+
+#include "common/rng.h"
+
+namespace pivot {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kStall:
+      return "stall";
+  }
+  return "unknown";
+}
+
+std::string FaultAction::ToString() const {
+  std::string out = FaultKindName(kind);
+  out += " party=" + std::to_string(party);
+  if (is_message_fault()) {
+    out += " peer=" + std::to_string(peer);
+    out += " nth=" + std::to_string(nth);
+  } else {
+    out += " op=" + std::to_string(nth);
+  }
+  if (kind == FaultKind::kDelay || kind == FaultKind::kStall) {
+    out += " delay_ms=" + std::to_string(delay_ms);
+  }
+  if (kind == FaultKind::kCorrupt) {
+    out += " bit=" + std::to_string(bit);
+  }
+  return out;
+}
+
+int FaultPlan::MatchMessage(int from, int to, uint64_t nth) const {
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    const FaultAction& a = actions_[i];
+    if (!a.is_message_fault()) continue;
+    if (a.party != from) continue;
+    if (a.peer != -1 && a.peer != to) continue;
+    if (a.nth != nth) continue;
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int FaultPlan::MatchParty(int party, uint64_t op) const {
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    const FaultAction& a = actions_[i];
+    if (a.is_message_fault() || a.party != party) continue;
+    // A crash is sticky: every op at or after the trigger fails.
+    if (a.kind == FaultKind::kCrash ? op >= a.nth : op == a.nth) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string FaultPlan::ToString() const {
+  if (actions_.empty()) return "(no faults)";
+  std::string out;
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    if (i) out += "; ";
+    out += actions_[i].ToString();
+  }
+  return out;
+}
+
+namespace {
+
+FaultAction RandomMessageFault(Rng& rng, int num_parties, int fatal_ms,
+                               uint64_t max_msg) {
+  FaultAction a;
+  constexpr FaultKind kMessageKinds[] = {
+      FaultKind::kDrop, FaultKind::kDelay, FaultKind::kDuplicate,
+      FaultKind::kTruncate, FaultKind::kCorrupt};
+  a.kind = kMessageKinds[rng.NextBelow(5)];
+  a.party = static_cast<int>(rng.NextBelow(num_parties));
+  // Half the time pin a receiver, half the time fault the nth message to
+  // any receiver (catches broadcast fan-out paths).
+  if (num_parties > 1 && rng.NextBelow(2) == 0) {
+    int peer = static_cast<int>(rng.NextBelow(num_parties - 1));
+    if (peer >= a.party) ++peer;
+    a.peer = peer;
+  }
+  a.nth = rng.NextBelow(max_msg);
+  if (a.kind == FaultKind::kDelay) a.delay_ms = fatal_ms;
+  if (a.kind == FaultKind::kCorrupt) a.bit = rng.NextU64();
+  return a;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::FromSeed(uint64_t seed, int num_parties, int fatal_ms,
+                              uint64_t max_op, uint64_t max_msg) {
+  Rng rng(seed ^ 0xFA17'FA17'FA17'FA17ULL);
+  FaultPlan plan;
+  // Anchor fault: any kind, at a low index so short workloads reach it.
+  if (rng.NextBelow(3) == 0) {
+    FaultAction a;
+    a.kind = rng.NextBelow(2) == 0 ? FaultKind::kCrash : FaultKind::kStall;
+    a.party = static_cast<int>(rng.NextBelow(num_parties));
+    a.nth = rng.NextBelow(max_op);
+    a.delay_ms = fatal_ms;
+    plan.Add(a);
+  } else {
+    plan.Add(RandomMessageFault(rng, num_parties, fatal_ms, max_msg));
+  }
+  // 0-2 extra message faults for compound schedules.
+  uint64_t extra = rng.NextBelow(3);
+  for (uint64_t i = 0; i < extra; ++i) {
+    plan.Add(RandomMessageFault(rng, num_parties, fatal_ms, max_msg));
+  }
+  return plan;
+}
+
+}  // namespace pivot

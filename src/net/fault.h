@@ -1,0 +1,81 @@
+#ifndef PIVOT_NET_FAULT_H_
+#define PIVOT_NET_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pivot {
+
+// Deterministic fault injection for the in-process party mesh.
+//
+// A FaultPlan is a small list of scheduled faults, each keyed on a
+// *logical* position — the Nth message sent on a directed channel, or the
+// Nth network operation a party performs — so a plan reproduces the exact
+// same failure regardless of thread interleaving. Plans are installed on
+// an InMemoryNetwork before the party threads start and consulted from
+// Endpoint::Send/Recv; when no plan is installed the hot path costs one
+// pointer null-check.
+//
+// The chaos test suite (tests/chaos_test.cc) derives plans from a 64-bit
+// seed via FaultPlan::FromSeed and sweeps hundreds of seeds, asserting
+// that every schedule terminates promptly with a clean error Status. To
+// reproduce a failing schedule, re-run with the printed seed.
+
+enum class FaultKind {
+  kDrop,       // message silently not delivered
+  kDelay,      // message delivery delayed by delay_ms (abort-interruptible)
+  kDuplicate,  // message delivered twice
+  kTruncate,   // message body cut to half its length
+  kCorrupt,    // one bit of the message body flipped
+  kCrash,      // party's network ops all fail from the trigger point on
+  kStall,      // party sleeps delay_ms at the trigger point (interruptible)
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultAction {
+  FaultKind kind = FaultKind::kDrop;
+  int party = 0;       // sender (message faults) or the faulting party
+  int peer = -1;       // receiver for message faults; -1 = any receiver
+  uint64_t nth = 0;    // message index on the channel, or party op index
+  int delay_ms = 0;    // kDelay / kStall
+  uint64_t bit = 0;    // kCorrupt: bit index (mod message bit-length)
+
+  bool is_message_fault() const {
+    return kind != FaultKind::kCrash && kind != FaultKind::kStall;
+  }
+  std::string ToString() const;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void Add(FaultAction action) { actions_.push_back(action); }
+  bool empty() const { return actions_.empty(); }
+  const std::vector<FaultAction>& actions() const { return actions_; }
+
+  // Index of a message fault matching the nth message from->to, or -1.
+  int MatchMessage(int from, int to, uint64_t nth) const;
+  // Index of a party fault (crash/stall) matching party's op-th network
+  // operation, or -1. Crash matches at and after its trigger op.
+  int MatchParty(int party, uint64_t op) const;
+
+  std::string ToString() const;
+
+  // Derives a deterministic plan from a seed: one anchor fault of any
+  // kind at a low index plus up to two extra message faults. Delays and
+  // stalls use `fatal_ms`, chosen by the caller to exceed the network's
+  // recv timeout so a delayed message reliably surfaces as a peer
+  // timeout instead of silently succeeding.
+  static FaultPlan FromSeed(uint64_t seed, int num_parties, int fatal_ms,
+                            uint64_t max_op = 40, uint64_t max_msg = 12);
+
+ private:
+  std::vector<FaultAction> actions_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_NET_FAULT_H_

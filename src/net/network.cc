@@ -1,7 +1,9 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "common/check.h"
 #include "common/op_counters.h"
@@ -19,12 +21,29 @@ void MessageQueue::Push(Bytes msg) {
 Result<Bytes> MessageQueue::Pop(int timeout_ms) {
   std::unique_lock<std::mutex> lock(mu_);
   if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                    [this] { return !queue_.empty(); })) {
-    return Status::ProtocolError("receive timed out (peer missing/deadlock?)");
+                    [this] { return poisoned_ || !queue_.empty(); })) {
+    return Status::ProtocolError("receive timed out");
   }
+  // Poison wins over queued data: once the mesh is aborting, stale
+  // messages must not be consumed as progress.
+  if (poisoned_) return poison_status_;
   Bytes msg = std::move(queue_.front());
   queue_.pop_front();
   return msg;
+}
+
+void MessageQueue::Poison(const Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_ = true;
+    poison_status_ = status;
+  }
+  cv_.notify_all();
+}
+
+size_t MessageQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 InMemoryNetwork::InMemoryNetwork(int num_parties, int recv_timeout_ms,
@@ -46,15 +65,125 @@ Endpoint& InMemoryNetwork::endpoint(int i) {
   return endpoints_[i];
 }
 
+void InMemoryNetwork::Abort(Status cause, int origin_party) {
+  Status recorded;
+  {
+    std::lock_guard<std::mutex> lock(abort_mu_);
+    if (aborted_.load(std::memory_order_relaxed)) return;  // first wins
+    abort_status_ = Status::Aborted(
+        "protocol aborted by party " + std::to_string(origin_party) + ": " +
+        cause.ToString());
+    recorded = abort_status_;
+    aborted_.store(true, std::memory_order_release);
+  }
+  abort_cv_.notify_all();
+  for (auto& q : queues_) q->Poison(recorded);
+}
+
+Status InMemoryNetwork::abort_status() const {
+  std::lock_guard<std::mutex> lock(abort_mu_);
+  return abort_status_;
+}
+
+bool InMemoryNetwork::WaitForAbortMs(int ms) {
+  std::unique_lock<std::mutex> lock(abort_mu_);
+  return abort_cv_.wait_for(
+      lock, std::chrono::milliseconds(ms),
+      [this] { return aborted_.load(std::memory_order_relaxed); });
+}
+
+void InMemoryNetwork::set_fault_plan(FaultPlan plan) {
+  if (plan.empty()) {
+    fault_plan_.reset();
+  } else {
+    fault_plan_ = std::make_unique<FaultPlan>(std::move(plan));
+  }
+}
+
 uint64_t InMemoryNetwork::total_bytes() const {
   uint64_t total = 0;
   for (const Endpoint& e : endpoints_) total += e.bytes_sent();
   return total;
 }
 
-void Endpoint::Send(int to, Bytes msg) {
+NetworkStats InMemoryNetwork::stats() const {
+  NetworkStats s;
+  for (const Endpoint& e : endpoints_) {
+    s.bytes_sent += e.bytes_sent();
+    s.bytes_received += e.bytes_received();
+    s.messages_sent += e.messages_sent();
+    s.messages_received += e.messages_received();
+    s.rounds = std::max(s.rounds, e.Rounds());
+  }
+  return s;
+}
+
+Status Endpoint::BeginOp() {
+  const FaultPlan* plan = net_->fault_plan();
+  if (plan != nullptr) {
+    const int idx = plan->MatchParty(id_, ops_++);
+    if (idx >= 0) {
+      const FaultAction& a = plan->actions()[idx];
+      net_->MarkFaultFired(idx);
+      if (a.kind == FaultKind::kCrash) {
+        // Sticky: every network op at or after the trigger fails.
+        if (crashed_at_ < 0) crashed_at_ = static_cast<int64_t>(a.nth);
+        return Status::ProtocolError(
+            "injected fault: party " + std::to_string(id_) +
+            " crashed at network op " + std::to_string(crashed_at_));
+      }
+      // kStall: sleep, but wake immediately if the mesh aborts meanwhile.
+      if (net_->WaitForAbortMs(a.delay_ms)) return net_->abort_status();
+    }
+  }
+  if (net_->aborted()) return net_->abort_status();
+  return Status::Ok();
+}
+
+void Endpoint::NoteRecvPhase() {
+  if (in_send_phase_) {
+    rounds_.fetch_add(1, std::memory_order_relaxed);
+    in_send_phase_ = false;
+  }
+}
+
+Status Endpoint::Send(int to, Bytes msg) {
   PIVOT_CHECK_MSG(to != id_, "self-send");
   PIVOT_CHECK(to >= 0 && to < num_parties_);
+  in_send_phase_ = true;
+  PIVOT_RETURN_IF_ERROR(BeginOp());
+  int copies = 1;
+  if (const FaultPlan* plan = net_->fault_plan()) {
+    const int idx = plan->MatchMessage(id_, to, send_seq_[to]);
+    if (idx >= 0) {
+      const FaultAction& a = plan->actions()[idx];
+      net_->MarkFaultFired(idx);
+      switch (a.kind) {
+        case FaultKind::kDrop:
+          copies = 0;
+          break;
+        case FaultKind::kDelay:
+          if (net_->WaitForAbortMs(a.delay_ms)) return net_->abort_status();
+          break;
+        case FaultKind::kDuplicate:
+          copies = 2;
+          break;
+        case FaultKind::kTruncate:
+          msg.resize(msg.size() / 2);
+          break;
+        case FaultKind::kCorrupt:
+          if (!msg.empty()) {
+            const uint64_t bit = a.bit % (msg.size() * 8);
+            msg[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+          }
+          break;
+        case FaultKind::kCrash:
+        case FaultKind::kStall:
+          break;  // party faults are handled in BeginOp
+      }
+    }
+  }
+  ++send_seq_[to];
   if (net_->sim_.enabled()) {
     // Sender-side delay: per-message latency + serialization time.
     double micros = net_->sim_.latency_us;
@@ -69,19 +198,42 @@ void Endpoint::Send(int to, Bytes msg) {
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
   OpCounters::Global().AddBytesSent(msg.size());
   OpCounters::Global().AddMessage();
-  net_->queue(id_, to).Push(std::move(msg));
+  for (int c = 0; c < copies; ++c) {
+    net_->queue(id_, to).Push(c + 1 < copies ? msg : std::move(msg));
+  }
+  return Status::Ok();
 }
 
 Result<Bytes> Endpoint::Recv(int from) {
   PIVOT_CHECK_MSG(from != id_, "self-receive");
   PIVOT_CHECK(from >= 0 && from < num_parties_);
-  return net_->queue(from, id_).Pop(net_->recv_timeout_ms_);
+  NoteRecvPhase();
+  PIVOT_RETURN_IF_ERROR(BeginOp());
+  const auto start = std::chrono::steady_clock::now();
+  MessageQueue& q = net_->queue(from, id_);
+  Result<Bytes> r = q.Pop(net_->recv_timeout_ms_);
+  if (!r.ok()) {
+    if (r.status().code() == StatusCode::kAborted) return r.status();
+    const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start).count();
+    return Status::ProtocolError(
+        "receive from party " + std::to_string(from) + " timed out at party " +
+        std::to_string(id_) + " after " + std::to_string(elapsed_ms) +
+        " ms (" + std::to_string(recv_seq_[from]) +
+        " messages previously received on this channel, queue depth " +
+        std::to_string(q.depth()) + "; peer missing/deadlock?)");
+  }
+  ++recv_seq_[from];
+  bytes_received_.fetch_add(r.value().size(), std::memory_order_relaxed);
+  messages_received_.fetch_add(1, std::memory_order_relaxed);
+  return r;
 }
 
-void Endpoint::Broadcast(const Bytes& msg) {
+Status Endpoint::Broadcast(const Bytes& msg) {
   for (int to = 0; to < num_parties_; ++to) {
-    if (to != id_) Send(to, msg);
+    if (to != id_) PIVOT_RETURN_IF_ERROR(Send(to, msg));
   }
+  return Status::Ok();
 }
 
 Result<std::vector<Bytes>> Endpoint::GatherAll(Bytes own) {
@@ -89,7 +241,14 @@ Result<std::vector<Bytes>> Endpoint::GatherAll(Bytes own) {
   out[id_] = std::move(own);
   for (int from = 0; from < num_parties_; ++from) {
     if (from == id_) continue;
-    PIVOT_ASSIGN_OR_RETURN(out[from], Recv(from));
+    Result<Bytes> r = Recv(from);
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kAborted) return r.status();
+      return Status(r.status().code(), "GatherAll at party " +
+                                           std::to_string(id_) + ": " +
+                                           r.status().message());
+    }
+    out[from] = std::move(r).value();
   }
   return out;
 }
@@ -101,9 +260,24 @@ Status RunParties(InMemoryNetwork& net,
   std::vector<std::thread> threads;
   threads.reserve(m);
   for (int i = 0; i < m; ++i) {
-    threads.emplace_back([&, i] { statuses[i] = body(i, net.endpoint(i)); });
+    threads.emplace_back([&, i] {
+      Status st = body(i, net.endpoint(i));
+      // Abort the mesh before this thread exits so peers blocked in Recv
+      // wake immediately instead of waiting out the recv timeout. Abort
+      // echoes (kAborted) are not re-propagated: they are effects, not
+      // causes.
+      if (!st.ok() && st.code() != StatusCode::kAborted) net.Abort(st, i);
+      statuses[i] = std::move(st);
+    });
   }
   for (std::thread& t : threads) t.join();
+  // Prefer the root cause over abort echoes.
+  for (int i = 0; i < m; ++i) {
+    if (!statuses[i].ok() && statuses[i].code() != StatusCode::kAborted) {
+      return Status(statuses[i].code(), "party " + std::to_string(i) + ": " +
+                                            statuses[i].message());
+    }
+  }
   for (int i = 0; i < m; ++i) {
     if (!statuses[i].ok()) {
       return Status(statuses[i].code(), "party " + std::to_string(i) + ": " +

@@ -12,6 +12,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "net/fault.h"
 
 namespace pivot {
 
@@ -28,18 +29,35 @@ namespace pivot {
 // `endpoint(i)` to party i's thread, and exchange length-delimited byte
 // messages. Receives block until the peer's message arrives, with a
 // generous timeout so protocol bugs surface as errors instead of hangs.
+//
+// Fault tolerance (DESIGN.md, "Fault model"): the mesh implements
+// security-with-abort. The first party whose protocol body fails calls
+// InMemoryNetwork::Abort, which poisons every queue so peers blocked in
+// Recv/GatherAll wake immediately with a kAborted Status naming the
+// originating party, instead of waiting out the recv timeout. A
+// deterministic FaultPlan (net/fault.h) can be installed before the party
+// threads start to inject message/party faults for chaos testing.
 
 // One directed FIFO byte-message queue with blocking receive.
 class MessageQueue {
  public:
   void Push(Bytes msg);
-  // Blocks until a message is available or the timeout elapses.
+  // Blocks until a message is available, the queue is poisoned, or the
+  // timeout elapses. A pending poison wins over queued data: once the
+  // mesh is aborting, stale messages must not be consumed as progress.
   Result<Bytes> Pop(int timeout_ms);
 
+  // Wakes all blocked Pop calls with `status` and fails future ones.
+  void Poison(const Status& status);
+
+  size_t depth() const;
+
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Bytes> queue_;
+  bool poisoned_ = false;
+  Status poison_status_;
 };
 
 // Optional emulation of the paper's LAN testbed: a fixed per-message
@@ -54,6 +72,15 @@ struct NetworkSim {
   bool enabled() const { return latency_us > 0 || bandwidth_gbps > 0; }
 };
 
+// Aggregate traffic snapshot across all endpoints of a network.
+struct NetworkStats {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t rounds = 0;  // max per-party round estimate (send->recv flips)
+};
+
 class InMemoryNetwork;
 
 // Party-local view of the network. Thread-compatible: owned and used by a
@@ -63,19 +90,23 @@ class Endpoint {
   int id() const { return id_; }
   int num_parties() const { return num_parties_; }
 
-  // Point-to-point send (to != id()).
-  void Send(int to, Bytes msg);
-  // Blocking receive of the next message from `from`.
+  // Point-to-point send (to != id()). Fails once the mesh has aborted or
+  // an injected fault has crashed this party, so send-only loops also
+  // terminate promptly.
+  [[nodiscard]] Status Send(int to, Bytes msg);
+  // Blocking receive of the next message from `from`. Timeout errors name
+  // the channel (sender, receiver, elapsed ms, queue depth); abort errors
+  // name the originating party.
   Result<Bytes> Recv(int from);
 
   // Sends `msg` to every other party.
-  void Broadcast(const Bytes& msg);
+  [[nodiscard]] Status Broadcast(const Bytes& msg);
   // Receives one message from every other party; slot id() holds `own`.
   Result<std::vector<Bytes>> GatherAll(Bytes own);
 
-  // Cumulative traffic outbound from this endpoint. Atomic: the counters
-  // are incremented by the owning party thread but read by the harness
-  // thread (progress reporting, InMemoryNetwork::total_bytes) while party
+  // Cumulative traffic through this endpoint. Atomic: the counters are
+  // incremented by the owning party thread but read by the harness
+  // thread (progress reporting, InMemoryNetwork::stats) while party
   // threads may still be running.
   uint64_t bytes_sent() const {
     return bytes_sent_.load(std::memory_order_relaxed);
@@ -83,6 +114,17 @@ class Endpoint {
   uint64_t messages_sent() const {
     return messages_sent_.load(std::memory_order_relaxed);
   }
+  uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+  uint64_t messages_received() const {
+    return messages_received_.load(std::memory_order_relaxed);
+  }
+  // Round estimate: number of send-phase -> recv-phase transitions this
+  // party performed. On the in-process mesh this approximates the
+  // sequential communication rounds a socket deployment would pay
+  // latency for.
+  uint64_t Rounds() const { return rounds_.load(std::memory_order_relaxed); }
 
   // Endpoints live in InMemoryNetwork's vector; atomics are not movable,
   // so moves (vector growth during construction) copy the counter values.
@@ -91,19 +133,49 @@ class Endpoint {
       : net_(other.net_),
         id_(other.id_),
         num_parties_(other.num_parties_),
+        send_seq_(std::move(other.send_seq_)),
+        recv_seq_(std::move(other.recv_seq_)),
+        ops_(other.ops_),
+        crashed_at_(other.crashed_at_),
+        in_send_phase_(other.in_send_phase_),
         bytes_sent_(other.bytes_sent_.load(std::memory_order_relaxed)),
-        messages_sent_(other.messages_sent_.load(std::memory_order_relaxed)) {}
+        messages_sent_(other.messages_sent_.load(std::memory_order_relaxed)),
+        bytes_received_(
+            other.bytes_received_.load(std::memory_order_relaxed)),
+        messages_received_(
+            other.messages_received_.load(std::memory_order_relaxed)),
+        rounds_(other.rounds_.load(std::memory_order_relaxed)) {}
 
  private:
   friend class InMemoryNetwork;
   Endpoint(InMemoryNetwork* net, int id, int num_parties)
-      : net_(net), id_(id), num_parties_(num_parties) {}
+      : net_(net),
+        id_(id),
+        num_parties_(num_parties),
+        send_seq_(num_parties, 0),
+        recv_seq_(num_parties, 0) {}
+
+  // Common prologue of Send/Recv: fires party faults (crash/stall) from
+  // the installed FaultPlan and fails fast once the mesh has aborted.
+  Status BeginOp();
+  void NoteRecvPhase();
 
   InMemoryNetwork* net_;
   int id_;
   int num_parties_;
+  // Per-channel logical message indices and the party-local op counter
+  // that fault schedules key on. Plain members: touched only by the
+  // owning party thread.
+  std::vector<uint64_t> send_seq_;
+  std::vector<uint64_t> recv_seq_;
+  uint64_t ops_ = 0;
+  int64_t crashed_at_ = -1;
+  bool in_send_phase_ = false;
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> messages_received_{0};
+  std::atomic<uint64_t> rounds_{0};
 };
 
 class InMemoryNetwork {
@@ -117,13 +189,40 @@ class InMemoryNetwork {
   int num_parties() const { return num_parties_; }
   Endpoint& endpoint(int i);
 
+  // Network-wide abort (security-with-abort): records `cause` as coming
+  // from `origin_party` and poisons every queue so all blocked receives
+  // wake immediately. First caller wins; later calls are no-ops.
+  void Abort(Status cause, int origin_party);
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  // The recorded abort status (kAborted naming the origin), or OK.
+  Status abort_status() const;
+  // Sleeps up to `ms`, waking early if the mesh aborts. Returns true if
+  // an abort interrupted (or preceded) the wait. Used for injected
+  // delays/stalls so simulated latency cannot outlive an abort.
+  bool WaitForAbortMs(int ms);
+
+  // Installs a fault-injection plan. Must be called before party threads
+  // start; ignored (kept empty) when `plan` has no actions.
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan* fault_plan() const { return fault_plan_.get(); }
+  // Bitmask over plan action indices that fired at least once.
+  uint64_t fired_fault_mask() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
   // Total bytes sent across all endpoints.
   uint64_t total_bytes() const;
+  // Aggregate traffic counters; rounds is the per-party maximum.
+  NetworkStats stats() const;
 
  private:
   friend class Endpoint;
   MessageQueue& queue(int from, int to) {
     return *queues_[static_cast<size_t>(from) * num_parties_ + to];
+  }
+  void MarkFaultFired(int action_index) {
+    fired_.fetch_or(uint64_t{1} << (action_index & 63),
+                    std::memory_order_relaxed);
   }
 
   int num_parties_;
@@ -131,10 +230,20 @@ class InMemoryNetwork {
   NetworkSim sim_;
   std::vector<std::unique_ptr<MessageQueue>> queues_;  // [from * m + to]
   std::vector<Endpoint> endpoints_;
+  std::unique_ptr<FaultPlan> fault_plan_;
+
+  std::atomic<bool> aborted_{false};
+  std::atomic<uint64_t> fired_{0};
+  mutable std::mutex abort_mu_;
+  std::condition_variable abort_cv_;
+  Status abort_status_;
 };
 
 // Runs `body(party_id, endpoint)` on one thread per party and joins them.
-// Returns the first non-OK status (by party id) if any party failed.
+// The first party to fail aborts the mesh so peers exit promptly instead
+// of timing out. Returns the root-cause status when one exists (the first
+// non-OK, non-kAborted status by party id), otherwise the first abort
+// echo, each prefixed with the failing party's id.
 Status RunParties(InMemoryNetwork& net,
                   const std::function<Status(int, Endpoint&)>& body);
 

@@ -9,6 +9,37 @@
 
 namespace pivot {
 
+namespace {
+// Upper bound on a share-conversion batch communicated over the wire.
+// The header is the one length field not implicitly validated by the
+// codec's payload-length checks, so a corrupted or desynchronized value
+// could otherwise drive huge allocations and per-element encryptions.
+constexpr uint64_t kMaxConversionBatch = uint64_t{1} << 20;
+}  // namespace
+
+Status EncodeBatchHeader(uint64_t batch, ByteWriter& w) {
+  if (batch > kMaxConversionBatch) {
+    return Status::InvalidArgument("conversion batch too large");
+  }
+  // Redundant encoding: value + complement. A single flipped bit (or a
+  // message of the wrong type consumed as a header) fails the check
+  // instead of being trusted as a length.
+  w.WriteU64(batch);
+  w.WriteU64(~batch);
+  return Status::Ok();
+}
+
+Result<uint64_t> DecodeBatchHeader(const Bytes& msg) {
+  ByteReader r(msg);
+  PIVOT_ASSIGN_OR_RETURN(uint64_t b, r.ReadU64());
+  PIVOT_ASSIGN_OR_RETURN(uint64_t check, r.ReadU64());
+  if (msg.size() != 16 || check != ~b || b > kMaxConversionBatch) {
+    return Status::ProtocolError(
+        "conversion batch header corrupt or implausible");
+  }
+  return b;
+}
+
 PartyContext::PartyContext(int party_id, int super_client_id,
                            Endpoint* endpoint, const PaillierPublicKey& pk,
                            PartialKey partial_key, VerticalView view,
@@ -49,8 +80,8 @@ PartyContext::PartyContext(int party_id, int super_client_id,
   }
 }
 
-void PartyContext::BroadcastCiphertexts(const std::vector<Ciphertext>& cts) {
-  endpoint_->Broadcast(EncodeCiphertextVector(cts));
+Status PartyContext::BroadcastCiphertexts(const std::vector<Ciphertext>& cts) {
+  return endpoint_->Broadcast(EncodeCiphertextVector(cts));
 }
 
 Result<std::vector<Ciphertext>> PartyContext::RecvCiphertexts(int from) {
@@ -65,7 +96,7 @@ Result<std::vector<BigInt>> PartyContext::JointDecrypt(
   std::vector<Ciphertext> work = cts;
   if (m > 1) {
     if (id() == holder) {
-      BroadcastCiphertexts(cts);
+      PIVOT_RETURN_IF_ERROR(BroadcastCiphertexts(cts));
     } else {
       PIVOT_ASSIGN_OR_RETURN(work, RecvCiphertexts(holder));
     }
@@ -91,7 +122,8 @@ Result<std::vector<BigInt>> PartyContext::JointDecrypt(
     for (std::thread& t : pool) t.join();
   }
   if (id() != holder) {
-    endpoint_->Send(holder, EncodeBigIntVector(partials));
+    PIVOT_RETURN_IF_ERROR(
+        endpoint_->Send(holder, EncodeBigIntVector(partials)));
     // 4. Receive combined plaintexts.
     PIVOT_ASSIGN_OR_RETURN(Bytes msg, endpoint_->Recv(holder));
     return DecodeBigIntVector(msg);
@@ -133,7 +165,9 @@ Result<std::vector<BigInt>> PartyContext::JointDecrypt(
     for (std::thread& t : pool) t.join();
     for (const Status& st : worker_status) PIVOT_RETURN_IF_ERROR(st);
   }
-  if (m > 1) endpoint_->Broadcast(EncodeBigIntVector(plain));
+  if (m > 1) {
+    PIVOT_RETURN_IF_ERROR(endpoint_->Broadcast(EncodeBigIntVector(plain)));
+  }
   return plain;
 }
 
@@ -149,12 +183,11 @@ Result<std::vector<u128>> PartyContext::CiphertextsToShares(
   if (m > 1) {
     if (id() == holder) {
       ByteWriter w;
-      w.WriteU64(batch);
-      endpoint_->Broadcast(w.Take());
+      PIVOT_RETURN_IF_ERROR(EncodeBatchHeader(batch, w));
+      PIVOT_RETURN_IF_ERROR(endpoint_->Broadcast(w.Take()));
     } else {
       PIVOT_ASSIGN_OR_RETURN(Bytes msg, endpoint_->Recv(holder));
-      ByteReader r(msg);
-      PIVOT_ASSIGN_OR_RETURN(uint64_t b, r.ReadU64());
+      PIVOT_ASSIGN_OR_RETURN(uint64_t b, DecodeBatchHeader(msg));
       batch = b;
     }
   }
@@ -186,7 +219,8 @@ Result<std::vector<u128>> PartyContext::CiphertextsToShares(
       }
     }
   } else {
-    endpoint_->Send(holder, EncodeCiphertextVector(my_encrypted));
+    PIVOT_RETURN_IF_ERROR(
+        endpoint_->Send(holder, EncodeCiphertextVector(my_encrypted)));
   }
 
   // Joint decryption of e = x + sum_i r_i (over the integers: plaintext
@@ -217,7 +251,7 @@ Result<std::vector<Ciphertext>> PartyContext::SharesToCiphertexts(
 
   if (num_parties() == 1) return mine;
 
-  BroadcastCiphertexts(mine);
+  PIVOT_RETURN_IF_ERROR(BroadcastCiphertexts(mine));
   std::vector<Ciphertext> sum = std::move(mine);
   for (int p = 0; p < num_parties(); ++p) {
     if (p == id()) continue;

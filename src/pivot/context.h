@@ -7,10 +7,18 @@
 #include "crypto/threshold_paillier.h"
 #include "data/dataset.h"
 #include "mpc/engine.h"
+#include "net/codec.h"
 #include "net/network.h"
 #include "pivot/params.h"
 
 namespace pivot {
+
+// Batch-size agreement header for the share-conversion protocols. The
+// value is redundantly encoded (u64 + bitwise complement) and capped, so
+// a corrupted or desynchronized header is rejected instead of being
+// trusted as a length that drives allocations and encryptions.
+[[nodiscard]] Status EncodeBatchHeader(uint64_t batch, ByteWriter& w);
+Result<uint64_t> DecodeBatchHeader(const Bytes& msg);
 
 // Per-party state for one Pivot protocol run, bundling the party's network
 // endpoint, its TPHE key material, its local vertical data view, and its
@@ -58,7 +66,7 @@ class PartyContext {
 
   // ----- Ciphertext messaging -------------------------------------------
 
-  void BroadcastCiphertexts(const std::vector<Ciphertext>& cts);
+  [[nodiscard]] Status BroadcastCiphertexts(const std::vector<Ciphertext>& cts);
   Result<std::vector<Ciphertext>> RecvCiphertexts(int from);
 
   // ----- Threshold decryption -------------------------------------------

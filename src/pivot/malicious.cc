@@ -105,12 +105,11 @@ Result<std::vector<u128>> VerifiedCiphertextsToShares(
   if (m > 1) {
     if (ctx.id() == holder) {
       ByteWriter w;
-      w.WriteU64(batch);
-      ctx.endpoint().Broadcast(w.Take());
+      PIVOT_RETURN_IF_ERROR(EncodeBatchHeader(batch, w));
+      PIVOT_RETURN_IF_ERROR(ctx.endpoint().Broadcast(w.Take()));
     } else {
       PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx.endpoint().Recv(holder));
-      ByteReader r(msg);
-      PIVOT_ASSIGN_OR_RETURN(uint64_t b, r.ReadU64());
+      PIVOT_ASSIGN_OR_RETURN(uint64_t b, DecodeBatchHeader(msg));
       batch = b;
     }
   }
@@ -134,7 +133,7 @@ Result<std::vector<u128>> VerifiedCiphertextsToShares(
     EncodeBigInt(proof.z, payload);
     EncodeBigInt(proof.w, payload);
   }
-  ctx.endpoint().Broadcast(payload.Take());
+  PIVOT_RETURN_IF_ERROR(ctx.endpoint().Broadcast(payload.Take()));
 
   std::vector<std::vector<Ciphertext>> all_masks(m);
   all_masks[ctx.id()] = my_cts;
@@ -165,7 +164,7 @@ Result<std::vector<u128>> VerifiedCiphertextsToShares(
   std::vector<Ciphertext> xs;
   if (ctx.id() == holder) {
     xs = cts;
-    if (m > 1) ctx.BroadcastCiphertexts(xs);
+    if (m > 1) PIVOT_RETURN_IF_ERROR(ctx.BroadcastCiphertexts(xs));
   } else {
     PIVOT_ASSIGN_OR_RETURN(xs, ctx.RecvCiphertexts(holder));
     if (xs.size() != batch) {
@@ -210,7 +209,7 @@ Result<std::vector<u128>> VerifiedCiphertextsToShares(
     EncodeBigInt(proof.z, commit_payload);
     EncodeBigInt(proof.w, commit_payload);
   }
-  ctx.endpoint().Broadcast(commit_payload.Take());
+  PIVOT_RETURN_IF_ERROR(ctx.endpoint().Broadcast(commit_payload.Take()));
 
   std::vector<Ciphertext> share_sums = my_share_cts;
   for (int p = 0; p < m; ++p) {

@@ -82,7 +82,8 @@ Result<Ciphertext> RunBasicPrediction(PartyContext& ctx, const PivotTree& tree,
   }
   ApplyLocalUpdates(ctx, tree, my_features, paths, &eta);
   if (ctx.id() > 0) {
-    ctx.endpoint().Send(ctx.id() - 1, EncodeCiphertextVector(eta));
+    PIVOT_RETURN_IF_ERROR(
+        ctx.endpoint().Send(ctx.id() - 1, EncodeCiphertextVector(eta)));
   }
 
   // Party 0 computes [k-bar] = z ⊙ [eta] and broadcasts it.
@@ -101,7 +102,7 @@ Result<Ciphertext> RunBasicPrediction(PartyContext& ctx, const PivotTree& tree,
       }
     }
     kbar.push_back(ctx.pk().DotProduct(z, eta));
-    if (m > 1) ctx.BroadcastCiphertexts(kbar);
+    if (m > 1) PIVOT_RETURN_IF_ERROR(ctx.BroadcastCiphertexts(kbar));
   } else {
     PIVOT_ASSIGN_OR_RETURN(kbar, ctx.RecvCiphertexts(0));
   }
@@ -156,7 +157,9 @@ Result<u128> RunEnhancedPredictionShare(
               FixedFromDouble(my_features[n.lambda_features[p][e]])));
         }
         partial.push_back(ctx.pk().DotProduct(x_fix, n.lambda_slices[p]));
-        if (ctx.num_parties() > 1) ctx.BroadcastCiphertexts(partial);
+        if (ctx.num_parties() > 1) {
+          PIVOT_RETURN_IF_ERROR(ctx.BroadcastCiphertexts(partial));
+        }
       } else {
         PIVOT_ASSIGN_OR_RETURN(partial, ctx.RecvCiphertexts(p));
       }

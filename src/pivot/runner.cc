@@ -8,7 +8,7 @@ namespace pivot {
 
 Status RunFederationPartitioned(
     const VerticalPartition& partition, const FederationConfig& cfg,
-    const std::function<Status(PartyContext&)>& body) {
+    const std::function<Status(PartyContext&)>& body, NetworkStats* stats) {
   const int m = cfg.num_parties;
   PIVOT_CHECK(static_cast<int>(partition.views.size()) == m);
   PIVOT_CHECK(cfg.super_client >= 0 && cfg.super_client < m);
@@ -19,8 +19,9 @@ Status RunFederationPartitioned(
   ThresholdPaillier keys =
       GenerateThresholdPaillier(cfg.params.key_bits, m, key_rng);
 
-  InMemoryNetwork net(m, /*recv_timeout_ms=*/600'000, cfg.network_sim);
-  return RunParties(net, [&](int id, Endpoint& ep) -> Status {
+  InMemoryNetwork net(m, cfg.recv_timeout_ms, cfg.network_sim);
+  net.set_fault_plan(cfg.fault_plan);
+  Status st = RunParties(net, [&](int id, Endpoint& ep) -> Status {
     PartyContext ctx(id, cfg.super_client, &ep, keys.pk,
                      keys.partial_keys[id], partition.views[id],
                      id == cfg.super_client ? partition.labels
@@ -28,12 +29,15 @@ Status RunFederationPartitioned(
                      cfg.params);
     return body(ctx);
   });
+  if (stats != nullptr) *stats = net.stats();
+  return st;
 }
 
 Status RunFederation(const Dataset& data, const FederationConfig& cfg,
-                     const std::function<Status(PartyContext&)>& body) {
+                     const std::function<Status(PartyContext&)>& body,
+                     NetworkStats* stats) {
   VerticalPartition partition = PartitionVertically(data, cfg.num_parties);
-  return RunFederationPartitioned(partition, cfg, body);
+  return RunFederationPartitioned(partition, cfg, body, stats);
 }
 
 std::vector<std::vector<double>> SliceRowsForParty(const Dataset& data,

@@ -20,19 +20,30 @@ struct FederationConfig {
   PivotParams params;
   // Optional LAN emulation (latency/bandwidth); see net/network.h.
   NetworkSim network_sim;
+  // Optional deterministic fault injection (chaos testing); see
+  // net/fault.h. Empty = no faults.
+  FaultPlan fault_plan;
+  // Receive timeout for the party mesh. The default is generous so slow
+  // Paillier batches never trip it; chaos tests shrink it so injected
+  // delays surface quickly.
+  int recv_timeout_ms = 600'000;
 };
 
 // Partitions `data` vertically across cfg.num_parties clients (labels go
 // to the super client only) and runs `body(ctx)` on every party thread.
-// Returns the first party error, if any.
+// Returns the first party error, if any. When `stats` is non-null it
+// receives the aggregate traffic/round counters of the run (also on
+// failure: partial traffic up to the abort).
 Status RunFederation(const Dataset& data, const FederationConfig& cfg,
-                     const std::function<Status(PartyContext&)>& body);
+                     const std::function<Status(PartyContext&)>& body,
+                     NetworkStats* stats = nullptr);
 
 // Variant that takes a pre-built vertical partition (so callers can keep
 // train/test views aligned).
 Status RunFederationPartitioned(
     const VerticalPartition& partition, const FederationConfig& cfg,
-    const std::function<Status(PartyContext&)>& body);
+    const std::function<Status(PartyContext&)>& body,
+    NetworkStats* stats = nullptr);
 
 // Extracts this party's rows (its feature slice) from a dataset, matching
 // the round-robin vertical partition used by RunFederation. Helper for

@@ -103,7 +103,7 @@ class TreeTrainer {
     const auto& cands = ctx_.split_candidates();
     w.WriteU64(cands.size());
     for (const auto& c : cands) w.WriteU64(c.size());
-    ctx_.endpoint().Broadcast(w.Take());
+    PIVOT_RETURN_IF_ERROR(ctx_.endpoint().Broadcast(w.Take()));
 
     split_counts_.assign(m_, {});
     for (int p = 0; p < m_; ++p) {
@@ -116,9 +116,26 @@ class TreeTrainer {
       PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx_.endpoint().Recv(p));
       ByteReader r(msg);
       PIVOT_ASSIGN_OR_RETURN(uint64_t d, r.ReadU64());
+      // Split counts are public metadata, but they size per-split work
+      // downstream — bound them by the agreed max_splits and require the
+      // header to match the payload exactly so a corrupted or shifted
+      // message is rejected here rather than trusted as a work factor.
+      if (d != msg.size() / 8 - 1) {
+        return Status::ProtocolError(
+            "split metadata header/payload size mismatch");
+      }
+      const uint64_t max_splits =
+          static_cast<uint64_t>(ctx_.params().tree.max_splits);
       for (uint64_t j = 0; j < d; ++j) {
         PIVOT_ASSIGN_OR_RETURN(uint64_t s, r.ReadU64());
+        if (s > max_splits) {
+          return Status::ProtocolError(
+              "split count exceeds agreed max_splits");
+        }
         split_counts_[p].push_back(static_cast<int>(s));
+      }
+      if (!r.AtEnd()) {
+        return Status::ProtocolError("trailing bytes in split metadata");
       }
     }
     return Status::Ok();
@@ -129,7 +146,7 @@ class TreeTrainer {
       int owner, const std::vector<Ciphertext>& own) {
     if (m_ == 1) return own;
     if (me_ == owner) {
-      ctx_.BroadcastCiphertexts(own);
+      PIVOT_RETURN_IF_ERROR(ctx_.BroadcastCiphertexts(own));
       return own;
     }
     return ctx_.RecvCiphertexts(owner);
@@ -358,7 +375,7 @@ class TreeTrainer {
       // Broadcast threshold + masks.
       ByteWriter w;
       w.WriteDouble(internal->threshold);
-      ctx_.endpoint().Broadcast(w.Take());
+      PIVOT_RETURN_IF_ERROR(ctx_.endpoint().Broadcast(w.Take()));
     } else {
       PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx_.endpoint().Recv(owner));
       ByteReader r(msg);
@@ -502,7 +519,8 @@ class TreeTrainer {
           ctx_.pk().ScalarMul(FpToBigInt(alpha_shares[t]), vr_sum[t]));
     }
     if (me_ != aggregator) {
-      ctx_.endpoint().Send(aggregator, EncodeCiphertextVector(partial));
+      PIVOT_RETURN_IF_ERROR(
+          ctx_.endpoint().Send(aggregator, EncodeCiphertextVector(partial)));
     } else {
       std::vector<std::vector<Ciphertext>> all(m_);
       all[aggregator] = std::move(partial);

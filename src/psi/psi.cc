@@ -101,7 +101,7 @@ Result<std::vector<uint64_t>> IntersectSampleIds(
   // The set currently in hand; starts as my own blinded set.
   std::vector<BigInt> in_hand = blinded;
   for (int hop = 0; hop + 1 < m; ++hop) {
-    endpoint.Send(next, EncodeGroupVector(in_hand));
+    PIVOT_RETURN_IF_ERROR(endpoint.Send(next, EncodeGroupVector(in_hand)));
     PIVOT_ASSIGN_OR_RETURN(Bytes msg, endpoint.Recv(prev));
     PIVOT_ASSIGN_OR_RETURN(std::vector<BigInt> received,
                            DecodeBigIntVector(msg));
@@ -110,7 +110,7 @@ Result<std::vector<uint64_t>> IntersectSampleIds(
   }
   // in_hand now holds the fully-blinded set that started at party
   // (me + 1) mod m. Broadcast it so every party can intersect everything.
-  endpoint.Broadcast(EncodeGroupVector(in_hand));
+  PIVOT_RETURN_IF_ERROR(endpoint.Broadcast(EncodeGroupVector(in_hand)));
   std::vector<std::vector<BigInt>> full_sets(m);
   full_sets[(me + 1) % m] = std::move(in_hand);
   for (int p = 0; p < m; ++p) {

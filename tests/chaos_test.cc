@@ -1,0 +1,268 @@
+// Chaos harness: sweeps seeded fault schedules (net/fault.h) across the
+// MPC engine, basic/enhanced training, prediction, and the malicious
+// checks, asserting the security-with-abort contract — every schedule
+// terminates within a short deadline with a clean error Status naming a
+// party, never a hang or a crash.
+//
+// Seed counts are environment-tunable so CI can shrink the sweep under
+// TSan (PIVOT_CHAOS_MPC_SEEDS, PIVOT_CHAOS_PROTO_SEEDS) and relax the
+// per-run deadline for sanitizer slowdown (PIVOT_CHAOS_DEADLINE_MS). A
+// failing seed reproduces deterministically: re-run the test and look for
+// the seed printed with the failure.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+
+#include "data/synthetic.h"
+#include "mpc/engine.h"
+#include "net/fault.h"
+#include "net/network.h"
+#include "pivot/malicious.h"
+#include "pivot/prediction.h"
+#include "pivot/runner.h"
+#include "pivot/trainer.h"
+
+namespace pivot {
+namespace {
+
+// Short receive timeout so dropped/delayed messages surface quickly;
+// injected delays and stalls sleep kFatalMs > timeout so they reliably
+// register as peer timeouts instead of hiding inside the jitter budget.
+constexpr int kRecvTimeoutMs = 250;
+constexpr int kFatalMs = 2 * kRecvTimeoutMs;
+constexpr int kParties = 3;
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+int DeadlineMs() { return EnvInt("PIVOT_CHAOS_DEADLINE_MS", 5'000); }
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Every non-OK chaos result must name a party: either the root-cause
+// prefix RunParties adds or the abort origin recorded by the network.
+void ExpectNamesParty(const Status& st, uint64_t seed) {
+  EXPECT_NE(st.message().find("party"), std::string::npos)
+      << "seed " << seed << ": " << st.ToString();
+}
+
+Dataset TinyClassification() {
+  ClassificationSpec spec;
+  spec.num_samples = 16;
+  spec.num_features = 6;
+  spec.num_classes = 2;
+  spec.class_separation = 2.5;
+  spec.seed = 17;
+  return MakeClassification(spec);
+}
+
+PivotParams ChaosParams(int key_bits) {
+  PivotParams params;
+  params.tree.task = TreeTask::kClassification;
+  params.tree.num_classes = 2;
+  params.tree.max_depth = 2;
+  params.tree.max_splits = 4;
+  params.tree.min_samples_split = 5;
+  params.key_bits = key_bits;
+  return params;
+}
+
+// Runs `seeds` seeded schedules of `body` through RunFederation on the
+// tiny dataset, asserting each terminates within the deadline and names a
+// party on error. Returns the number of runs that surfaced an error.
+int SweepFederation(int seeds, uint64_t salt, int key_bits, uint64_t max_op,
+                    uint64_t max_msg,
+                    const std::function<Status(PartyContext&)>& body) {
+  const Dataset data = TinyClassification();
+  FederationConfig cfg;
+  cfg.num_parties = kParties;
+  cfg.params = ChaosParams(key_bits);
+  cfg.recv_timeout_ms = kRecvTimeoutMs;
+  int errored = 0;
+  for (int s = 0; s < seeds; ++s) {
+    const uint64_t seed = salt + static_cast<uint64_t>(s);
+    cfg.fault_plan =
+        FaultPlan::FromSeed(seed, kParties, kFatalMs, max_op, max_msg);
+    const auto start = std::chrono::steady_clock::now();
+    const Status st = RunFederation(data, cfg, body);
+    EXPECT_LT(ElapsedMs(start), DeadlineMs())
+        << "seed " << seed << " overran the deadline; plan: "
+        << cfg.fault_plan.ToString();
+    if (!st.ok()) {
+      ++errored;
+      ExpectNamesParty(st, seed);
+    }
+  }
+  return errored;
+}
+
+// ---------------------------------------------------------------------------
+// MPC engine sweep: cheap (no Paillier), dense traffic, and self-checking
+// — every party opens every value and verifies it, so even a silent bit
+// flip in a share surfaces as an error.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, MpcEngineSweep) {
+  const int seeds = EnvInt("PIVOT_CHAOS_MPC_SEEDS", 120);
+  int errored = 0;
+  for (int s = 0; s < seeds; ++s) {
+    const uint64_t seed = 0xA0000000ULL + static_cast<uint64_t>(s);
+    InMemoryNetwork net(kParties, kRecvTimeoutMs);
+    net.set_fault_plan(FaultPlan::FromSeed(seed, kParties, kFatalMs,
+                                           /*max_op=*/40, /*max_msg=*/12));
+    const auto start = std::chrono::steady_clock::now();
+    Status st = RunParties(net, [&](int id, Endpoint& ep) -> Status {
+      Preprocessing prep(id, kParties, /*seed=*/0xC0FFEE);
+      MpcEngine eng(&ep, &prep, /*personal_seed=*/seed ^ id);
+      for (int r = 0; r < 32; ++r) {
+        PIVOT_ASSIGN_OR_RETURN(u128 share, eng.Input(r % kParties, r));
+        PIVOT_ASSIGN_OR_RETURN(u128 opened, eng.Open(share));
+        if (opened != FpFromSigned(r)) {
+          return Status::ProtocolError(
+              "opened value mismatch (corrupted share?)");
+        }
+      }
+      return Status::Ok();
+    });
+    EXPECT_LT(ElapsedMs(start), DeadlineMs()) << "seed " << seed;
+    // This workload performs far more than max_op network operations per
+    // party and max_msg messages per channel, so the anchor fault (or an
+    // earlier compound fault) always fires.
+    EXPECT_NE(net.fired_fault_mask(), 0u) << "seed " << seed;
+    if (!st.ok()) {
+      ++errored;
+      ExpectNamesParty(st, seed);
+    }
+  }
+  // Dense traffic + value self-checks: (nearly) every schedule must
+  // surface an error, not silently succeed.
+  EXPECT_GE(errored, seeds * 9 / 10);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol sweeps over the full Pivot stack.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, BasicTrainingSweep) {
+  const int seeds = EnvInt("PIVOT_CHAOS_PROTO_SEEDS", 25);
+  const int errored = SweepFederation(
+      seeds, /*salt=*/0xB0000000ULL, /*key_bits=*/256, /*max_op=*/40,
+      /*max_msg=*/12, [](PartyContext& ctx) -> Status {
+        TrainTreeOptions opts;
+        opts.protocol = Protocol::kBasic;
+        PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainPivotTree(ctx, opts));
+        (void)tree;
+        return Status::Ok();
+      });
+  EXPECT_GE(errored, seeds / 2);
+}
+
+TEST(ChaosTest, EnhancedTrainingSweep) {
+  const int seeds = EnvInt("PIVOT_CHAOS_PROTO_SEEDS", 25);
+  const int errored = SweepFederation(
+      seeds, /*salt=*/0xC0000000ULL, /*key_bits=*/384, /*max_op=*/40,
+      /*max_msg=*/12, [](PartyContext& ctx) -> Status {
+        TrainTreeOptions opts;
+        opts.protocol = Protocol::kEnhanced;
+        PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainPivotTree(ctx, opts));
+        (void)tree;
+        return Status::Ok();
+      });
+  EXPECT_GE(errored, seeds / 2);
+}
+
+TEST(ChaosTest, BasicPredictionSweep) {
+  const int seeds = EnvInt("PIVOT_CHAOS_PROTO_SEEDS", 25);
+  // Hand-crafted public tree: party 0 splits on its first feature.
+  PivotTree tree;
+  tree.protocol = Protocol::kBasic;
+  tree.task = TreeTask::kClassification;
+  tree.num_classes = 2;
+  PivotNode root;
+  root.owner = 0;
+  root.feature_local = 0;
+  root.threshold = 0.0;
+  const int root_id = tree.AddNode(root);
+  PivotNode leaf;
+  leaf.is_leaf = true;
+  leaf.leaf_value = 0.0;
+  tree.nodes[root_id].left = tree.AddNode(leaf);
+  leaf.leaf_value = 1.0;
+  tree.nodes[root_id].right = tree.AddNode(leaf);
+
+  const Dataset data = TinyClassification();
+  std::vector<std::vector<std::vector<double>>> slices;
+  for (int p = 0; p < kParties; ++p) {
+    slices.push_back(SliceRowsForParty(data, p, kParties));
+  }
+  // Basic prediction exchanges only a handful of messages per party, so
+  // fault indices stay small to keep them reachable.
+  const int errored = SweepFederation(
+      seeds, /*salt=*/0xD0000000ULL, /*key_bits=*/256, /*max_op=*/6,
+      /*max_msg=*/3, [&](PartyContext& ctx) -> Status {
+        PIVOT_ASSIGN_OR_RETURN(double pred,
+                               PredictPivot(ctx, tree, slices[ctx.id()][0]));
+        (void)pred;
+        return Status::Ok();
+      });
+  // Corruption of a ciphertext can legitimately decrypt to garbage
+  // without an error in the semi-honest model, so only a loose error
+  // fraction is asserted here.
+  EXPECT_GE(errored, seeds / 4);
+}
+
+TEST(ChaosTest, MaliciousConversionSweep) {
+  const int seeds = EnvInt("PIVOT_CHAOS_PROTO_SEEDS", 25);
+  const int errored = SweepFederation(
+      seeds, /*salt=*/0xE0000000ULL, /*key_bits=*/256, /*max_op=*/20,
+      /*max_msg=*/6, [](PartyContext& ctx) -> Status {
+        std::vector<Ciphertext> cts;
+        if (ctx.id() == 0) {
+          for (int i = 0; i < 4; ++i) {
+            cts.push_back(ctx.pk().Encrypt(BigInt(i), ctx.rng()));
+          }
+        }
+        PIVOT_ASSIGN_OR_RETURN(std::vector<u128> shares,
+                               VerifiedCiphertextsToShares(ctx, cts, 0));
+        (void)shares;
+        return Status::Ok();
+      });
+  EXPECT_GE(errored, seeds / 2);
+}
+
+// With the fault layer compiled in but no plan installed, everything
+// still works — the hot path is one null check.
+TEST(ChaosTest, FaultFreeBaselineSucceeds) {
+  const Dataset data = TinyClassification();
+  FederationConfig cfg;
+  cfg.num_parties = kParties;
+  cfg.params = ChaosParams(256);
+  NetworkStats stats;
+  Status st = RunFederation(
+      data, cfg,
+      [](PartyContext& ctx) -> Status {
+        TrainTreeOptions opts;
+        opts.protocol = Protocol::kBasic;
+        PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainPivotTree(ctx, opts));
+        return tree.nodes.empty() ? Status::Internal("empty tree")
+                                  : Status::Ok();
+      },
+      &stats);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GT(stats.bytes_sent, 0u);
+  EXPECT_EQ(stats.bytes_sent, stats.bytes_received);
+  EXPECT_GT(stats.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace pivot

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <mutex>
+#include <thread>
+
 #include "net/codec.h"
+#include "net/fault.h"
 
 namespace pivot {
 namespace {
@@ -11,13 +16,13 @@ TEST(NetworkTest, PointToPoint) {
   InMemoryNetwork net(2);
   Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
     if (id == 0) {
-      ep.Send(1, Bytes{1, 2, 3});
+      PIVOT_RETURN_IF_ERROR(ep.Send(1, Bytes{1, 2, 3}));
       PIVOT_ASSIGN_OR_RETURN(Bytes reply, ep.Recv(1));
       if (reply != Bytes{9}) return Status::Internal("bad reply");
     } else {
       PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
       if (msg != (Bytes{1, 2, 3})) return Status::Internal("bad msg");
-      ep.Send(0, Bytes{9});
+      PIVOT_RETURN_IF_ERROR(ep.Send(0, Bytes{9}));
     }
     return Status::Ok();
   });
@@ -28,7 +33,9 @@ TEST(NetworkTest, FifoOrderPreserved) {
   InMemoryNetwork net(2);
   Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
     if (id == 0) {
-      for (uint8_t i = 0; i < 10; ++i) ep.Send(1, Bytes{i});
+      for (uint8_t i = 0; i < 10; ++i) {
+        PIVOT_RETURN_IF_ERROR(ep.Send(1, Bytes{i}));
+      }
     } else {
       for (uint8_t i = 0; i < 10; ++i) {
         PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
@@ -43,7 +50,7 @@ TEST(NetworkTest, FifoOrderPreserved) {
 TEST(NetworkTest, BroadcastAndGather) {
   InMemoryNetwork net(4);
   Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
-    ep.Broadcast(Bytes{static_cast<uint8_t>(id)});
+    PIVOT_RETURN_IF_ERROR(ep.Broadcast(Bytes{static_cast<uint8_t>(id)}));
     Bytes own{static_cast<uint8_t>(id)};
     // Drain the broadcasts via explicit receives.
     for (int p = 0; p < 4; ++p) {
@@ -59,7 +66,8 @@ TEST(NetworkTest, BroadcastAndGather) {
 TEST(NetworkTest, GatherAllCollectsInOrder) {
   InMemoryNetwork net(3);
   Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
-    ep.Broadcast(Bytes{static_cast<uint8_t>(10 + id)});
+    PIVOT_RETURN_IF_ERROR(
+        ep.Broadcast(Bytes{static_cast<uint8_t>(10 + id)}));
     PIVOT_ASSIGN_OR_RETURN(std::vector<Bytes> all,
                            ep.GatherAll(Bytes{static_cast<uint8_t>(10 + id)}));
     for (int p = 0; p < 3; ++p) {
@@ -86,7 +94,7 @@ TEST(NetworkTest, TrafficCounters) {
   InMemoryNetwork net(2);
   Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
     if (id == 0) {
-      ep.Send(1, Bytes(100, 0));
+      PIVOT_RETURN_IF_ERROR(ep.Send(1, Bytes(100, 0)));
       if (ep.bytes_sent() != 100) return Status::Internal("bytes_sent");
       if (ep.messages_sent() != 1) return Status::Internal("messages_sent");
     } else {
@@ -106,6 +114,178 @@ TEST(NetworkTest, PartyErrorPropagatesWithId) {
   });
   EXPECT_FALSE(st.ok());
   EXPECT_NE(st.message().find("party 1"), std::string::npos);
+}
+
+TEST(NetworkTest, TimeoutErrorNamesChannel) {
+  InMemoryNetwork net(2, /*recv_timeout_ms=*/50);
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id != 0) return Status::Ok();
+    Result<Bytes> r = ep.Recv(1);  // never sent
+    if (r.ok()) return Status::Internal("expected timeout");
+    return r.status();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("from party 1"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("at party 0"), std::string::npos);
+  EXPECT_NE(st.message().find("queue depth"), std::string::npos);
+}
+
+TEST(NetworkTest, RecvCountersAndRounds) {
+  InMemoryNetwork net(2);
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) {
+      PIVOT_RETURN_IF_ERROR(ep.Send(1, Bytes(100, 0)));
+      PIVOT_ASSIGN_OR_RETURN(Bytes reply, ep.Recv(1));
+      if (reply.size() != 50) return Status::Internal("reply size");
+      if (ep.bytes_received() != 50) return Status::Internal("bytes_received");
+      if (ep.messages_received() != 1) {
+        return Status::Internal("messages_received");
+      }
+      if (ep.Rounds() != 1) return Status::Internal("rounds");
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
+      if (msg.size() != 100) return Status::Internal("msg size");
+      PIVOT_RETURN_IF_ERROR(ep.Send(0, Bytes(50, 0)));
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  const NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.bytes_sent, 150u);
+  EXPECT_EQ(stats.bytes_received, 150u);
+  EXPECT_EQ(stats.messages_sent, 2u);
+  EXPECT_EQ(stats.messages_received, 2u);
+  EXPECT_EQ(stats.rounds, 1u);
+}
+
+// Regression for the abort path (security-with-abort): when one of m
+// parties fails, every peer — including one blocked inside GatherAll —
+// must return non-OK well under a second, not after the recv timeout.
+TEST(NetworkTest, AbortWakesBlockedPeersQuickly) {
+  InMemoryNetwork net(3, /*recv_timeout_ms=*/30'000);
+  std::mutex mu;
+  std::vector<Status> per_party(3);
+  const auto start = std::chrono::steady_clock::now();
+  Status st = RunParties(net, [&](int id, Endpoint& ep) -> Status {
+    Status out;
+    if (id == 0) {
+      Result<Bytes> r = ep.Recv(1);  // blocks until the abort lands
+      out = r.ok() ? Status::Internal("unexpected message") : r.status();
+    } else if (id == 1) {
+      Result<std::vector<Bytes>> r = ep.GatherAll(Bytes{1});
+      out = r.ok() ? Status::Internal("unexpected gather") : r.status();
+    } else {
+      out = Status::Internal("kaboom");
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    per_party[id] = out;
+    return out;
+  });
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_LT(ms, 1000.0);
+  EXPECT_FALSE(st.ok());
+  // Root cause preferred over abort echoes, prefixed with the party id.
+  EXPECT_NE(st.message().find("party 2"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("kaboom"), std::string::npos);
+  for (int p : {0, 1}) {
+    EXPECT_EQ(per_party[p].code(), StatusCode::kAborted) << p;
+    EXPECT_NE(per_party[p].message().find("party 2"), std::string::npos) << p;
+  }
+}
+
+TEST(NetworkTest, SendFailsAfterAbort) {
+  InMemoryNetwork net(2, /*recv_timeout_ms=*/30'000);
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 1) return Status::Internal("early exit");
+    // A send-only loop must also terminate once the mesh aborts.
+    for (int i = 0; i < 20'000; ++i) {
+      Status s = ep.Send(1, Bytes{0});
+      if (!s.ok()) return s;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    return Status::Internal("send never failed");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal) << st.ToString();
+  EXPECT_NE(st.message().find("early exit"), std::string::npos);
+}
+
+TEST(FaultPlanTest, DeterministicFromSeed) {
+  const FaultPlan a = FaultPlan::FromSeed(42, 3, 100);
+  const FaultPlan b = FaultPlan::FromSeed(42, 3, 100);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_NE(a.ToString(), FaultPlan::FromSeed(43, 3, 100).ToString());
+}
+
+TEST(FaultPlanTest, DropCausesRecvTimeout) {
+  InMemoryNetwork net(2, /*recv_timeout_ms=*/50);
+  FaultPlan plan;
+  plan.Add({FaultKind::kDrop, /*party=*/0, /*peer=*/1, /*nth=*/0, 0, 0});
+  net.set_fault_plan(std::move(plan));
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) return ep.Send(1, Bytes{7});
+    Result<Bytes> r = ep.Recv(0);
+    if (r.ok()) return Status::Internal("dropped message was delivered");
+    return r.status();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("timed out"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(net.fired_fault_mask(), 1u);
+}
+
+TEST(FaultPlanTest, DuplicateDeliversTwice) {
+  InMemoryNetwork net(2, /*recv_timeout_ms=*/5'000);
+  FaultPlan plan;
+  plan.Add({FaultKind::kDuplicate, 0, 1, 0, 0, 0});
+  net.set_fault_plan(std::move(plan));
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) return ep.Send(1, Bytes{7});
+    for (int i = 0; i < 2; ++i) {
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
+      if (msg != Bytes{7}) return Status::Internal("wrong duplicate body");
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(FaultPlanTest, CrashAbortsPeersWithPartyName) {
+  InMemoryNetwork net(2, /*recv_timeout_ms=*/30'000);
+  FaultPlan plan;
+  plan.Add({FaultKind::kCrash, /*party=*/1, -1, /*nth=*/0, 0, 0});
+  net.set_fault_plan(std::move(plan));
+  const auto start = std::chrono::steady_clock::now();
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 1) return ep.Send(0, Bytes{1});  // fails: crashed at op 0
+    Result<Bytes> r = ep.Recv(1);
+    return r.ok() ? Status::Internal("expected abort") : r.status();
+  });
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_LT(ms, 1000.0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("party 1"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("crashed"), std::string::npos);
+}
+
+TEST(FaultPlanTest, TruncateShortensMessage) {
+  InMemoryNetwork net(2, /*recv_timeout_ms=*/5'000);
+  FaultPlan plan;
+  plan.Add({FaultKind::kTruncate, 0, 1, 0, 0, 0});
+  net.set_fault_plan(std::move(plan));
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) return ep.Send(1, Bytes(10, 3));
+    PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
+    if (msg.size() != 5) return Status::Internal("not truncated");
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
 }
 
 TEST(CodecTest, BigIntVectorRoundTrip) {

@@ -148,7 +148,9 @@ TEST(NetworkSimTest, LatencyDelaysSends) {
   const auto start = std::chrono::steady_clock::now();
   Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
     if (id == 0) {
-      for (int i = 0; i < 10; ++i) ep.Send(1, Bytes{1});
+      for (int i = 0; i < 10; ++i) {
+        PIVOT_RETURN_IF_ERROR(ep.Send(1, Bytes{1}));
+      }
     } else {
       for (int i = 0; i < 10; ++i) {
         PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
@@ -171,7 +173,7 @@ TEST(NetworkSimTest, BandwidthDelaysLargeMessages) {
   const auto start = std::chrono::steady_clock::now();
   Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
     if (id == 0) {
-      ep.Send(1, Bytes(10'000, 7));
+      PIVOT_RETURN_IF_ERROR(ep.Send(1, Bytes(10'000, 7)));
     } else {
       PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
       if (msg.size() != 10'000) return Status::Internal("size");

@@ -99,6 +99,7 @@ int RunTrain(const Args& args) {
 
   std::mutex mu;
   int internal_nodes = 0;
+  NetworkStats net_stats;
   Status st = RunFederation(data.value(), cfg, [&](PartyContext& ctx) -> Status {
     TrainTreeOptions opts;
     opts.protocol = enhanced ? Protocol::kEnhanced : Protocol::kBasic;
@@ -111,13 +112,17 @@ int RunTrain(const Args& args) {
       internal_nodes = tree.NumInternalNodes();
     }
     return Status::Ok();
-  });
+  }, &net_stats);
   if (!st.ok()) {
     std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
     return 1;
   }
   std::printf("done: %d internal nodes; model views written to %s.party*."
               "bin\n", internal_nodes, out_prefix.c_str());
+  std::printf("network cost: %.2f MB sent in %llu messages, ~%llu rounds\n",
+              static_cast<double>(net_stats.bytes_sent) / 1e6,
+              static_cast<unsigned long long>(net_stats.messages_sent),
+              static_cast<unsigned long long>(net_stats.rounds));
   return 0;
 }
 

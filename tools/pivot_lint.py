@@ -23,6 +23,14 @@ Rules (see DESIGN.md, "Correctness tooling"):
                     or a PIVOT_ASSIGN_OR_RETURN / PIVOT_RETURN_IF_ERROR).
                     src/common/status.h (the definition site) is exempt.
 
+  unbounded-wait    condition_variable wait() without a timeout, or a raw
+                    MessageQueue Pop(), in src/ outside src/net/. Blocking
+                    primitives must live behind the network layer, whose
+                    waits are bounded by recv_timeout_ms and woken by
+                    Abort(); an unbounded wait elsewhere can hang the party
+                    mesh forever when a peer dies (see DESIGN.md, "Fault
+                    model"). Use wait_for/wait_until or Endpoint Recv.
+
 Usage:
   tools/pivot_lint.py [ROOT]            lint the whole tree (default: cwd)
   tools/pivot_lint.py ROOT --files F... lint specific files only
@@ -51,6 +59,9 @@ RE_VALUE_CHECKED = re.compile(
     r"\bok\s*\(\)|PIVOT_ASSIGN_OR_RETURN|PIVOT_RETURN_IF_ERROR|PIVOT_CHECK"
 )
 RE_LINE_COMMENT = re.compile(r"//.*$")
+RE_UNBOUNDED_WAIT = re.compile(
+    r"(?:\.|->)wait\s*\(|(?:\.|->)Pop\s*\(|MessageQueue::Pop\b"
+)
 
 
 class Finding:
@@ -152,11 +163,24 @@ def check_unchecked_value(rel, lines, findings):
                 "PIVOT_* check macro in the same function"))
 
 
+def check_unbounded_wait(rel, lines, findings):
+    if not rel.startswith("src/") or rel.startswith("src/net/"):
+        return
+    for i, line in enumerate(lines, 1):
+        if RE_UNBOUNDED_WAIT.search(strip_comment(line)):
+            findings.append(Finding(
+                rel, i, "unbounded-wait",
+                "unbounded wait()/raw MessageQueue Pop() outside src/net/; "
+                "blocking must go through Endpoint so Abort() and "
+                "recv_timeout_ms can wake it"))
+
+
 CHECKS = (
     check_banned_random,
     check_secret_print,
     check_include_guard,
     check_unchecked_value,
+    check_unbounded_wait,
 )
 
 

@@ -181,6 +181,41 @@ class UncheckedValueTest(unittest.TestCase):
         self.assertEqual(findings, [])
 
 
+class UnboundedWaitTest(unittest.TestCase):
+    def test_flags_cv_wait_in_src(self):
+        code = ("void F() {\n"
+                "  std::unique_lock<std::mutex> lk(mu);\n"
+                "  cv.wait(lk, [&] { return ready; });\n"
+                "}\n")
+        findings = run_lint({"src/mpc/engine.cc": code})
+        self.assertEqual(rules(findings), ["unbounded-wait"])
+
+    def test_flags_raw_pop_in_src(self):
+        findings = run_lint(
+            {"src/pivot/trainer.cc": "auto msg = queue->Pop(1000);\n"})
+        self.assertEqual(rules(findings), ["unbounded-wait"])
+
+    def test_allows_wait_for_with_timeout(self):
+        code = "cv.wait_for(lk, std::chrono::milliseconds(50));\n"
+        findings = run_lint({"src/mpc/engine.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_allows_wait_inside_net_layer(self):
+        code = "cv_.wait(lock, [&] { return poisoned_ || !queue_.empty(); });\n"
+        findings = run_lint({"src/net/network.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_ignores_tests_and_tools(self):
+        findings = run_lint({"tests/net_test.cc": "cv.wait(lk);\n",
+                             "tools/cli.cc": "q.Pop(10);\n"})
+        self.assertEqual(findings, [])
+
+    def test_ignores_comments(self):
+        findings = run_lint(
+            {"src/mpc/engine.cc": "// never cv.wait( without a timeout\n"})
+        self.assertEqual(findings, [])
+
+
 class ExpectedGuardTest(unittest.TestCase):
     def test_mapping(self):
         self.assertEqual(pivot_lint.expected_guard("src/net/network.h"),
