@@ -16,6 +16,10 @@ void OpCounters::Reset() {
   cc_.store(0);
   bytes_.store(0);
   messages_.store(0);
+  ckpt_writes_.store(0);
+  ckpt_write_us_.store(0);
+  ckpt_restores_.store(0);
+  ckpt_restore_us_.store(0);
 }
 
 OpSnapshot OpSnapshot::Take() {
@@ -27,6 +31,10 @@ OpSnapshot OpSnapshot::Take() {
   s.cc = g.secure_comparisons();
   s.bytes = g.bytes_sent();
   s.messages = g.messages();
+  s.ckpt_writes = g.checkpoint_writes();
+  s.ckpt_write_us = g.checkpoint_write_micros();
+  s.ckpt_restores = g.checkpoint_restores();
+  s.ckpt_restore_us = g.checkpoint_restore_micros();
   return s;
 }
 
@@ -38,6 +46,10 @@ OpSnapshot OpSnapshot::Delta(const OpSnapshot& earlier) const {
   d.cc = cc - earlier.cc;
   d.bytes = bytes - earlier.bytes;
   d.messages = messages - earlier.messages;
+  d.ckpt_writes = ckpt_writes - earlier.ckpt_writes;
+  d.ckpt_write_us = ckpt_write_us - earlier.ckpt_write_us;
+  d.ckpt_restores = ckpt_restores - earlier.ckpt_restores;
+  d.ckpt_restore_us = ckpt_restore_us - earlier.ckpt_restore_us;
   return d;
 }
 
@@ -45,6 +57,11 @@ std::string OpSnapshot::ToString() const {
   std::ostringstream os;
   os << "Ce=" << ce << " Cd=" << cd << " Cs=" << cs << " Cc=" << cc
      << " bytes=" << bytes << " msgs=" << messages;
+  if (ckpt_writes > 0 || ckpt_restores > 0) {
+    os << " ckpt_writes=" << ckpt_writes << "(" << ckpt_write_us << "us)"
+       << " ckpt_restores=" << ckpt_restores << "(" << ckpt_restore_us
+       << "us)";
+  }
   return os.str();
 }
 

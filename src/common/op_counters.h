@@ -25,6 +25,17 @@ class OpCounters {
   void AddSecureComparison(uint64_t n = 1) { cc_.fetch_add(n, std::memory_order_relaxed); }
   void AddBytesSent(uint64_t n) { bytes_.fetch_add(n, std::memory_order_relaxed); }
   void AddMessage(uint64_t n = 1) { messages_.fetch_add(n, std::memory_order_relaxed); }
+  // Checkpoint write/restore accounting (pivot/checkpoint.h): one call
+  // per snapshot, carrying the serialize+store / load+restore time, so
+  // resume overhead shows up next to the cost-model counters.
+  void AddCheckpointWrite(uint64_t micros) {
+    ckpt_writes_.fetch_add(1, std::memory_order_relaxed);
+    ckpt_write_us_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void AddCheckpointRestore(uint64_t micros) {
+    ckpt_restores_.fetch_add(1, std::memory_order_relaxed);
+    ckpt_restore_us_.fetch_add(micros, std::memory_order_relaxed);
+  }
 
   uint64_t ciphertext_ops() const { return ce_.load(std::memory_order_relaxed); }
   uint64_t threshold_decryptions() const { return cd_.load(std::memory_order_relaxed); }
@@ -32,6 +43,18 @@ class OpCounters {
   uint64_t secure_comparisons() const { return cc_.load(std::memory_order_relaxed); }
   uint64_t bytes_sent() const { return bytes_.load(std::memory_order_relaxed); }
   uint64_t messages() const { return messages_.load(std::memory_order_relaxed); }
+  uint64_t checkpoint_writes() const {
+    return ckpt_writes_.load(std::memory_order_relaxed);
+  }
+  uint64_t checkpoint_write_micros() const {
+    return ckpt_write_us_.load(std::memory_order_relaxed);
+  }
+  uint64_t checkpoint_restores() const {
+    return ckpt_restores_.load(std::memory_order_relaxed);
+  }
+  uint64_t checkpoint_restore_micros() const {
+    return ckpt_restore_us_.load(std::memory_order_relaxed);
+  }
 
   void Reset();
 
@@ -42,12 +65,18 @@ class OpCounters {
   std::atomic<uint64_t> cc_{0};
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> ckpt_writes_{0};
+  std::atomic<uint64_t> ckpt_write_us_{0};
+  std::atomic<uint64_t> ckpt_restores_{0};
+  std::atomic<uint64_t> ckpt_restore_us_{0};
 };
 
 // Immutable snapshot of the global counters; `Delta` computes the counts
 // accumulated between two snapshots.
 struct OpSnapshot {
   uint64_t ce = 0, cd = 0, cs = 0, cc = 0, bytes = 0, messages = 0;
+  uint64_t ckpt_writes = 0, ckpt_write_us = 0;
+  uint64_t ckpt_restores = 0, ckpt_restore_us = 0;
 
   static OpSnapshot Take();
   OpSnapshot Delta(const OpSnapshot& earlier) const;

@@ -101,4 +101,21 @@ std::vector<uint8_t> Rng::Bytes(size_t len) {
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xa5a5a5a5a5a5a5a5ULL); }
 
+RngState Rng::SaveState() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_cached_gaussian = has_cached_gaussian_;
+  st.cached_gaussian = cached_gaussian_;
+  return st;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  // All-zero xoshiro state never advances; reject it the same way the
+  // seeding path does.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 }  // namespace pivot

@@ -14,6 +14,16 @@ namespace pivot {
 // implementation draws from; determinism is what the test suite and the
 // benchmark harness rely on. It satisfies the UniformRandomBitGenerator
 // concept so it can drive <random> distributions as well.
+// Complete serializable state of an Rng: the xoshiro words plus the
+// Box-Muller cache. Capturing and restoring it rewinds the stream to an
+// exact position, which is what training checkpoints rely on to make a
+// resumed run bit-match the uninterrupted one (see pivot/checkpoint.h).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 class Rng {
  public:
   using result_type = uint64_t;
@@ -43,6 +53,10 @@ class Rng {
 
   // Derive an independent child generator (for per-party seeding).
   Rng Fork();
+
+  // Exact stream position, for checkpoint/resume.
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t s_[4];

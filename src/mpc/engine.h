@@ -164,6 +164,19 @@ class MpcEngine {
   // Number of communication rounds this engine has participated in.
   uint64_t rounds() const { return rounds_; }
 
+  // Engine-internal randomness/round position, captured by training
+  // checkpoints (pivot/checkpoint.h) so a resumed party replays the exact
+  // same masked-opening randomness as the uninterrupted run.
+  struct EngineState {
+    RngState rng;
+    uint64_t rounds = 0;
+  };
+  EngineState SaveState() const { return EngineState{rng_.SaveState(), rounds_}; }
+  void RestoreState(const EngineState& state) {
+    rng_.RestoreState(state.rng);
+    rounds_ = state.rounds;
+  }
+
  private:
   // Shared-bit result of [c < r] for public c (per instance) against the
   // shared bits of r; all instances advance one bit level per round.

@@ -63,6 +63,24 @@ class Preprocessing {
   uint64_t triples_used() const { return triples_used_; }
   uint64_t masks_used() const { return masks_used_; }
 
+  // Dealer-stream position, captured by training checkpoints
+  // (pivot/checkpoint.h). Restoring it rewinds the correlated-randomness
+  // stream so a resumed party consumes the same triples/masks the
+  // uninterrupted run would have.
+  struct PrepState {
+    RngState rng;
+    uint64_t triples_used = 0;
+    uint64_t masks_used = 0;
+  };
+  PrepState SaveState() const {
+    return PrepState{rng_.SaveState(), triples_used_, masks_used_};
+  }
+  void RestoreState(const PrepState& state) {
+    rng_.RestoreState(state.rng);
+    triples_used_ = state.triples_used;
+    masks_used_ = state.masks_used;
+  }
+
  private:
   // Deterministically produces all m shares of `value` and returns this
   // party's one. Consumes the same amount of randomness on every party.

@@ -39,13 +39,16 @@ std::string FaultAction::ToString() const {
   if (kind == FaultKind::kCorrupt) {
     out += " bit=" + std::to_string(bit);
   }
+  out += fatal ? " class=fatal" : " class=transient";
   return out;
 }
 
-int FaultPlan::MatchMessage(int from, int to, uint64_t nth) const {
+int FaultPlan::MatchMessage(int from, int to, uint64_t nth,
+                            bool retransmit) const {
   for (size_t i = 0; i < actions_.size(); ++i) {
     const FaultAction& a = actions_[i];
     if (!a.is_message_fault()) continue;
+    if (retransmit && !a.fatal) continue;
     if (a.party != from) continue;
     if (a.peer != -1 && a.peer != to) continue;
     if (a.nth != nth) continue;
@@ -76,15 +79,36 @@ std::string FaultPlan::ToString() const {
   return out;
 }
 
+FaultPlan FaultPlan::WithoutFiredTransient(uint64_t fired_mask) const {
+  FaultPlan plan;
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    const FaultAction& a = actions_[i];
+    const bool fired = (fired_mask >> (i & 63)) & 1;
+    if (a.fatal || !fired) plan.Add(a);
+  }
+  return plan;
+}
+
 namespace {
 
+// Transient delays/stalls are short hiccups the retry machinery rides
+// out; fatal ones (`fatal_ms`) exceed the recv timeout and act as hangs.
+int TransientMs(Rng& rng) { return 1 + static_cast<int>(rng.NextBelow(20)); }
+
 FaultAction RandomMessageFault(Rng& rng, int num_parties, int fatal_ms,
-                               uint64_t max_msg) {
+                               uint64_t max_msg, FaultMix mix) {
   FaultAction a;
   constexpr FaultKind kMessageKinds[] = {
       FaultKind::kDrop, FaultKind::kDelay, FaultKind::kDuplicate,
       FaultKind::kTruncate, FaultKind::kCorrupt};
-  a.kind = kMessageKinds[rng.NextBelow(5)];
+  constexpr FaultKind kFatalCapableKinds[] = {
+      FaultKind::kDrop, FaultKind::kDelay, FaultKind::kTruncate,
+      FaultKind::kCorrupt};
+  // Duplicates are masked unconditionally, so a fatal-only schedule
+  // containing one would not abort; exclude the kind there.
+  a.kind = mix == FaultMix::kFatalOnly
+               ? kFatalCapableKinds[rng.NextBelow(4)]
+               : kMessageKinds[rng.NextBelow(5)];
   a.party = static_cast<int>(rng.NextBelow(num_parties));
   // Half the time pin a receiver, half the time fault the nth message to
   // any receiver (catches broadcast fan-out paths).
@@ -94,32 +118,71 @@ FaultAction RandomMessageFault(Rng& rng, int num_parties, int fatal_ms,
     a.peer = peer;
   }
   a.nth = rng.NextBelow(max_msg);
-  if (a.kind == FaultKind::kDelay) a.delay_ms = fatal_ms;
   if (a.kind == FaultKind::kCorrupt) a.bit = rng.NextU64();
+  switch (mix) {
+    case FaultMix::kFatalOnly:
+      a.fatal = true;
+      break;
+    case FaultMix::kTransientOnly:
+    case FaultMix::kCrashRecovery:
+      a.fatal = false;
+      break;
+    case FaultMix::kAny:
+      a.fatal = rng.NextBelow(2) == 0;
+      break;
+  }
+  // Duplicate suppression masks duplicates unconditionally, so a fatal
+  // duplicate would never abort a run; keep the class honest.
+  if (a.kind == FaultKind::kDuplicate) a.fatal = false;
+  if (a.kind == FaultKind::kDelay) {
+    a.delay_ms = a.fatal ? fatal_ms : TransientMs(rng);
+  }
   return a;
 }
 
 }  // namespace
 
 FaultPlan FaultPlan::FromSeed(uint64_t seed, int num_parties, int fatal_ms,
-                              uint64_t max_op, uint64_t max_msg) {
+                              uint64_t max_op, uint64_t max_msg,
+                              FaultMix mix) {
   Rng rng(seed ^ 0xFA17'FA17'FA17'FA17ULL);
   FaultPlan plan;
-  // Anchor fault: any kind, at a low index so short workloads reach it.
-  if (rng.NextBelow(3) == 0) {
+  if (mix == FaultMix::kCrashRecovery) {
+    // Exactly one transient crash so checkpoint/resume is on the hook,
+    // plus up to two transient message faults underneath it.
+    FaultAction a;
+    a.kind = FaultKind::kCrash;
+    a.party = static_cast<int>(rng.NextBelow(num_parties));
+    a.nth = rng.NextBelow(max_op);
+    a.fatal = false;
+    plan.Add(a);
+  } else if (mix != FaultMix::kTransientOnly && rng.NextBelow(3) == 0) {
+    // Anchor party fault: crash or stall, at a low index so short
+    // workloads reach it. Transient-only schedules skip crashes (those
+    // belong to kCrashRecovery) and draw a message fault instead.
     FaultAction a;
     a.kind = rng.NextBelow(2) == 0 ? FaultKind::kCrash : FaultKind::kStall;
     a.party = static_cast<int>(rng.NextBelow(num_parties));
     a.nth = rng.NextBelow(max_op);
-    a.delay_ms = fatal_ms;
+    a.fatal = mix == FaultMix::kFatalOnly ||
+              (mix == FaultMix::kAny && rng.NextBelow(2) == 0);
+    // A transient crash only makes sense where restarts are available;
+    // under kAny fall back to a short stall instead.
+    if (!a.fatal && a.kind == FaultKind::kCrash) a.kind = FaultKind::kStall;
+    if (a.kind == FaultKind::kStall) {
+      a.delay_ms = a.fatal ? fatal_ms : TransientMs(rng);
+    }
     plan.Add(a);
   } else {
-    plan.Add(RandomMessageFault(rng, num_parties, fatal_ms, max_msg));
+    plan.Add(RandomMessageFault(rng, num_parties, fatal_ms, max_msg, mix));
   }
   // 0-2 extra message faults for compound schedules.
   uint64_t extra = rng.NextBelow(3);
   for (uint64_t i = 0; i < extra; ++i) {
-    plan.Add(RandomMessageFault(rng, num_parties, fatal_ms, max_msg));
+    const FaultMix extra_mix =
+        mix == FaultMix::kCrashRecovery ? FaultMix::kTransientOnly : mix;
+    plan.Add(
+        RandomMessageFault(rng, num_parties, fatal_ms, max_msg, extra_mix));
   }
   return plan;
 }

@@ -18,9 +18,43 @@ namespace pivot {
 // pointer null-check.
 //
 // The chaos test suite (tests/chaos_test.cc) derives plans from a 64-bit
-// seed via FaultPlan::FromSeed and sweeps hundreds of seeds, asserting
-// that every schedule terminates promptly with a clean error Status. To
+// seed via FaultPlan::FromSeed and sweeps hundreds of seeds. Fatal-only
+// schedules must terminate promptly with a clean error Status; transient
+// schedules must be fully masked by the reliable channel layer (the run
+// completes and the trained model bit-matches the fault-free run). To
 // reproduce a failing schedule, re-run with the printed seed.
+//
+// ## Schedule grammar
+//
+// A plan serializes (FaultPlan::ToString) to `fault *("; " fault)` where
+//
+//   fault := kind " party=" P [" peer=" Q] (" nth=" N | " op=" N)
+//            [" delay_ms=" D] [" bit=" B] " class=" ("transient"|"fatal")
+//
+//   kind       one of drop | delay | duplicate | truncate | corrupt
+//              (message faults, keyed `nth=` on the directed channel
+//              party->peer, peer=-1 meaning any receiver) or
+//              crash | stall (party faults, keyed `op=` on the party's
+//              network-operation counter; crash is sticky from op on).
+//   class      transient faults model recoverable conditions: the
+//              reliable channel masks message-level ones (retransmit /
+//              duplicate-suppress / checksum+NACK) and checkpoint/resume
+//              masks a transient crash. fatal faults persist: they are
+//              re-applied to every retransmission (and a fatal crash
+//              re-fires after restart), so they exhaust the retry budget
+//              and surface as an abort.
+//
+// Classification per kind:
+//   drop / truncate / corrupt  transient or fatal (fatal => re-applied
+//                              to retransmissions until budget runs out)
+//   delay / stall              transient uses a short delay (1..20 ms);
+//                              fatal uses `fatal_ms`, chosen above the
+//                              recv timeout so it behaves like a hang
+//   duplicate                  always transient — duplicate suppression
+//                              masks it unconditionally
+//   crash                      transient => masked by checkpoint/resume
+//                              (FederationConfig::max_restarts); fatal
+//                              => permanent party loss, aborts the run
 
 enum class FaultKind {
   kDrop,       // message silently not delivered
@@ -34,6 +68,16 @@ enum class FaultKind {
 
 const char* FaultKindName(FaultKind kind);
 
+// Which fault classes FromSeed may draw. kCrashRecovery produces exactly
+// one transient crash (plus up to two transient message faults) so the
+// checkpoint/resume path is exercised in isolation.
+enum class FaultMix {
+  kAny,            // transient and fatal mixed at random
+  kTransientOnly,  // every fault maskable; run must complete + bit-match
+  kFatalOnly,      // every fault unmaskable; run must abort cleanly
+  kCrashRecovery,  // one transient crash + 0-2 transient message faults
+};
+
 struct FaultAction {
   FaultKind kind = FaultKind::kDrop;
   int party = 0;       // sender (message faults) or the faulting party
@@ -41,6 +85,11 @@ struct FaultAction {
   uint64_t nth = 0;    // message index on the channel, or party op index
   int delay_ms = 0;    // kDelay / kStall
   uint64_t bit = 0;    // kCorrupt: bit index (mod message bit-length)
+  // Fatal faults persist across recovery attempts: they are re-applied to
+  // retransmitted frames and (for kCrash) re-fire after a party restart.
+  // Transient faults hit the original transmission only. Declared last so
+  // pre-existing brace-initializers keep their meaning.
+  bool fatal = false;
 
   bool is_message_fault() const {
     return kind != FaultKind::kCrash && kind != FaultKind::kStall;
@@ -57,20 +106,33 @@ class FaultPlan {
   const std::vector<FaultAction>& actions() const { return actions_; }
 
   // Index of a message fault matching the nth message from->to, or -1.
-  int MatchMessage(int from, int to, uint64_t nth) const;
+  // With `retransmit` set the lookup is for a retransmitted frame: only
+  // fatal faults match, so a transient fault hits the first transmission
+  // and the retransmission goes through clean.
+  int MatchMessage(int from, int to, uint64_t nth,
+                   bool retransmit = false) const;
   // Index of a party fault (crash/stall) matching party's op-th network
   // operation, or -1. Crash matches at and after its trigger op.
   int MatchParty(int party, uint64_t op) const;
 
   std::string ToString() const;
 
-  // Derives a deterministic plan from a seed: one anchor fault of any
-  // kind at a low index plus up to two extra message faults. Delays and
-  // stalls use `fatal_ms`, chosen by the caller to exceed the network's
-  // recv timeout so a delayed message reliably surfaces as a peer
-  // timeout instead of silently succeeding.
+  // Plan for a recovery attempt after a party restart: keeps every fatal
+  // action plus any transient action that has not yet fired (bit
+  // `index & 63` of `fired_mask`, as reported by
+  // InMemoryNetwork::fired_fault_mask). A transient crash that already
+  // fired must not crash the restarted party again.
+  FaultPlan WithoutFiredTransient(uint64_t fired_mask) const;
+
+  // Derives a deterministic plan from a seed: one anchor fault at a low
+  // index plus up to two extra message faults, with classes drawn per
+  // `mix`. Fatal delays and stalls use `fatal_ms`, chosen by the caller
+  // to exceed the network's recv timeout so a delayed message reliably
+  // surfaces as a peer timeout instead of silently succeeding; transient
+  // ones sleep 1..20 ms.
   static FaultPlan FromSeed(uint64_t seed, int num_parties, int fatal_ms,
-                            uint64_t max_op = 40, uint64_t max_msg = 12);
+                            uint64_t max_op = 40, uint64_t max_msg = 12,
+                            FaultMix mix = FaultMix::kAny);
 
  private:
   std::vector<FaultAction> actions_;

@@ -2,13 +2,105 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/crc32.h"
 #include "common/op_counters.h"
 
 namespace pivot {
+
+namespace {
+
+// Reliable-channel frame layout (little-endian):
+//   [0, 8)   sequence number (per directed channel, starting at 0)
+//   [8]      flags (reserved, 0)
+//   [9, 13)  payload length
+//   [13, 17) CRC32 over the whole frame with this field zeroed
+//   [17, ..) payload
+constexpr size_t kFrameHeader = 17;
+constexpr size_t kCrcOffset = 13;
+
+// Control messages (separate mesh): [0] = type, then type-specific body.
+constexpr uint8_t kCtrlNack = 1;  // [1, 9) = little-endian frame seq
+constexpr size_t kCtrlNackSize = 9;
+
+void PutU64Le(uint8_t* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t GetU64Le(const uint8_t* in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+void PutU32Le(uint8_t* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t GetU32Le(const uint8_t* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+Bytes BuildFrame(uint64_t seq, const Bytes& payload) {
+  Bytes frame(kFrameHeader + payload.size());
+  PutU64Le(frame.data(), seq);
+  frame[8] = 0;
+  PutU32Le(frame.data() + 9, static_cast<uint32_t>(payload.size()));
+  PutU32Le(frame.data() + kCrcOffset, 0);
+  std::copy(payload.begin(), payload.end(), frame.begin() + kFrameHeader);
+  PutU32Le(frame.data() + kCrcOffset, Crc32(frame.data(), frame.size()));
+  return frame;
+}
+
+// Validates the frame and extracts (seq, payload). Any damage — too
+// short, length mismatch, checksum mismatch — returns false; callers
+// must not trust any header field of a frame that fails here.
+bool ParseFrame(const Bytes& frame, uint64_t* seq, Bytes* payload) {
+  if (frame.size() < kFrameHeader) return false;
+  const uint32_t payload_len = GetU32Le(frame.data() + 9);
+  if (frame.size() != kFrameHeader + payload_len) return false;
+  const uint32_t stored_crc = GetU32Le(frame.data() + kCrcOffset);
+  const uint8_t zeros[4] = {0, 0, 0, 0};
+  uint32_t crc = Crc32Update(0, frame.data(), kCrcOffset);
+  crc = Crc32Update(crc, zeros, 4);
+  crc = Crc32Update(crc, frame.data() + kCrcOffset + 4,
+                    frame.size() - kCrcOffset - 4);
+  if (crc != stored_crc) return false;
+  *seq = GetU64Le(frame.data());
+  payload->assign(frame.begin() + kFrameHeader, frame.end());
+  return true;
+}
+
+bool EnvInt(const char* name, int* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return false;
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+}  // namespace
+
+NetConfig NetConfig::FromEnv(NetConfig base) {
+  EnvInt("PIVOT_NET_RECV_TIMEOUT_MS", &base.recv_timeout_ms);
+  int reliable = base.reliable ? 1 : 0;
+  if (EnvInt("PIVOT_NET_RELIABLE", &reliable)) base.reliable = reliable != 0;
+  EnvInt("PIVOT_NET_RETRY_BUDGET", &base.retry_budget);
+  EnvInt("PIVOT_NET_BACKOFF_BASE_MS", &base.backoff_base_ms);
+  EnvInt("PIVOT_NET_BACKOFF_MAX_MS", &base.backoff_max_ms);
+  EnvInt("PIVOT_NET_RESEND_FRAMES", &base.resend_buffer_frames);
+  return base;
+}
+
+NetConfig NetConfig::FromEnv() { return FromEnv(NetConfig()); }
 
 void MessageQueue::Push(Bytes msg) {
   {
@@ -32,6 +124,14 @@ Result<Bytes> MessageQueue::Pop(int timeout_ms) {
   return msg;
 }
 
+bool MessageQueue::TryPop(Bytes* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_ || queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
 void MessageQueue::Poison(const Status& status) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -46,19 +146,33 @@ size_t MessageQueue::depth() const {
   return queue_.size();
 }
 
-InMemoryNetwork::InMemoryNetwork(int num_parties, int recv_timeout_ms,
+InMemoryNetwork::InMemoryNetwork(int num_parties, NetConfig config,
                                  NetworkSim sim)
-    : num_parties_(num_parties), recv_timeout_ms_(recv_timeout_ms), sim_(sim) {
+    : num_parties_(num_parties), config_(config), sim_(sim) {
   PIVOT_CHECK_MSG(num_parties >= 1, "network needs at least one party");
-  queues_.reserve(static_cast<size_t>(num_parties) * num_parties);
-  for (int i = 0; i < num_parties * num_parties; ++i) {
+  const int n = num_parties * num_parties;
+  queues_.reserve(n);
+  ctrl_queues_.reserve(n);
+  for (int i = 0; i < n; ++i) {
     queues_.push_back(std::make_unique<MessageQueue>());
+    ctrl_queues_.push_back(std::make_unique<MessageQueue>());
   }
   endpoints_.reserve(num_parties);
   for (int i = 0; i < num_parties; ++i) {
     endpoints_.push_back(Endpoint(this, i, num_parties));
   }
 }
+
+InMemoryNetwork::InMemoryNetwork(int num_parties, int recv_timeout_ms,
+                                 NetworkSim sim)
+    : InMemoryNetwork(
+          num_parties,
+          [recv_timeout_ms] {
+            NetConfig c;
+            c.recv_timeout_ms = recv_timeout_ms;
+            return c;
+          }(),
+          sim) {}
 
 Endpoint& InMemoryNetwork::endpoint(int i) {
   PIVOT_CHECK(i >= 0 && i < num_parties_);
@@ -78,6 +192,7 @@ void InMemoryNetwork::Abort(Status cause, int origin_party) {
   }
   abort_cv_.notify_all();
   for (auto& q : queues_) q->Poison(recorded);
+  for (auto& q : ctrl_queues_) q->Poison(recorded);
 }
 
 Status InMemoryNetwork::abort_status() const {
@@ -114,6 +229,10 @@ NetworkStats InMemoryNetwork::stats() const {
     s.messages_sent += e.messages_sent();
     s.messages_received += e.messages_received();
     s.rounds = std::max(s.rounds, e.Rounds());
+    s.retransmits += e.retransmits();
+    s.duplicates_suppressed += e.duplicates_suppressed();
+    s.corrupt_frames += e.corrupt_frames();
+    s.nacks_sent += e.nacks_sent();
   }
   return s;
 }
@@ -152,6 +271,11 @@ Status Endpoint::Send(int to, Bytes msg) {
   PIVOT_CHECK(to >= 0 && to < num_parties_);
   in_send_phase_ = true;
   PIVOT_RETURN_IF_ERROR(BeginOp());
+  if (!net_->config_.reliable) return SendRaw(to, std::move(msg));
+  return SendReliable(to, std::move(msg));
+}
+
+Status Endpoint::SendRaw(int to, Bytes msg) {
   int copies = 1;
   if (const FaultPlan* plan = net_->fault_plan()) {
     const int idx = plan->MatchMessage(id_, to, send_seq_[to]);
@@ -204,14 +328,132 @@ Status Endpoint::Send(int to, Bytes msg) {
   return Status::Ok();
 }
 
+Status Endpoint::SendReliable(int to, Bytes msg) {
+  // Serve pending retransmission requests before advancing: a peer
+  // blocked on an earlier frame must not starve behind new traffic.
+  PIVOT_RETURN_IF_ERROR(ServiceControl());
+  const uint64_t seq = send_seq_[to]++;
+  const size_t payload_size = msg.size();
+  Bytes frame = BuildFrame(seq, msg);
+  if (net_->sim_.enabled()) {
+    // Sender-side delay: per-message latency + serialization time.
+    double micros = net_->sim_.latency_us;
+    if (net_->sim_.bandwidth_gbps > 0) {
+      micros += static_cast<double>(payload_size) * 8.0 /
+                (net_->sim_.bandwidth_gbps * 1e3);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(micros)));
+  }
+  // Counters track logical payloads only: retransmissions and frame
+  // headers are reliability overhead, not protocol communication cost.
+  bytes_sent_.fetch_add(payload_size, std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  OpCounters::Global().AddBytesSent(payload_size);
+  OpCounters::Global().AddMessage();
+  // Keep the clean frame for retransmission before faults touch the wire
+  // copy; the window is bounded, oldest frame evicted first.
+  auto& window = resend_[to];
+  window.push_back(ResendEntry{seq, frame});
+  if (static_cast<int>(window.size()) > net_->config_.resend_buffer_frames) {
+    window.pop_front();
+  }
+  return PushFrameWithFaults(to, seq, std::move(frame), /*retransmit=*/false);
+}
+
+Status Endpoint::PushFrameWithFaults(int to, uint64_t seq, Bytes frame,
+                                     bool retransmit) {
+  int copies = 1;
+  if (const FaultPlan* plan = net_->fault_plan()) {
+    const int idx = plan->MatchMessage(id_, to, seq, retransmit);
+    if (idx >= 0) {
+      const FaultAction& a = plan->actions()[idx];
+      net_->MarkFaultFired(idx);
+      switch (a.kind) {
+        case FaultKind::kDrop:
+          copies = 0;
+          break;
+        case FaultKind::kDelay:
+          if (net_->WaitForAbortMs(a.delay_ms)) return net_->abort_status();
+          break;
+        case FaultKind::kDuplicate:
+          copies = 2;
+          break;
+        case FaultKind::kTruncate:
+          frame.resize(frame.size() / 2);
+          break;
+        case FaultKind::kCorrupt: {
+          const uint64_t bit = a.bit % (frame.size() * 8);
+          frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+          break;
+        }
+        case FaultKind::kCrash:
+        case FaultKind::kStall:
+          break;  // party faults are handled in BeginOp
+      }
+    }
+  }
+  for (int c = 0; c < copies; ++c) {
+    net_->queue(id_, to).Push(c + 1 < copies ? frame : std::move(frame));
+  }
+  return Status::Ok();
+}
+
+Status Endpoint::ServiceControl() {
+  if (net_->aborted()) return net_->abort_status();
+  Bytes ctrl;
+  for (int p = 0; p < num_parties_; ++p) {
+    if (p == id_) continue;
+    while (net_->ctrl_queue(p, id_).TryPop(&ctrl)) {
+      if (ctrl.size() == kCtrlNackSize && ctrl[0] == kCtrlNack) {
+        PIVOT_RETURN_IF_ERROR(HandleNack(p, GetU64Le(ctrl.data() + 1)));
+      }
+      // Unknown control types are ignored (forward compatibility).
+    }
+  }
+  return Status::Ok();
+}
+
+Status Endpoint::HandleNack(int peer, uint64_t seq) {
+  // A probe for a frame this party has not produced yet: the peer is
+  // ahead of us, not missing data. Nothing to do.
+  if (seq >= send_seq_[peer]) return Status::Ok();
+  for (const ResendEntry& e : resend_[peer]) {
+    if (e.seq == seq) {
+      retransmits_.fetch_add(1, std::memory_order_relaxed);
+      return PushFrameWithFaults(peer, seq, e.frame, /*retransmit=*/true);
+    }
+  }
+  // The frame was sent but has aged out of the bounded window: the loss
+  // is unrecoverable, so fail loudly instead of letting the peer starve.
+  return Status::ProtocolError(
+      "reliable channel: party " + std::to_string(id_) +
+      " cannot retransmit frame " + std::to_string(seq) + " to party " +
+      std::to_string(peer) + ": evicted from resend buffer (capacity " +
+      std::to_string(net_->config_.resend_buffer_frames) + ")");
+}
+
+void Endpoint::SendNack(int to, uint64_t seq) {
+  Bytes ctrl(kCtrlNackSize);
+  ctrl[0] = kCtrlNack;
+  PutU64Le(ctrl.data() + 1, seq);
+  net_->ctrl_queue(id_, to).Push(std::move(ctrl));
+  nacks_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
 Result<Bytes> Endpoint::Recv(int from) {
   PIVOT_CHECK_MSG(from != id_, "self-receive");
   PIVOT_CHECK(from >= 0 && from < num_parties_);
   NoteRecvPhase();
   PIVOT_RETURN_IF_ERROR(BeginOp());
+  if (!net_->config_.reliable) return RecvRaw(from);
+  return RecvReliable(from);
+}
+
+Result<Bytes> Endpoint::RecvRaw(int from) {
   const auto start = std::chrono::steady_clock::now();
   MessageQueue& q = net_->queue(from, id_);
-  Result<Bytes> r = q.Pop(net_->recv_timeout_ms_);
+  Result<Bytes> r = q.Pop(net_->config_.recv_timeout_ms);
   if (!r.ok()) {
     if (r.status().code() == StatusCode::kAborted) return r.status();
     const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -227,6 +469,109 @@ Result<Bytes> Endpoint::Recv(int from) {
   bytes_received_.fetch_add(r.value().size(), std::memory_order_relaxed);
   messages_received_.fetch_add(1, std::memory_order_relaxed);
   return r;
+}
+
+Result<Bytes> Endpoint::RecvReliable(int from) {
+  const NetConfig& cfg = net_->config_;
+  MessageQueue& q = net_->queue(from, id_);
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t expected = recv_seq_[from];
+  auto& stash = reorder_[from];
+  const auto deliver = [&](Bytes payload) -> Result<Bytes> {
+    ++recv_seq_[from];
+    bytes_received_.fetch_add(payload.size(), std::memory_order_relaxed);
+    messages_received_.fetch_add(1, std::memory_order_relaxed);
+    return payload;
+  };
+  // A retransmission triggered by an earlier gap may already be waiting.
+  {
+    const auto it = stash.find(expected);
+    if (it != stash.end()) {
+      Bytes payload = std::move(it->second);
+      stash.erase(it);
+      return deliver(std::move(payload));
+    }
+  }
+  // Recovery loop, bounded two ways: evidence-backed NACKs (a damaged
+  // frame or a sequence gap) draw on cfg.retry_budget, and the overall
+  // cfg.recv_timeout_ms deadline covers a silent peer. Probe NACKs sent
+  // on silent slices are free — silence usually means the sender is
+  // still computing, and charging for it would abort healthy slow runs.
+  int evidence = 0;
+  int backoff_ms = cfg.backoff_base_ms;
+  for (;;) {
+    PIVOT_RETURN_IF_ERROR(ServiceControl());
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (elapsed_ms >= cfg.recv_timeout_ms) {
+      return Status::ProtocolError(
+          "receive from party " + std::to_string(from) +
+          " timed out at party " + std::to_string(id_) + " after " +
+          std::to_string(elapsed_ms) + " ms (" +
+          std::to_string(recv_seq_[from]) +
+          " messages previously received on this channel, queue depth " +
+          std::to_string(q.depth()) + "; peer missing/deadlock?)");
+    }
+    const int slice = static_cast<int>(std::min<int64_t>(
+        backoff_ms, cfg.recv_timeout_ms - elapsed_ms));
+    Result<Bytes> r = q.Pop(slice > 0 ? slice : 1);
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kAborted) return r.status();
+      // Silent slice: probe for the expected frame (covers a dropped
+      // frame with no follow-up traffic) and back off deterministically.
+      SendNack(from, expected);
+      backoff_ms = std::min(backoff_ms * 2, cfg.backoff_max_ms);
+      continue;
+    }
+    backoff_ms = cfg.backoff_base_ms;  // channel is live again
+    uint64_t seq = 0;
+    Bytes payload;
+    if (!ParseFrame(r.value(), &seq, &payload)) {
+      // Corrupted or truncated frame; its header cannot be trusted, so
+      // re-request the expected frame.
+      corrupt_frames_.fetch_add(1, std::memory_order_relaxed);
+      if (++evidence > cfg.retry_budget) {
+        return Status::ProtocolError(
+            "retry budget exhausted receiving from party " +
+            std::to_string(from) + " at party " + std::to_string(id_) +
+            ": " + std::to_string(evidence) +
+            " loss events (damaged or missing frames) exceeded the budget "
+            "of " +
+            std::to_string(cfg.retry_budget) + " retransmission attempts");
+      }
+      SendNack(from, expected);
+      continue;
+    }
+    if (seq < expected) {
+      // Duplicate of an already-delivered frame (duplicate fault or a
+      // redundant retransmission).
+      dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (seq > expected) {
+      // Future frame: the expected one was lost in transit. Stash it and
+      // request the gap.
+      const bool inserted = stash.emplace(seq, std::move(payload)).second;
+      if (!inserted) {
+        dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (++evidence > cfg.retry_budget) {
+        return Status::ProtocolError(
+            "retry budget exhausted receiving from party " +
+            std::to_string(from) + " at party " + std::to_string(id_) +
+            ": " + std::to_string(evidence) +
+            " loss events (damaged or missing frames) exceeded the budget "
+            "of " +
+            std::to_string(cfg.retry_budget) + " retransmission attempts");
+      }
+      SendNack(from, expected);
+      continue;
+    }
+    return deliver(std::move(payload));
+  }
 }
 
 Status Endpoint::Broadcast(const Bytes& msg) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -30,13 +31,61 @@ namespace pivot {
 // messages. Receives block until the peer's message arrives, with a
 // generous timeout so protocol bugs surface as errors instead of hangs.
 //
-// Fault tolerance (DESIGN.md, "Fault model"): the mesh implements
-// security-with-abort. The first party whose protocol body fails calls
-// InMemoryNetwork::Abort, which poisons every queue so peers blocked in
-// Recv/GatherAll wake immediately with a kAborted Status naming the
-// originating party, instead of waiting out the recv timeout. A
-// deterministic FaultPlan (net/fault.h) can be installed before the party
-// threads start to inject message/party faults for chaos testing.
+// Reliable channels (DESIGN.md, "Fault model"): by default every logical
+// message travels inside a frame carrying a per-channel sequence number
+// and a CRC32 over the whole frame. The receiver suppresses duplicates,
+// detects corruption/truncation, and NACKs missing or damaged frames over
+// a separate control mesh; the sender retransmits from a bounded
+// per-channel resend buffer. Transient faults (net/fault.h) are therefore
+// masked transparently; only a persistent fault — one that damages every
+// retransmission, or an evicted resend frame — escalates to an error and
+// from there to the security-with-abort path below. NetConfig sets the
+// recv timeout, retry budget, backoff shape, and resend-buffer capacity;
+// `reliable = false` restores the raw unframed channel for tests that
+// need faults to hit the application payload directly.
+//
+// Fault tolerance: the mesh implements security-with-abort. The first
+// party whose protocol body fails calls InMemoryNetwork::Abort, which
+// poisons every queue so peers blocked in Recv/GatherAll wake immediately
+// with a kAborted Status naming the originating party, instead of waiting
+// out the recv timeout. A deterministic FaultPlan (net/fault.h) can be
+// installed before the party threads start to inject message/party faults
+// for chaos testing.
+
+// Tunables of the reliable channel layer. Every field can be overridden
+// from the environment via FromEnv, so a failing chaos schedule can be
+// replayed with, say, a tighter retry budget without recompiling.
+struct NetConfig {
+  // Overall deadline for one blocking Recv. This is the last line of
+  // defence: a peer that is computing (not lost) can stay silent for a
+  // long time without burning retry budget, so the deadline has to cover
+  // the slowest legitimate gap between messages.
+  int recv_timeout_ms = 120'000;
+  // Frame + retransmit layer on/off. Off = PR-2 raw channels: faults hit
+  // the application payload and surface as protocol errors.
+  bool reliable = true;
+  // Maximum number of recovery attempts per blocking Recv that are backed
+  // by *evidence of loss* (a damaged frame or a sequence gap). Probe
+  // NACKs sent on silent slices do not count: silence usually means the
+  // peer is slow, not that the channel ate a frame. Exhaustion fails the
+  // Recv with a ProtocolError, which escalates to an abort.
+  int retry_budget = 8;
+  // Deterministic exponential backoff between receive slices: the wait
+  // doubles from base to max while the channel stays silent and resets
+  // whenever a frame arrives.
+  int backoff_base_ms = 10;
+  int backoff_max_ms = 1'000;
+  // Frames kept per directed channel for retransmission. A NACK for a
+  // frame older than this window is unrecoverable and aborts the run.
+  int resend_buffer_frames = 64;
+
+  // Returns `base` (default-constructed in the no-arg form) with any of
+  // PIVOT_NET_RECV_TIMEOUT_MS, PIVOT_NET_RELIABLE, PIVOT_NET_RETRY_BUDGET,
+  // PIVOT_NET_BACKOFF_BASE_MS, PIVOT_NET_BACKOFF_MAX_MS,
+  // PIVOT_NET_RESEND_FRAMES applied on top.
+  static NetConfig FromEnv(NetConfig base);
+  static NetConfig FromEnv();
+};
 
 // One directed FIFO byte-message queue with blocking receive.
 class MessageQueue {
@@ -46,6 +95,11 @@ class MessageQueue {
   // timeout elapses. A pending poison wins over queued data: once the
   // mesh is aborting, stale messages must not be consumed as progress.
   Result<Bytes> Pop(int timeout_ms);
+  // Non-blocking variant for the control mesh: dequeues into `out` and
+  // returns true when a message is available. Returns false on an empty
+  // or poisoned queue — control traffic is advisory, so once the mesh is
+  // aborting it is simply dropped.
+  bool TryPop(Bytes* out);
 
   // Wakes all blocked Pop calls with `status` and fails future ones.
   void Poison(const Status& status);
@@ -72,13 +126,21 @@ struct NetworkSim {
   bool enabled() const { return latency_us > 0 || bandwidth_gbps > 0; }
 };
 
-// Aggregate traffic snapshot across all endpoints of a network.
+// Aggregate traffic snapshot across all endpoints of a network. Byte and
+// message counts are *logical* (application payloads, not frame headers
+// or retransmissions) so the paper's communication-cost accounting is
+// unaffected by the reliability layer; the reliability counters report
+// the recovery work separately.
 struct NetworkStats {
   uint64_t bytes_sent = 0;
   uint64_t bytes_received = 0;
   uint64_t messages_sent = 0;
   uint64_t messages_received = 0;
   uint64_t rounds = 0;  // max per-party round estimate (send->recv flips)
+  uint64_t retransmits = 0;            // frames resent on NACK
+  uint64_t duplicates_suppressed = 0;  // frames below the expected seq
+  uint64_t corrupt_frames = 0;         // CRC/length check failures
+  uint64_t nacks_sent = 0;             // probes + evidence-backed NACKs
 };
 
 class InMemoryNetwork;
@@ -92,11 +154,15 @@ class Endpoint {
 
   // Point-to-point send (to != id()). Fails once the mesh has aborted or
   // an injected fault has crashed this party, so send-only loops also
-  // terminate promptly.
+  // terminate promptly. In reliable mode the payload is framed
+  // (seq + CRC32) and buffered for retransmission, and pending NACKs
+  // from peers are serviced first.
   [[nodiscard]] Status Send(int to, Bytes msg);
-  // Blocking receive of the next message from `from`. Timeout errors name
-  // the channel (sender, receiver, elapsed ms, queue depth); abort errors
-  // name the originating party.
+  // Blocking receive of the next message from `from`. In reliable mode
+  // this delivers exactly the next in-sequence payload, masking
+  // duplicate/dropped/damaged frames via suppression and NACK-triggered
+  // retransmission. Timeout errors name the channel (sender, receiver,
+  // elapsed ms, queue depth); abort errors name the originating party.
   Result<Bytes> Recv(int from);
 
   // Sends `msg` to every other party.
@@ -120,6 +186,19 @@ class Endpoint {
   uint64_t messages_received() const {
     return messages_received_.load(std::memory_order_relaxed);
   }
+  // Reliability-layer counters (zero in raw mode).
+  uint64_t retransmits() const {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
+  uint64_t duplicates_suppressed() const {
+    return dup_suppressed_.load(std::memory_order_relaxed);
+  }
+  uint64_t corrupt_frames() const {
+    return corrupt_frames_.load(std::memory_order_relaxed);
+  }
+  uint64_t nacks_sent() const {
+    return nacks_sent_.load(std::memory_order_relaxed);
+  }
   // Round estimate: number of send-phase -> recv-phase transitions this
   // party performed. On the in-process mesh this approximates the
   // sequential communication rounds a socket deployment would pay
@@ -135,6 +214,8 @@ class Endpoint {
         num_parties_(other.num_parties_),
         send_seq_(std::move(other.send_seq_)),
         recv_seq_(std::move(other.recv_seq_)),
+        resend_(std::move(other.resend_)),
+        reorder_(std::move(other.reorder_)),
         ops_(other.ops_),
         crashed_at_(other.crashed_at_),
         in_send_phase_(other.in_send_phase_),
@@ -144,7 +225,13 @@ class Endpoint {
             other.bytes_received_.load(std::memory_order_relaxed)),
         messages_received_(
             other.messages_received_.load(std::memory_order_relaxed)),
-        rounds_(other.rounds_.load(std::memory_order_relaxed)) {}
+        rounds_(other.rounds_.load(std::memory_order_relaxed)),
+        retransmits_(other.retransmits_.load(std::memory_order_relaxed)),
+        dup_suppressed_(
+            other.dup_suppressed_.load(std::memory_order_relaxed)),
+        corrupt_frames_(
+            other.corrupt_frames_.load(std::memory_order_relaxed)),
+        nacks_sent_(other.nacks_sent_.load(std::memory_order_relaxed)) {}
 
  private:
   friend class InMemoryNetwork;
@@ -153,12 +240,39 @@ class Endpoint {
         id_(id),
         num_parties_(num_parties),
         send_seq_(num_parties, 0),
-        recv_seq_(num_parties, 0) {}
+        recv_seq_(num_parties, 0),
+        resend_(num_parties),
+        reorder_(num_parties) {}
+
+  // A frame kept for retransmission: the clean framed bytes of logical
+  // message `seq` on one directed channel.
+  struct ResendEntry {
+    uint64_t seq = 0;
+    Bytes frame;
+  };
 
   // Common prologue of Send/Recv: fires party faults (crash/stall) from
   // the installed FaultPlan and fails fast once the mesh has aborted.
   Status BeginOp();
   void NoteRecvPhase();
+
+  // Raw (unreliable) channel bodies, used when !NetConfig::reliable.
+  Status SendRaw(int to, Bytes msg);
+  Result<Bytes> RecvRaw(int from);
+  // Reliable channel bodies.
+  Status SendReliable(int to, Bytes msg);
+  Result<Bytes> RecvReliable(int from);
+  // Drains pending NACKs from every peer's control queue and retransmits
+  // the requested frames. Called from Send and from each Recv slice so a
+  // party blocked in its own Recv still serves its peers.
+  Status ServiceControl();
+  Status HandleNack(int peer, uint64_t seq);
+  void SendNack(int to, uint64_t seq);
+  // Applies any scheduled message fault for (id_ -> to, seq) to the wire
+  // copy `frame` and pushes the surviving copies. `retransmit` restricts
+  // matching to fatal faults.
+  Status PushFrameWithFaults(int to, uint64_t seq, Bytes frame,
+                             bool retransmit);
 
   InMemoryNetwork* net_;
   int id_;
@@ -168,6 +282,12 @@ class Endpoint {
   // owning party thread.
   std::vector<uint64_t> send_seq_;
   std::vector<uint64_t> recv_seq_;
+  // Per-peer bounded resend window (clean frames, ascending seq) and
+  // receiver-side reorder stash (payloads arrived ahead of the expected
+  // sequence number). Plain members: only the owning party thread
+  // touches them.
+  std::vector<std::deque<ResendEntry>> resend_;
+  std::vector<std::map<uint64_t, Bytes>> reorder_;
   uint64_t ops_ = 0;
   int64_t crashed_at_ = -1;
   bool in_send_phase_ = false;
@@ -176,17 +296,25 @@ class Endpoint {
   std::atomic<uint64_t> bytes_received_{0};
   std::atomic<uint64_t> messages_received_{0};
   std::atomic<uint64_t> rounds_{0};
+  std::atomic<uint64_t> retransmits_{0};
+  std::atomic<uint64_t> dup_suppressed_{0};
+  std::atomic<uint64_t> corrupt_frames_{0};
+  std::atomic<uint64_t> nacks_sent_{0};
 };
 
 class InMemoryNetwork {
  public:
-  explicit InMemoryNetwork(int num_parties, int recv_timeout_ms = 120'000,
+  explicit InMemoryNetwork(int num_parties, NetConfig config = NetConfig(),
                            NetworkSim sim = NetworkSim());
+  // Legacy convenience: reliable channels with an explicit recv timeout.
+  InMemoryNetwork(int num_parties, int recv_timeout_ms,
+                  NetworkSim sim = NetworkSim());
 
   InMemoryNetwork(const InMemoryNetwork&) = delete;
   InMemoryNetwork& operator=(const InMemoryNetwork&) = delete;
 
   int num_parties() const { return num_parties_; }
+  const NetConfig& config() const { return config_; }
   Endpoint& endpoint(int i);
 
   // Network-wide abort (security-with-abort): records `cause` as coming
@@ -220,15 +348,22 @@ class InMemoryNetwork {
   MessageQueue& queue(int from, int to) {
     return *queues_[static_cast<size_t>(from) * num_parties_ + to];
   }
+  // Control channel carrying NACK frames from -> to, kept separate from
+  // the data mesh so retransmission requests cannot interleave with (or
+  // be faulted like) protocol payloads.
+  MessageQueue& ctrl_queue(int from, int to) {
+    return *ctrl_queues_[static_cast<size_t>(from) * num_parties_ + to];
+  }
   void MarkFaultFired(int action_index) {
     fired_.fetch_or(uint64_t{1} << (action_index & 63),
                     std::memory_order_relaxed);
   }
 
   int num_parties_;
-  int recv_timeout_ms_;
+  NetConfig config_;
   NetworkSim sim_;
-  std::vector<std::unique_ptr<MessageQueue>> queues_;  // [from * m + to]
+  std::vector<std::unique_ptr<MessageQueue>> queues_;       // [from * m + to]
+  std::vector<std::unique_ptr<MessageQueue>> ctrl_queues_;  // [from * m + to]
   std::vector<Endpoint> endpoints_;
   std::unique_ptr<FaultPlan> fault_plan_;
 

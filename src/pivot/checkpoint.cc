@@ -1,0 +1,74 @@
+#include "pivot/checkpoint.h"
+
+#include <algorithm>
+
+namespace pivot {
+
+void CheckpointStore::BeginEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch > epoch_) {
+    // New progress: earlier epochs can never be resumed again.
+    snapshots_.clear();
+    epoch_ = epoch;
+  }
+}
+
+void CheckpointStore::Save(uint64_t epoch, uint64_t index, Bytes snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A deterministic re-run of an earlier epoch must not clobber the
+  // snapshots the crashed (newest) epoch will resume from.
+  if (epoch != epoch_) return;
+  for (auto& entry : snapshots_) {
+    if (entry.first == index) {
+      entry.second = std::move(snapshot);
+      return;
+    }
+  }
+  snapshots_.emplace_back(index, std::move(snapshot));
+  std::sort(snapshots_.begin(), snapshots_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  while (static_cast<int>(snapshots_.size()) > history_) {
+    snapshots_.pop_front();
+  }
+}
+
+uint64_t CheckpointStore::LatestIndex(uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != epoch_ || snapshots_.empty()) return kNone;
+  return snapshots_.back().first;
+}
+
+Result<Bytes> CheckpointStore::Load(uint64_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : snapshots_) {
+    if (entry.first == index) return entry.second;
+  }
+  return Status::NotFound("no checkpoint with index " +
+                          std::to_string(index) + " (history window " +
+                          std::to_string(history_) + ")");
+}
+
+void CheckpointStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshots_.clear();
+  epoch_ = 0;
+}
+
+void EncodeRngState(const RngState& state, ByteWriter& w) {
+  for (int i = 0; i < 4; ++i) w.WriteU64(state.s[i]);
+  w.WriteU8(state.has_cached_gaussian ? 1 : 0);
+  w.WriteDouble(state.cached_gaussian);
+}
+
+Result<RngState> DecodeRngState(ByteReader& r) {
+  RngState state;
+  for (int i = 0; i < 4; ++i) {
+    PIVOT_ASSIGN_OR_RETURN(state.s[i], r.ReadU64());
+  }
+  PIVOT_ASSIGN_OR_RETURN(uint8_t cached, r.ReadU8());
+  state.has_cached_gaussian = cached != 0;
+  PIVOT_ASSIGN_OR_RETURN(state.cached_gaussian, r.ReadDouble());
+  return state;
+}
+
+}  // namespace pivot

@@ -1,0 +1,117 @@
+#ifndef PIVOT_PIVOT_CHECKPOINT_H_
+#define PIVOT_PIVOT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace pivot {
+
+// Checkpoint/resume support for federated tree training.
+//
+// The trainer (pivot/trainer.cc) snapshots its full per-party state —
+// the tree built so far, the pending-node work stack with its encrypted
+// mask vectors, and the exact positions of every randomness stream —
+// after each completed node. When a party crashes mid-training, the
+// runner (pivot/runner.h, FederationConfig::max_restarts) restarts the
+// federation; on entry each party broadcasts its latest checkpoint
+// index, all parties rewind to the *minimum* (parties can be a node or
+// two apart at the moment of a crash), restore, and continue from the
+// next node boundary. Because the restored randomness streams are
+// exact, the resumed run is bit-identical to an uninterrupted one.
+//
+// Epochs: ensemble training calls Train once per tree on the same
+// context. Each Train call opens a new epoch; snapshots belong to the
+// epoch that wrote them. After a restart the earlier trees re-run
+// deterministically from scratch (their epoch is below the store's, so
+// they neither resume from nor overwrite the newest snapshots) until
+// the crashed tree's Train call reaches the store's epoch and resumes.
+//
+// Snapshot wire format (ByteWriter, little-endian), version 1:
+//   u32  magic 'PVCK' (0x5056434B)    u32  version
+//   u64  epoch    u64  completed-node count (the checkpoint index)
+//   tree: u8 protocol, u8 task, u32 num_classes, u64 node count, then
+//     per node every PivotNode field including leaf_mask and the lambda
+//     selector (ciphertext vectors via EncodeCiphertextVector)
+//   stack (bottom to top): u64 count, then per pending node its parent
+//     id, left/right flag, and the NodeState (alpha/gamma1/gamma2
+//     ciphertext vectors, per-client availability bitsets, depth)
+//   randomness: RngState of the context rng, the MPC engine rng + round
+//     counter, and the preprocessing rng + triples/masks counters
+//
+// Snapshots live in memory (CheckpointStore), mirroring how each real
+// party would persist to its own local disk; the store is the per-party
+// unit a restarted party thread reattaches to.
+
+class CheckpointStore {
+ public:
+  // LatestIndex value when no usable snapshot exists.
+  static constexpr uint64_t kNone = ~uint64_t{0};
+
+  // `history` bounds retained snapshots. It must cover the maximum
+  // divergence between parties at crash time plus one; parties move in
+  // lockstep at node granularity, so a small window suffices.
+  explicit CheckpointStore(int history = 4) : history_(history) {}
+
+  // Opens epoch `epoch` for subsequent saves. Moving the store forward
+  // (epoch above the current one) discards older snapshots; re-entering
+  // an earlier epoch (a deterministic re-run after a restart) keeps the
+  // newest snapshots intact and makes Save/LatestIndex no-ops for the
+  // re-run until it catches up.
+  void BeginEpoch(uint64_t epoch);
+
+  // Stores the snapshot for `index` within `epoch`, evicting the oldest
+  // beyond the history window. Ignored when `epoch` is not the store's
+  // current epoch. Overwrites an existing snapshot with the same index
+  // (a restarted party re-executes nodes deterministically, so the
+  // rewritten snapshot is identical).
+  void Save(uint64_t epoch, uint64_t index, Bytes snapshot);
+
+  // Newest retained index of `epoch`, or kNone when the store's current
+  // epoch differs or nothing was saved.
+  uint64_t LatestIndex(uint64_t epoch) const;
+  Result<Bytes> Load(uint64_t index) const;
+  void Clear();
+
+ private:
+  // Guarded: the owning party thread writes, but restarted threads and
+  // the harness may read across restart boundaries.
+  mutable std::mutex mu_;
+  int history_;
+  uint64_t epoch_ = 0;
+  std::deque<std::pair<uint64_t, Bytes>> snapshots_;  // ascending index
+};
+
+// One store per party of a federation. The object outlives individual
+// training attempts: the runner keeps it across restarts so a rebooted
+// party finds its own snapshots.
+class FederationCheckpoint {
+ public:
+  explicit FederationCheckpoint(int num_parties, int history = 4) {
+    stores_.reserve(num_parties);
+    for (int i = 0; i < num_parties; ++i) {
+      stores_.push_back(std::make_unique<CheckpointStore>(history));
+    }
+  }
+
+  int num_parties() const { return static_cast<int>(stores_.size()); }
+  CheckpointStore& party(int i) { return *stores_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<CheckpointStore>> stores_;
+};
+
+// RngState codec shared by the trainer's snapshot writer/reader.
+void EncodeRngState(const RngState& state, ByteWriter& w);
+Result<RngState> DecodeRngState(ByteReader& r);
+
+}  // namespace pivot
+
+#endif  // PIVOT_PIVOT_CHECKPOINT_H_

@@ -13,6 +13,8 @@
 
 namespace pivot {
 
+class CheckpointStore;
+
 // Batch-size agreement header for the share-conversion protocols. The
 // value is redundantly encoded (u64 + bitwise complement) and capped, so
 // a corrupted or desynchronized header is rejected instead of being
@@ -52,6 +54,36 @@ class PartyContext {
   // Labels; non-empty only on the super client.
   const std::vector<double>& labels() const { return labels_; }
   Rng& rng() { return rng_; }
+
+  // Optional per-party checkpoint store (pivot/checkpoint.h). When set,
+  // the trainer snapshots its state after every completed node and can
+  // resume from the latest snapshot after a restart. Not owned.
+  void set_checkpoint(CheckpointStore* store) { checkpoint_ = store; }
+  CheckpointStore* checkpoint() const { return checkpoint_; }
+  // Monotonic per-Train counter (SPMD-identical across parties): each
+  // tree trained on this context gets its own checkpoint epoch, so a
+  // restarted ensemble re-runs finished trees without disturbing the
+  // crashed tree's snapshots.
+  uint64_t BumpTrainEpoch() { return ++train_epoch_; }
+
+  // Every randomness stream a training run draws from, captured together
+  // so a checkpoint can rewind all of them to one exact position: the
+  // context rng (Paillier encryption randomness), the MPC engine's
+  // masking rng + round counter, and the preprocessing dealer stream.
+  struct RandomnessState {
+    RngState rng;
+    MpcEngine::EngineState engine;
+    Preprocessing::PrepState prep;
+  };
+  RandomnessState SaveRandomnessState() const {
+    return RandomnessState{rng_.SaveState(), engine_->SaveState(),
+                           prep_->SaveState()};
+  }
+  void RestoreRandomnessState(const RandomnessState& state) {
+    rng_.RestoreState(state.rng);
+    engine_->RestoreState(state.engine);
+    prep_->RestoreState(state.prep);
+  }
 
   // Per-local-feature candidate split thresholds (computed once from the
   // full columns; see tree/splits.h).
@@ -112,6 +144,8 @@ class PartyContext {
   std::vector<std::vector<double>> split_candidates_;
   // [feature][split] -> indicator over samples.
   std::vector<std::vector<std::vector<uint8_t>>> left_indicators_;
+  CheckpointStore* checkpoint_ = nullptr;
+  uint64_t train_epoch_ = 0;
 };
 
 }  // namespace pivot

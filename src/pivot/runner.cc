@@ -14,22 +14,54 @@ Status RunFederationPartitioned(
   PIVOT_CHECK(cfg.super_client >= 0 && cfg.super_client < m);
 
   // Initialization stage: trusted key generation ceremony (every client
-  // receives the public key and its partial secret key).
+  // receives the public key and its partial secret key). Hoisted above
+  // the attempt loop so restarted parties keep their key material, as a
+  // rebooted real deployment would reload it from disk.
   Rng key_rng(cfg.params.run_seed ^ 0x4b455953 /* "KEYS" */);
   ThresholdPaillier keys =
       GenerateThresholdPaillier(cfg.params.key_bits, m, key_rng);
 
-  InMemoryNetwork net(m, cfg.recv_timeout_ms, cfg.network_sim);
-  net.set_fault_plan(cfg.fault_plan);
-  Status st = RunParties(net, [&](int id, Endpoint& ep) -> Status {
-    PartyContext ctx(id, cfg.super_client, &ep, keys.pk,
-                     keys.partial_keys[id], partition.views[id],
-                     id == cfg.super_client ? partition.labels
-                                            : std::vector<double>{},
-                     cfg.params);
-    return body(ctx);
-  });
-  if (stats != nullptr) *stats = net.stats();
+  if (cfg.checkpoint != nullptr) {
+    PIVOT_CHECK(cfg.checkpoint->num_parties() == m);
+  }
+
+  // Attempt loop: each attempt gets a fresh mesh (a restart tears down
+  // all connections), while the checkpoint stores persist across
+  // attempts. Transient faults that already fired are dropped from the
+  // plan so a recovered crash does not re-fire on the resumed run.
+  FaultPlan plan = cfg.fault_plan;
+  NetworkStats total{};
+  Status st = Status::Ok();
+  for (int attempt = 0;; ++attempt) {
+    InMemoryNetwork net(m, cfg.net, cfg.network_sim);
+    net.set_fault_plan(plan);
+    st = RunParties(net, [&](int id, Endpoint& ep) -> Status {
+      PartyContext ctx(id, cfg.super_client, &ep, keys.pk,
+                       keys.partial_keys[id], partition.views[id],
+                       id == cfg.super_client ? partition.labels
+                                              : std::vector<double>{},
+                       cfg.params);
+      if (cfg.checkpoint != nullptr) {
+        ctx.set_checkpoint(&cfg.checkpoint->party(id));
+      }
+      return body(ctx);
+    });
+    const NetworkStats s = net.stats();
+    total.bytes_sent += s.bytes_sent;
+    total.bytes_received += s.bytes_received;
+    total.messages_sent += s.messages_sent;
+    total.messages_received += s.messages_received;
+    total.rounds += s.rounds;
+    total.retransmits += s.retransmits;
+    total.duplicates_suppressed += s.duplicates_suppressed;
+    total.corrupt_frames += s.corrupt_frames;
+    total.nacks_sent += s.nacks_sent;
+    if (st.ok() || cfg.checkpoint == nullptr || attempt >= cfg.max_restarts) {
+      break;
+    }
+    plan = plan.WithoutFiredTransient(net.fired_fault_mask());
+  }
+  if (stats != nullptr) *stats = total;
   return st;
 }
 

@@ -2,8 +2,10 @@
 #define PIVOT_PIVOT_RUNNER_H_
 
 #include <functional>
+#include <memory>
 
 #include "data/dataset.h"
+#include "pivot/checkpoint.h"
 #include "pivot/context.h"
 
 namespace pivot {
@@ -23,10 +25,22 @@ struct FederationConfig {
   // Optional deterministic fault injection (chaos testing); see
   // net/fault.h. Empty = no faults.
   FaultPlan fault_plan;
-  // Receive timeout for the party mesh. The default is generous so slow
-  // Paillier batches never trip it; chaos tests shrink it so injected
-  // delays surface quickly.
-  int recv_timeout_ms = 600'000;
+  // Reliable-channel tunables for the party mesh (net/network.h). The
+  // default recv timeout is generous so slow Paillier batches never trip
+  // it; chaos tests shrink it so injected delays surface quickly.
+  NetConfig net = [] {
+    NetConfig c;
+    c.recv_timeout_ms = 600'000;
+    return c;
+  }();
+  // Optional checkpoint stores, one per party (pivot/checkpoint.h). When
+  // set, each party's context gets its store wired in, the trainer
+  // snapshots after every completed node, and a failed attempt is
+  // restarted (up to max_restarts times) resuming from the latest common
+  // snapshot. Transient faults that already fired are removed from the
+  // fault plan between attempts; fatal ones persist.
+  std::shared_ptr<FederationCheckpoint> checkpoint;
+  int max_restarts = 0;
 };
 
 // Partitions `data` vertically across cfg.num_parties clients (labels go

@@ -3,11 +3,14 @@
 #include "pivot/secure_gain.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 #include "common/fixed_point.h"
+#include "common/op_counters.h"
 #include "mpc/dp.h"
 #include "net/codec.h"
+#include "pivot/checkpoint.h"
 
 namespace pivot {
 
@@ -27,6 +30,10 @@ struct Block {
   int start = 0;  // first flat index
   int count = 0;  // number of candidate splits
 };
+
+// Training-checkpoint snapshot framing ('PVCK'); format in checkpoint.h.
+constexpr uint32_t kCheckpointMagic = 0x5056434B;
+constexpr uint32_t kCheckpointVersion = 1;
 
 class TreeTrainer {
  public:
@@ -48,35 +55,67 @@ class TreeTrainer {
       return Status::Unimplemented(
           "GBDT (encrypted labels) uses the basic protocol (Section 7.2)");
     }
+    epoch_ = ctx_.BumpTrainEpoch();
+    if (ctx_.checkpoint() != nullptr) ctx_.checkpoint()->BeginEpoch(epoch_);
     PIVOT_RETURN_IF_ERROR(ExchangeMetadata());
 
     tree_.protocol = opts_.protocol;
     tree_.task = regression_ ? TreeTask::kRegression : TreeTask::kClassification;
     tree_.num_classes = c_;
 
-    // Root: every sample is available ([alpha] = ([1], ..., [1]); with
-    // bootstrap weights the entries are the multiplicities).
-    NodeState root;
-    root.depth = 0;
-    root.alpha.reserve(n_);
-    for (int t = 0; t < n_; ++t) {
-      const int w = opts_.sample_weights.empty() ? 1 : opts_.sample_weights[t];
-      root.alpha.push_back(ctx_.pk().Encrypt(BigInt(w), ctx_.rng()));
-    }
-    if (opts_.encrypted_labels.has_value()) {
-      root.gamma1 = opts_.encrypted_labels->y;
-      root.gamma2 = opts_.encrypted_labels->y_sq;
-      if (static_cast<int>(root.gamma1.size()) != n_ ||
-          static_cast<int>(root.gamma2.size()) != n_) {
-        return Status::InvalidArgument("encrypted label vector size mismatch");
+    // Resume after a restart when every party has a usable snapshot;
+    // otherwise build the root fresh.
+    std::vector<PendingNode> stack;
+    uint64_t completed = 0;
+    PIVOT_ASSIGN_OR_RETURN(bool resumed, TryResume(&stack, &completed));
+    if (!resumed) {
+      // Root: every sample is available ([alpha] = ([1], ..., [1]); with
+      // bootstrap weights the entries are the multiplicities).
+      NodeState root;
+      root.depth = 0;
+      root.alpha.reserve(n_);
+      for (int t = 0; t < n_; ++t) {
+        const int w = opts_.sample_weights.empty() ? 1 : opts_.sample_weights[t];
+        root.alpha.push_back(ctx_.pk().Encrypt(BigInt(w), ctx_.rng()));
       }
-    }
-    root.available.assign(m_, {});
-    for (int i = 0; i < m_; ++i) {
-      root.available[i].assign(split_counts_[i].size(), true);
+      if (opts_.encrypted_labels.has_value()) {
+        root.gamma1 = opts_.encrypted_labels->y;
+        root.gamma2 = opts_.encrypted_labels->y_sq;
+        if (static_cast<int>(root.gamma1.size()) != n_ ||
+            static_cast<int>(root.gamma2.size()) != n_) {
+          return Status::InvalidArgument("encrypted label vector size mismatch");
+        }
+      }
+      root.available.assign(m_, {});
+      for (int i = 0; i < m_; ++i) {
+        root.available[i].assign(split_counts_[i].size(), true);
+      }
+      stack.push_back(PendingNode{std::move(root), -1, false});
     }
 
-    PIVOT_RETURN_IF_ERROR(BuildNode(std::move(root)).status());
+    // Depth-first construction with an explicit work stack (right child
+    // pushed first so the left subtree completes first, matching the
+    // recursive order and its node ids exactly). The explicit stack is
+    // what makes the training state checkpointable at node granularity.
+    while (!stack.empty()) {
+      PendingNode cur = std::move(stack.back());
+      stack.pop_back();
+      PIVOT_ASSIGN_OR_RETURN(ProcessedNode out,
+                             ProcessNode(std::move(cur.state)));
+      if (cur.parent >= 0) {
+        if (cur.is_left) {
+          tree_.nodes[cur.parent].left = out.id;
+        } else {
+          tree_.nodes[cur.parent].right = out.id;
+        }
+      }
+      if (out.internal) {
+        stack.push_back(PendingNode{std::move(out.right), out.id, false});
+        stack.push_back(PendingNode{std::move(out.left), out.id, true});
+      }
+      ++completed;
+      MaybeCheckpoint(completed, stack);
+    }
     return std::move(tree_);
   }
 
@@ -87,6 +126,22 @@ class TreeTrainer {
     std::vector<Ciphertext> gamma1, gamma2;
     std::vector<std::vector<bool>> available;  // [client][local feature]
     int depth = 0;
+  };
+
+  // One not-yet-processed node on the explicit DFS stack: its training
+  // state plus where to hang its id once known.
+  struct PendingNode {
+    NodeState state;
+    int parent = -1;     // tree_ node id, -1 for the root
+    bool is_left = false;
+  };
+
+  // Outcome of processing one node: the tree_ id it received and, for an
+  // internal node, the two child states to enqueue.
+  struct ProcessedNode {
+    int id = -1;
+    bool internal = false;
+    NodeState left, right;
   };
 
   MpcEngine& eng() { return ctx_.engine(); }
@@ -549,9 +604,12 @@ class TreeTrainer {
     return Status::Ok();
   }
 
-  // ----- Node recursion -----------------------------------------------------
+  // ----- Node processing ----------------------------------------------------
 
-  Result<int> BuildNode(NodeState node) {
+  // One step of the DFS construction: decides leaf vs. split for `node`,
+  // appends the resulting tree node, and (for a split) returns the child
+  // states for the work stack in Train().
+  Result<ProcessedNode> ProcessNode(NodeState node) {
     // Gammas + node aggregates.
     PIVOT_ASSIGN_OR_RETURN(std::vector<std::vector<Ciphertext>> gammas,
                            ComputeGammas(node));
@@ -584,7 +642,11 @@ class TreeTrainer {
       PIVOT_ASSIGN_OR_RETURN(u128 opened, eng().Open(below));
       prune = FpToSigned(opened) == 1;
     }
-    if (prune) return MakeLeaf(agg, node);
+    if (prune) {
+      ProcessedNode out;
+      PIVOT_ASSIGN_OR_RETURN(out.id, MakeLeaf(agg, node));
+      return out;
+    }
 
     // Local computation + conversion of all split statistics.
     const int per_split = regression_ ? 6 : 2 + 2 * c_;
@@ -617,7 +679,11 @@ class TreeTrainer {
       PIVOT_ASSIGN_OR_RETURN(u128 opened, eng().Open(below));
       no_improvement = FpToSigned(opened) == 1;
     }
-    if (no_improvement) return MakeLeaf(agg, node);
+    if (no_improvement) {
+      ProcessedNode out;
+      PIVOT_ASSIGN_OR_RETURN(out.id, MakeLeaf(agg, node));
+      return out;
+    }
 
     // Identify the winner. Basic opens sigma* outright; enhanced reveals
     // only as much as the hiding level allows (block, client, or nothing)
@@ -724,16 +790,243 @@ class TreeTrainer {
     }
     right.available = left.available;
     left.depth = right.depth = node.depth + 1;
-    // Free the parent's mask before recursing.
+    // Free the parent's mask before the children are enqueued.
     node.alpha.clear();
     node.gamma1.clear();
     node.gamma2.clear();
 
-    PIVOT_ASSIGN_OR_RETURN(int left_id, BuildNode(std::move(left)));
-    PIVOT_ASSIGN_OR_RETURN(int right_id, BuildNode(std::move(right)));
-    tree_.nodes[id].left = left_id;
-    tree_.nodes[id].right = right_id;
-    return id;
+    ProcessedNode out;
+    out.id = id;
+    out.internal = true;
+    out.left = std::move(left);
+    out.right = std::move(right);
+    return out;
+  }
+
+  // ----- Checkpoint / resume ------------------------------------------------
+  // Format documented in pivot/checkpoint.h. The snapshot captures the
+  // party-local training state exactly at a node boundary; restoring it
+  // (on all parties, at the same index) makes the continued run
+  // bit-identical to an uninterrupted one.
+
+  static void WriteNodeCkpt(const PivotNode& nd, ByteWriter& w) {
+    w.WriteU8(nd.is_leaf ? 1 : 0);
+    w.WriteI64(nd.owner);
+    w.WriteI64(nd.feature_local);
+    w.WriteDouble(nd.threshold);
+    w.WriteDouble(nd.leaf_value);
+    EncodeU128(nd.threshold_share, w);
+    EncodeU128(nd.leaf_share, w);
+    w.WriteI64(nd.left);
+    w.WriteI64(nd.right);
+    w.WriteBytes(EncodeCiphertextVector(nd.leaf_mask));
+    w.WriteU64(nd.lambda_slices.size());
+    for (const auto& slice : nd.lambda_slices) {
+      w.WriteBytes(EncodeCiphertextVector(slice));
+    }
+    w.WriteU64(nd.lambda_features.size());
+    for (const auto& feats : nd.lambda_features) {
+      w.WriteU64(feats.size());
+      for (int f : feats) w.WriteI64(f);
+    }
+  }
+
+  static Status ReadNodeCkpt(ByteReader& r, PivotNode* nd) {
+    PIVOT_ASSIGN_OR_RETURN(uint8_t is_leaf, r.ReadU8());
+    nd->is_leaf = is_leaf != 0;
+    PIVOT_ASSIGN_OR_RETURN(int64_t owner, r.ReadI64());
+    nd->owner = static_cast<int>(owner);
+    PIVOT_ASSIGN_OR_RETURN(int64_t feature_local, r.ReadI64());
+    nd->feature_local = static_cast<int>(feature_local);
+    PIVOT_ASSIGN_OR_RETURN(nd->threshold, r.ReadDouble());
+    PIVOT_ASSIGN_OR_RETURN(nd->leaf_value, r.ReadDouble());
+    PIVOT_ASSIGN_OR_RETURN(nd->threshold_share, DecodeU128(r));
+    PIVOT_ASSIGN_OR_RETURN(nd->leaf_share, DecodeU128(r));
+    PIVOT_ASSIGN_OR_RETURN(int64_t left, r.ReadI64());
+    nd->left = static_cast<int>(left);
+    PIVOT_ASSIGN_OR_RETURN(int64_t right, r.ReadI64());
+    nd->right = static_cast<int>(right);
+    PIVOT_ASSIGN_OR_RETURN(Bytes mask, r.ReadBytes());
+    PIVOT_ASSIGN_OR_RETURN(nd->leaf_mask, DecodeCiphertextVector(mask));
+    PIVOT_ASSIGN_OR_RETURN(uint64_t slices, r.ReadU64());
+    nd->lambda_slices.resize(slices);
+    for (uint64_t i = 0; i < slices; ++i) {
+      PIVOT_ASSIGN_OR_RETURN(Bytes enc, r.ReadBytes());
+      PIVOT_ASSIGN_OR_RETURN(nd->lambda_slices[i], DecodeCiphertextVector(enc));
+    }
+    PIVOT_ASSIGN_OR_RETURN(uint64_t feat_vecs, r.ReadU64());
+    nd->lambda_features.resize(feat_vecs);
+    for (uint64_t i = 0; i < feat_vecs; ++i) {
+      PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+      nd->lambda_features[i].resize(count);
+      for (uint64_t j = 0; j < count; ++j) {
+        PIVOT_ASSIGN_OR_RETURN(int64_t f, r.ReadI64());
+        nd->lambda_features[i][j] = static_cast<int>(f);
+      }
+    }
+    return Status::Ok();
+  }
+
+  static void WriteNodeState(const NodeState& st, ByteWriter& w) {
+    w.WriteBytes(EncodeCiphertextVector(st.alpha));
+    w.WriteBytes(EncodeCiphertextVector(st.gamma1));
+    w.WriteBytes(EncodeCiphertextVector(st.gamma2));
+    w.WriteU64(st.available.size());
+    for (const auto& bits : st.available) {
+      w.WriteU64(bits.size());
+      for (bool b : bits) w.WriteU8(b ? 1 : 0);
+    }
+    w.WriteI64(st.depth);
+  }
+
+  static Result<NodeState> ReadNodeState(ByteReader& r) {
+    NodeState st;
+    PIVOT_ASSIGN_OR_RETURN(Bytes alpha, r.ReadBytes());
+    PIVOT_ASSIGN_OR_RETURN(st.alpha, DecodeCiphertextVector(alpha));
+    PIVOT_ASSIGN_OR_RETURN(Bytes gamma1, r.ReadBytes());
+    PIVOT_ASSIGN_OR_RETURN(st.gamma1, DecodeCiphertextVector(gamma1));
+    PIVOT_ASSIGN_OR_RETURN(Bytes gamma2, r.ReadBytes());
+    PIVOT_ASSIGN_OR_RETURN(st.gamma2, DecodeCiphertextVector(gamma2));
+    PIVOT_ASSIGN_OR_RETURN(uint64_t clients, r.ReadU64());
+    st.available.resize(clients);
+    for (uint64_t i = 0; i < clients; ++i) {
+      PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+      st.available[i].resize(count);
+      for (uint64_t j = 0; j < count; ++j) {
+        PIVOT_ASSIGN_OR_RETURN(uint8_t b, r.ReadU8());
+        st.available[i][j] = b != 0;
+      }
+    }
+    PIVOT_ASSIGN_OR_RETURN(int64_t depth, r.ReadI64());
+    st.depth = static_cast<int>(depth);
+    return st;
+  }
+
+  // Snapshots the full training state after a completed node. Local-only
+  // (no communication), so it cannot desynchronize the parties.
+  void MaybeCheckpoint(uint64_t completed,
+                       const std::vector<PendingNode>& stack) {
+    CheckpointStore* store = ctx_.checkpoint();
+    if (store == nullptr) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    ByteWriter w;
+    w.WriteU32(kCheckpointMagic);
+    w.WriteU32(kCheckpointVersion);
+    w.WriteU64(epoch_);
+    w.WriteU64(completed);
+    w.WriteU8(static_cast<uint8_t>(tree_.protocol));
+    w.WriteU8(static_cast<uint8_t>(tree_.task));
+    w.WriteU32(static_cast<uint32_t>(tree_.num_classes));
+    w.WriteU64(tree_.nodes.size());
+    for (const PivotNode& nd : tree_.nodes) WriteNodeCkpt(nd, w);
+    w.WriteU64(stack.size());
+    for (const PendingNode& p : stack) {
+      w.WriteI64(p.parent);
+      w.WriteU8(p.is_left ? 1 : 0);
+      WriteNodeState(p.state, w);
+    }
+    const PartyContext::RandomnessState rs = ctx_.SaveRandomnessState();
+    EncodeRngState(rs.rng, w);
+    EncodeRngState(rs.engine.rng, w);
+    w.WriteU64(rs.engine.rounds);
+    EncodeRngState(rs.prep.rng, w);
+    w.WriteU64(rs.prep.triples_used);
+    w.WriteU64(rs.prep.masks_used);
+    store->Save(epoch_, completed, w.Take());
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    OpCounters::Global().AddCheckpointWrite(static_cast<uint64_t>(micros));
+  }
+
+  Status RestoreFromSnapshot(const Bytes& snapshot,
+                             std::vector<PendingNode>* stack,
+                             uint64_t* completed) {
+    ByteReader r(snapshot);
+    PIVOT_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+    PIVOT_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+    if (magic != kCheckpointMagic || version != kCheckpointVersion) {
+      return Status::ProtocolError("checkpoint magic/version mismatch");
+    }
+    PIVOT_ASSIGN_OR_RETURN(uint64_t epoch, r.ReadU64());
+    if (epoch != epoch_) {
+      return Status::ProtocolError("checkpoint epoch mismatch");
+    }
+    PIVOT_ASSIGN_OR_RETURN(*completed, r.ReadU64());
+    PIVOT_ASSIGN_OR_RETURN(uint8_t protocol, r.ReadU8());
+    tree_.protocol = static_cast<Protocol>(protocol);
+    PIVOT_ASSIGN_OR_RETURN(uint8_t task, r.ReadU8());
+    tree_.task = static_cast<TreeTask>(task);
+    PIVOT_ASSIGN_OR_RETURN(uint32_t classes, r.ReadU32());
+    tree_.num_classes = static_cast<int>(classes);
+    PIVOT_ASSIGN_OR_RETURN(uint64_t nodes, r.ReadU64());
+    tree_.nodes.assign(nodes, PivotNode{});
+    for (uint64_t i = 0; i < nodes; ++i) {
+      PIVOT_RETURN_IF_ERROR(ReadNodeCkpt(r, &tree_.nodes[i]));
+    }
+    PIVOT_ASSIGN_OR_RETURN(uint64_t pending, r.ReadU64());
+    stack->clear();
+    stack->reserve(pending);
+    for (uint64_t i = 0; i < pending; ++i) {
+      PendingNode p;
+      PIVOT_ASSIGN_OR_RETURN(int64_t parent, r.ReadI64());
+      p.parent = static_cast<int>(parent);
+      if (p.parent >= static_cast<int>(tree_.nodes.size())) {
+        return Status::ProtocolError("checkpoint stack parent out of range");
+      }
+      PIVOT_ASSIGN_OR_RETURN(uint8_t is_left, r.ReadU8());
+      p.is_left = is_left != 0;
+      PIVOT_ASSIGN_OR_RETURN(p.state, ReadNodeState(r));
+      stack->push_back(std::move(p));
+    }
+    PartyContext::RandomnessState rs;
+    PIVOT_ASSIGN_OR_RETURN(rs.rng, DecodeRngState(r));
+    PIVOT_ASSIGN_OR_RETURN(rs.engine.rng, DecodeRngState(r));
+    PIVOT_ASSIGN_OR_RETURN(rs.engine.rounds, r.ReadU64());
+    PIVOT_ASSIGN_OR_RETURN(rs.prep.rng, DecodeRngState(r));
+    PIVOT_ASSIGN_OR_RETURN(rs.prep.triples_used, r.ReadU64());
+    PIVOT_ASSIGN_OR_RETURN(rs.prep.masks_used, r.ReadU64());
+    if (!r.AtEnd()) {
+      return Status::ProtocolError("trailing bytes in checkpoint snapshot");
+    }
+    ctx_.RestoreRandomnessState(rs);
+    return Status::Ok();
+  }
+
+  // Resume negotiation: every party announces the newest snapshot index
+  // of the current epoch (kNone when it has none); everyone rewinds to
+  // the minimum. A single party without a snapshot forces a fresh start
+  // — it could not follow the others.
+  Result<bool> TryResume(std::vector<PendingNode>* stack,
+                         uint64_t* completed) {
+    CheckpointStore* store = ctx_.checkpoint();
+    if (store == nullptr) return false;
+    const uint64_t mine = store->LatestIndex(epoch_);
+    ByteWriter w;
+    w.WriteU64(mine);
+    PIVOT_RETURN_IF_ERROR(ctx_.endpoint().Broadcast(w.data()));
+    uint64_t min_index = mine;
+    bool any_missing = mine == CheckpointStore::kNone;
+    for (int p = 0; p < m_; ++p) {
+      if (p == me_) continue;
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx_.endpoint().Recv(p));
+      if (msg.size() != 8) {
+        return Status::ProtocolError("malformed resume negotiation header");
+      }
+      ByteReader r(msg);
+      PIVOT_ASSIGN_OR_RETURN(uint64_t idx, r.ReadU64());
+      any_missing = any_missing || idx == CheckpointStore::kNone;
+      min_index = std::min(min_index, idx);
+    }
+    if (any_missing) return false;
+    PIVOT_ASSIGN_OR_RETURN(Bytes snapshot, store->Load(min_index));
+    const auto t0 = std::chrono::steady_clock::now();
+    PIVOT_RETURN_IF_ERROR(RestoreFromSnapshot(snapshot, stack, completed));
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    OpCounters::Global().AddCheckpointRestore(static_cast<uint64_t>(micros));
+    return true;
   }
 
   PartyContext& ctx_;
@@ -746,6 +1039,7 @@ class TreeTrainer {
   int c_ = 2;
   std::vector<std::vector<int>> split_counts_;
   PivotTree tree_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace

@@ -1,25 +1,39 @@
-// Chaos harness: sweeps seeded fault schedules (net/fault.h) across the
-// MPC engine, basic/enhanced training, prediction, and the malicious
-// checks, asserting the security-with-abort contract — every schedule
-// terminates within a short deadline with a clean error Status naming a
-// party, never a hang or a crash.
+// Chaos harness, two tiers.
+//
+// Tier 1 (ChaosTest): sweeps seeded *fatal-only* fault schedules
+// (net/fault.h, FaultMix::kFatalOnly) across the MPC engine,
+// basic/enhanced training, prediction, and the malicious checks,
+// asserting the security-with-abort contract — every schedule terminates
+// within a short deadline with a clean error Status naming a party, never
+// a hang or a crash.
+//
+// Tier 2 (ChaosRecoveryTest): sweeps *transient-only* and crash-recovery
+// schedules, asserting the stronger survives-and-matches contract — the
+// run completes despite the faults AND every party's trained tree
+// (including ciphertext vectors and secret shares) bit-matches the
+// fault-free run with the same seed.
 //
 // Seed counts are environment-tunable so CI can shrink the sweep under
-// TSan (PIVOT_CHAOS_MPC_SEEDS, PIVOT_CHAOS_PROTO_SEEDS) and relax the
-// per-run deadline for sanitizer slowdown (PIVOT_CHAOS_DEADLINE_MS). A
-// failing seed reproduces deterministically: re-run the test and look for
-// the seed printed with the failure.
+// TSan (PIVOT_CHAOS_MPC_SEEDS, PIVOT_CHAOS_PROTO_SEEDS,
+// PIVOT_CHAOS_RECOVERY_SEEDS) and relax the per-run deadline for
+// sanitizer slowdown (PIVOT_CHAOS_DEADLINE_MS). A failing seed reproduces
+// deterministically: re-run the test and look for the seed printed with
+// the failure.
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <cstdlib>
 #include <functional>
+#include <mutex>
 
+#include "common/sha256.h"
 #include "data/synthetic.h"
 #include "mpc/engine.h"
+#include "net/codec.h"
 #include "net/fault.h"
 #include "net/network.h"
+#include "pivot/checkpoint.h"
 #include "pivot/malicious.h"
 #include "pivot/prediction.h"
 #include "pivot/runner.h"
@@ -87,12 +101,12 @@ int SweepFederation(int seeds, uint64_t salt, int key_bits, uint64_t max_op,
   FederationConfig cfg;
   cfg.num_parties = kParties;
   cfg.params = ChaosParams(key_bits);
-  cfg.recv_timeout_ms = kRecvTimeoutMs;
+  cfg.net.recv_timeout_ms = kRecvTimeoutMs;
   int errored = 0;
   for (int s = 0; s < seeds; ++s) {
     const uint64_t seed = salt + static_cast<uint64_t>(s);
-    cfg.fault_plan =
-        FaultPlan::FromSeed(seed, kParties, kFatalMs, max_op, max_msg);
+    cfg.fault_plan = FaultPlan::FromSeed(seed, kParties, kFatalMs, max_op,
+                                         max_msg, FaultMix::kFatalOnly);
     const auto start = std::chrono::steady_clock::now();
     const Status st = RunFederation(data, cfg, body);
     EXPECT_LT(ElapsedMs(start), DeadlineMs())
@@ -119,7 +133,8 @@ TEST(ChaosTest, MpcEngineSweep) {
     const uint64_t seed = 0xA0000000ULL + static_cast<uint64_t>(s);
     InMemoryNetwork net(kParties, kRecvTimeoutMs);
     net.set_fault_plan(FaultPlan::FromSeed(seed, kParties, kFatalMs,
-                                           /*max_op=*/40, /*max_msg=*/12));
+                                           /*max_op=*/40, /*max_msg=*/12,
+                                           FaultMix::kFatalOnly));
     const auto start = std::chrono::steady_clock::now();
     Status st = RunParties(net, [&](int id, Endpoint& ep) -> Status {
       Preprocessing prep(id, kParties, /*seed=*/0xC0FFEE);
@@ -238,6 +253,154 @@ TEST(ChaosTest, MaliciousConversionSweep) {
         return Status::Ok();
       });
   EXPECT_GE(errored, seeds / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Tier 2: survives-and-matches. Transient schedules must be masked by the
+// reliable channel layer (and, for crashes, by checkpoint/resume), and
+// the recovered run must be *bit-identical* to the fault-free run.
+// ---------------------------------------------------------------------------
+
+// Full per-party tree serialization for fingerprinting, covering the
+// fields the public model codec (pivot/serialize.cc) intentionally omits:
+// ciphertext vectors and this party's secret shares. Two runs that agree
+// on these digests agree on every bit of trained state.
+Bytes SerializeFullTree(const PivotTree& t) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(t.protocol));
+  w.WriteU8(static_cast<uint8_t>(t.task));
+  w.WriteU32(static_cast<uint32_t>(t.num_classes));
+  w.WriteU64(t.nodes.size());
+  for (const PivotNode& nd : t.nodes) {
+    w.WriteU8(nd.is_leaf ? 1 : 0);
+    w.WriteI64(nd.owner);
+    w.WriteI64(nd.feature_local);
+    w.WriteDouble(nd.threshold);
+    w.WriteDouble(nd.leaf_value);
+    EncodeU128(nd.threshold_share, w);
+    EncodeU128(nd.leaf_share, w);
+    w.WriteI64(nd.left);
+    w.WriteI64(nd.right);
+    w.WriteBytes(EncodeCiphertextVector(nd.leaf_mask));
+    w.WriteU64(nd.lambda_slices.size());
+    for (const auto& slice : nd.lambda_slices) {
+      w.WriteBytes(EncodeCiphertextVector(slice));
+    }
+    w.WriteU64(nd.lambda_features.size());
+    for (const auto& feats : nd.lambda_features) {
+      w.WriteU64(feats.size());
+      for (int f : feats) w.WriteI64(f);
+    }
+  }
+  return w.Take();
+}
+
+// Trains one basic-protocol tree per party and captures each party's tree
+// digest into `prints[party]`.
+Status TrainAndFingerprint(const Dataset& data, const FederationConfig& cfg,
+                           std::vector<Bytes>* prints) {
+  prints->assign(kParties, {});
+  std::mutex mu;
+  return RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+    TrainTreeOptions opts;
+    opts.protocol = Protocol::kBasic;
+    PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainPivotTree(ctx, opts));
+    const auto digest = Sha256::Hash(SerializeFullTree(tree));
+    std::lock_guard<std::mutex> lock(mu);
+    (*prints)[ctx.id()] = Bytes(digest.begin(), digest.end());
+    return Status::Ok();
+  });
+}
+
+FederationConfig RecoveryConfig() {
+  FederationConfig cfg;
+  cfg.num_parties = kParties;
+  cfg.params = ChaosParams(256);
+  cfg.net.recv_timeout_ms = kRecvTimeoutMs;
+  // Fast backoff so masked drops recover well inside the recv timeout.
+  cfg.net.backoff_base_ms = 2;
+  cfg.net.backoff_max_ms = 50;
+  return cfg;
+}
+
+TEST(ChaosRecoveryTest, TransientSweepCompletesAndBitMatches) {
+  const int seeds = EnvInt("PIVOT_CHAOS_RECOVERY_SEEDS", 6);
+  const Dataset data = TinyClassification();
+  std::vector<Bytes> baseline;
+  ASSERT_TRUE(
+      TrainAndFingerprint(data, RecoveryConfig(), &baseline).ok());
+  for (int s = 0; s < seeds; ++s) {
+    const uint64_t seed = 0xF0000000ULL + static_cast<uint64_t>(s);
+    FederationConfig cfg = RecoveryConfig();
+    cfg.fault_plan =
+        FaultPlan::FromSeed(seed, kParties, kFatalMs, /*max_op=*/40,
+                            /*max_msg=*/12, FaultMix::kTransientOnly);
+    std::vector<Bytes> prints;
+    const auto start = std::chrono::steady_clock::now();
+    const Status st = TrainAndFingerprint(data, cfg, &prints);
+    EXPECT_LT(ElapsedMs(start), DeadlineMs()) << "seed " << seed;
+    ASSERT_TRUE(st.ok()) << "seed " << seed << ": " << st.ToString()
+                         << "\nplan: " << cfg.fault_plan.ToString();
+    for (int p = 0; p < kParties; ++p) {
+      EXPECT_EQ(prints[p], baseline[p])
+          << "party " << p << " diverged under seed " << seed
+          << "\nplan: " << cfg.fault_plan.ToString();
+    }
+  }
+}
+
+TEST(ChaosRecoveryTest, CrashRecoveryResumesAndBitMatches) {
+  const int seeds = EnvInt("PIVOT_CHAOS_RECOVERY_SEEDS", 6);
+  const Dataset data = TinyClassification();
+  std::vector<Bytes> baseline;
+  ASSERT_TRUE(
+      TrainAndFingerprint(data, RecoveryConfig(), &baseline).ok());
+  for (int s = 0; s < seeds; ++s) {
+    const uint64_t seed = 0x1F000000ULL + static_cast<uint64_t>(s);
+    FederationConfig cfg = RecoveryConfig();
+    cfg.fault_plan =
+        FaultPlan::FromSeed(seed, kParties, kFatalMs, /*max_op=*/40,
+                            /*max_msg=*/12, FaultMix::kCrashRecovery);
+    cfg.checkpoint = std::make_shared<FederationCheckpoint>(kParties);
+    cfg.max_restarts = 2;
+    std::vector<Bytes> prints;
+    const auto start = std::chrono::steady_clock::now();
+    const Status st = TrainAndFingerprint(data, cfg, &prints);
+    // Restarts redo work, so allow a couple of deadlines.
+    EXPECT_LT(ElapsedMs(start), 3.0 * DeadlineMs()) << "seed " << seed;
+    ASSERT_TRUE(st.ok()) << "seed " << seed << ": " << st.ToString()
+                         << "\nplan: " << cfg.fault_plan.ToString();
+    for (int p = 0; p < kParties; ++p) {
+      EXPECT_EQ(prints[p], baseline[p])
+          << "party " << p << " diverged under seed " << seed
+          << "\nplan: " << cfg.fault_plan.ToString();
+    }
+  }
+}
+
+// A fault that survives retransmission (fatal corrupt) must exhaust the
+// retry budget and abort within the tier-1 latency bound — recovery
+// machinery must not turn a persistent fault into a slow failure.
+TEST(ChaosRecoveryTest, BudgetExhaustionAbortsWithinDeadline) {
+  const Dataset data = TinyClassification();
+  FederationConfig cfg = RecoveryConfig();
+  cfg.net.retry_budget = 4;
+  FaultAction corrupt;
+  corrupt.kind = FaultKind::kCorrupt;
+  corrupt.party = 1;
+  corrupt.peer = -1;
+  corrupt.nth = 2;
+  corrupt.bit = 13;
+  corrupt.fatal = true;
+  cfg.fault_plan.Add(corrupt);
+  std::vector<Bytes> prints;
+  const auto start = std::chrono::steady_clock::now();
+  const Status st = TrainAndFingerprint(data, cfg, &prints);
+  EXPECT_LT(ElapsedMs(start), DeadlineMs());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("retry budget exhausted"), std::string::npos)
+      << st.ToString();
+  ExpectNamesParty(st, /*seed=*/0);
 }
 
 // With the fault layer compiled in but no plan installed, everything

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/bytes.h"
+#include "common/crc32.h"
 #include "common/fixed_point.h"
 #include "common/op_counters.h"
 #include "common/rng.h"
@@ -203,6 +205,70 @@ TEST(OpCountersTest, SnapshotDelta) {
   EXPECT_EQ(delta.bytes, 100u);
   EXPECT_EQ(delta.messages, 1u);
   EXPECT_NE(delta.ToString().find("Ce=3"), std::string::npos);
+}
+
+TEST(OpCountersTest, CheckpointTimingsAccumulate) {
+  OpCounters::Global().Reset();
+  OpSnapshot before = OpSnapshot::Take();
+  OpCounters::Global().AddCheckpointWrite(120);
+  OpCounters::Global().AddCheckpointWrite(80);
+  OpCounters::Global().AddCheckpointRestore(500);
+  OpSnapshot delta = OpSnapshot::Take().Delta(before);
+  EXPECT_EQ(delta.ckpt_writes, 2u);
+  EXPECT_EQ(delta.ckpt_write_us, 200u);
+  EXPECT_EQ(delta.ckpt_restores, 1u);
+  EXPECT_EQ(delta.ckpt_restore_us, 500u);
+  EXPECT_NE(delta.ToString().find("ckpt_writes=2"), std::string::npos);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // IEEE CRC-32 reference values ("check" value from the CRC catalogue).
+  const uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(digits, sizeof(digits)), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0x00000000u);
+  const uint8_t a[] = {'a'};
+  EXPECT_EQ(Crc32(a, 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  Bytes data(257);
+  Rng rng(7);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.NextU64());
+  const uint32_t oneshot = Crc32(data.data(), data.size());
+  uint32_t crc = 0;
+  crc = Crc32Update(crc, data.data(), 100);
+  crc = Crc32Update(crc, data.data() + 100, 57);
+  crc = Crc32Update(crc, data.data() + 157, 100);
+  EXPECT_EQ(crc, oneshot);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  Bytes data(64, 0x5A);
+  const uint32_t clean = Crc32(data.data(), data.size());
+  data[20] ^= 1u << 3;
+  EXPECT_NE(Crc32(data.data(), data.size()), clean);
+}
+
+TEST(RngStateTest, SaveRestoreReplaysStream) {
+  Rng rng(0x12345);
+  for (int i = 0; i < 10; ++i) (void)rng.NextU64();
+  const RngState state = rng.SaveState();
+  std::vector<uint64_t> expect;
+  for (int i = 0; i < 8; ++i) expect.push_back(rng.NextU64());
+  const double g = rng.NextGaussian();
+
+  rng.RestoreState(state);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(rng.NextU64(), expect[i]) << i;
+  EXPECT_EQ(rng.NextGaussian(), g);
+}
+
+TEST(RngStateTest, RestoreIntoDifferentInstanceMatches) {
+  Rng a(99);
+  (void)a.NextGaussian();  // exercise the cached-gaussian slot
+  Rng b(1);
+  b.RestoreState(a.SaveState());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_EQ(a.NextGaussian(), b.NextGaussian());
 }
 
 }  // namespace

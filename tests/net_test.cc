@@ -12,6 +12,24 @@
 namespace pivot {
 namespace {
 
+// Raw (unframed) channels: the PR-2 semantics where injected faults hit
+// the application payload directly.
+NetConfig RawConfig(int timeout_ms) {
+  NetConfig c;
+  c.recv_timeout_ms = timeout_ms;
+  c.reliable = false;
+  return c;
+}
+
+// Reliable channels with a fast backoff so recovery tests finish quickly.
+NetConfig FastReliableConfig(int timeout_ms) {
+  NetConfig c;
+  c.recv_timeout_ms = timeout_ms;
+  c.backoff_base_ms = 2;
+  c.backoff_max_ms = 20;
+  return c;
+}
+
 TEST(NetworkTest, PointToPoint) {
   InMemoryNetwork net(2);
   Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
@@ -222,7 +240,7 @@ TEST(FaultPlanTest, DeterministicFromSeed) {
 }
 
 TEST(FaultPlanTest, DropCausesRecvTimeout) {
-  InMemoryNetwork net(2, /*recv_timeout_ms=*/50);
+  InMemoryNetwork net(2, RawConfig(/*timeout_ms=*/50));
   FaultPlan plan;
   plan.Add({FaultKind::kDrop, /*party=*/0, /*peer=*/1, /*nth=*/0, 0, 0});
   net.set_fault_plan(std::move(plan));
@@ -239,7 +257,7 @@ TEST(FaultPlanTest, DropCausesRecvTimeout) {
 }
 
 TEST(FaultPlanTest, DuplicateDeliversTwice) {
-  InMemoryNetwork net(2, /*recv_timeout_ms=*/5'000);
+  InMemoryNetwork net(2, RawConfig(/*timeout_ms=*/5'000));
   FaultPlan plan;
   plan.Add({FaultKind::kDuplicate, 0, 1, 0, 0, 0});
   net.set_fault_plan(std::move(plan));
@@ -275,7 +293,7 @@ TEST(FaultPlanTest, CrashAbortsPeersWithPartyName) {
 }
 
 TEST(FaultPlanTest, TruncateShortensMessage) {
-  InMemoryNetwork net(2, /*recv_timeout_ms=*/5'000);
+  InMemoryNetwork net(2, RawConfig(/*timeout_ms=*/5'000));
   FaultPlan plan;
   plan.Add({FaultKind::kTruncate, 0, 1, 0, 0, 0});
   net.set_fault_plan(std::move(plan));
@@ -286,6 +304,241 @@ TEST(FaultPlanTest, TruncateShortensMessage) {
     return Status::Ok();
   });
   EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+// ----- Reliable channel layer -----------------------------------------
+
+// A transiently dropped frame is recovered via probe NACK + retransmit:
+// the receiver's Recv returns the intact payload and the run completes.
+TEST(ReliableChannelTest, TransientDropMaskedByRetransmit) {
+  InMemoryNetwork net(2, FastReliableConfig(/*timeout_ms=*/10'000));
+  FaultPlan plan;
+  plan.Add({FaultKind::kDrop, /*party=*/0, /*peer=*/1, /*nth=*/0, 0, 0});
+  net.set_fault_plan(std::move(plan));
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) {
+      PIVOT_RETURN_IF_ERROR(ep.Send(1, Bytes{42}));
+      // Stay alive in Recv so the NACK from party 1 gets serviced.
+      PIVOT_ASSIGN_OR_RETURN(Bytes ack, ep.Recv(1));
+      if (ack != Bytes{1}) return Status::Internal("bad ack");
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
+      if (msg != Bytes{42}) return Status::Internal("bad payload");
+      PIVOT_RETURN_IF_ERROR(ep.Send(0, Bytes{1}));
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  const NetworkStats stats = net.stats();
+  EXPECT_GE(stats.retransmits, 1u);
+  EXPECT_GE(stats.nacks_sent, 1u);
+  // Logical counters are unaffected by the recovery traffic.
+  EXPECT_EQ(stats.messages_sent, 2u);
+  EXPECT_EQ(stats.bytes_sent, 2u);
+}
+
+// A duplicated frame is delivered once; the second copy is suppressed by
+// the sequence check and a following message still arrives in order.
+TEST(ReliableChannelTest, DuplicateSuppressed) {
+  InMemoryNetwork net(2, FastReliableConfig(/*timeout_ms=*/10'000));
+  FaultPlan plan;
+  plan.Add({FaultKind::kDuplicate, /*party=*/0, /*peer=*/1, /*nth=*/0, 0, 0});
+  net.set_fault_plan(std::move(plan));
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) {
+      PIVOT_RETURN_IF_ERROR(ep.Send(1, Bytes{7}));
+      PIVOT_RETURN_IF_ERROR(ep.Send(1, Bytes{8}));
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(Bytes a, ep.Recv(0));
+      PIVOT_ASSIGN_OR_RETURN(Bytes b, ep.Recv(0));
+      if (a != Bytes{7} || b != Bytes{8}) {
+        return Status::Internal("duplicate leaked into the stream");
+      }
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GE(net.stats().duplicates_suppressed, 1u);
+}
+
+// A transiently corrupted frame fails its CRC; the receiver NACKs and the
+// retransmission (not re-faulted) delivers the original bytes.
+TEST(ReliableChannelTest, ChecksumMismatchTriggersRetransmit) {
+  InMemoryNetwork net(2, FastReliableConfig(/*timeout_ms=*/10'000));
+  FaultPlan plan;
+  plan.Add({FaultKind::kCorrupt, /*party=*/0, /*peer=*/1, /*nth=*/0, 0,
+            /*bit=*/37});
+  net.set_fault_plan(std::move(plan));
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) {
+      PIVOT_RETURN_IF_ERROR(ep.Send(1, Bytes(64, 0xAB)));
+      PIVOT_ASSIGN_OR_RETURN(Bytes ack, ep.Recv(1));
+      (void)ack;
+    } else {
+      PIVOT_ASSIGN_OR_RETURN(Bytes msg, ep.Recv(0));
+      if (msg != Bytes(64, 0xAB)) return Status::Internal("payload damaged");
+      PIVOT_RETURN_IF_ERROR(ep.Send(0, Bytes{1}));
+    }
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  const NetworkStats stats = net.stats();
+  EXPECT_GE(stats.corrupt_frames, 1u);
+  EXPECT_GE(stats.retransmits, 1u);
+}
+
+// A NACK for a frame that has been evicted from the bounded resend buffer
+// is unrecoverable: the sender fails with a ProtocolError naming the
+// window, and the mesh aborts.
+TEST(ReliableChannelTest, ResendBufferEvictionAborts) {
+  NetConfig cfg = FastReliableConfig(/*timeout_ms=*/10'000);
+  cfg.resend_buffer_frames = 2;
+  InMemoryNetwork net(2, cfg);
+  FaultPlan plan;
+  plan.Add({FaultKind::kDrop, /*party=*/0, /*peer=*/1, /*nth=*/0, 0, 0});
+  net.set_fault_plan(std::move(plan));
+  Status st = RunParties(net, [](int id, Endpoint& ep) -> Status {
+    if (id == 0) {
+      // Push seq 0..7; the 2-frame window evicts the dropped seq 0 long
+      // before the receiver's NACK for it can arrive.
+      for (int i = 0; i < 8; ++i) {
+        PIVOT_RETURN_IF_ERROR(ep.Send(1, Bytes{static_cast<uint8_t>(i)}));
+      }
+      Result<Bytes> r = ep.Recv(1);  // services the doomed NACK
+      return r.ok() ? Status::Internal("expected eviction error") : r.status();
+    }
+    // Give the sender time to overrun its resend window first.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    for (int i = 0; i < 8; ++i) {
+      Result<Bytes> r = ep.Recv(0);
+      if (!r.ok()) return r.status();
+    }
+    return Status::Internal("dropped frame was delivered");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("resend"), std::string::npos) << st.ToString();
+}
+
+// A fatal corrupt fault damages every retransmission too; the receiver's
+// evidence-backed retry budget runs out and the failure escalates through
+// the abort path, reaching peers as kAborted.
+TEST(ReliableChannelTest, RetryBudgetExhaustionEscalatesToAbort) {
+  NetConfig cfg = FastReliableConfig(/*timeout_ms=*/30'000);
+  cfg.retry_budget = 3;
+  InMemoryNetwork net(2, cfg);
+  FaultPlan plan;
+  FaultAction corrupt;
+  corrupt.kind = FaultKind::kCorrupt;
+  corrupt.party = 0;
+  corrupt.peer = 1;
+  corrupt.nth = 0;
+  corrupt.bit = 11;
+  corrupt.fatal = true;
+  plan.Add(corrupt);
+  net.set_fault_plan(std::move(plan));
+  std::mutex mu;
+  std::vector<Status> per_party(2);
+  Status st = RunParties(net, [&](int id, Endpoint& ep) -> Status {
+    Status out;
+    if (id == 0) {
+      Status s = ep.Send(1, Bytes(32, 5));
+      if (!s.ok()) {
+        out = s;
+      } else {
+        Result<Bytes> r = ep.Recv(1);  // blocks servicing NACKs until abort
+        out = r.ok() ? Status::Internal("expected abort") : r.status();
+      }
+    } else {
+      Result<Bytes> r = ep.Recv(0);
+      out = r.ok() ? Status::Internal("expected budget exhaustion")
+                   : r.status();
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    per_party[id] = out;
+    return out;
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("retry budget exhausted"), std::string::npos)
+      << st.ToString();
+  // The sender, blocked in Recv, is woken by the abort.
+  EXPECT_EQ(per_party[0].code(), StatusCode::kAborted)
+      << per_party[0].ToString();
+  EXPECT_GE(net.stats().corrupt_frames, 3u);
+}
+
+TEST(NetConfigTest, FromEnvOverridesFields) {
+  setenv("PIVOT_NET_RECV_TIMEOUT_MS", "1234", 1);
+  setenv("PIVOT_NET_RETRY_BUDGET", "5", 1);
+  setenv("PIVOT_NET_RELIABLE", "0", 1);
+  setenv("PIVOT_NET_BACKOFF_BASE_MS", "3", 1);
+  setenv("PIVOT_NET_BACKOFF_MAX_MS", "77", 1);
+  setenv("PIVOT_NET_RESEND_FRAMES", "9", 1);
+  const NetConfig cfg = NetConfig::FromEnv();
+  unsetenv("PIVOT_NET_RECV_TIMEOUT_MS");
+  unsetenv("PIVOT_NET_RETRY_BUDGET");
+  unsetenv("PIVOT_NET_RELIABLE");
+  unsetenv("PIVOT_NET_BACKOFF_BASE_MS");
+  unsetenv("PIVOT_NET_BACKOFF_MAX_MS");
+  unsetenv("PIVOT_NET_RESEND_FRAMES");
+  EXPECT_EQ(cfg.recv_timeout_ms, 1234);
+  EXPECT_EQ(cfg.retry_budget, 5);
+  EXPECT_FALSE(cfg.reliable);
+  EXPECT_EQ(cfg.backoff_base_ms, 3);
+  EXPECT_EQ(cfg.backoff_max_ms, 77);
+  EXPECT_EQ(cfg.resend_buffer_frames, 9);
+  // Unset variables leave the base untouched.
+  const NetConfig plain = NetConfig::FromEnv();
+  EXPECT_TRUE(plain.reliable);
+}
+
+TEST(FaultPlanTest, TransientOnlyMixHasNoFatalActions) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    const FaultPlan plan = FaultPlan::FromSeed(
+        seed, 3, /*fatal_ms=*/1000, 40, 12, FaultMix::kTransientOnly);
+    for (const FaultAction& a : plan.actions()) {
+      EXPECT_FALSE(a.fatal) << a.ToString();
+      EXPECT_NE(a.kind, FaultKind::kCrash) << a.ToString();
+    }
+  }
+}
+
+TEST(FaultPlanTest, FatalOnlyMixIsAllFatalMessageFaults) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    const FaultPlan plan = FaultPlan::FromSeed(
+        seed, 3, /*fatal_ms=*/1000, 40, 12, FaultMix::kFatalOnly);
+    EXPECT_FALSE(plan.empty());
+    for (const FaultAction& a : plan.actions()) {
+      EXPECT_TRUE(a.fatal) << a.ToString();
+      EXPECT_NE(a.kind, FaultKind::kDuplicate) << a.ToString();
+    }
+  }
+}
+
+TEST(FaultPlanTest, CrashRecoveryMixHasExactlyOneTransientCrash) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    const FaultPlan plan = FaultPlan::FromSeed(
+        seed, 3, /*fatal_ms=*/1000, 40, 12, FaultMix::kCrashRecovery);
+    int crashes = 0;
+    for (const FaultAction& a : plan.actions()) {
+      EXPECT_FALSE(a.fatal) << a.ToString();
+      if (a.kind == FaultKind::kCrash) ++crashes;
+    }
+    EXPECT_EQ(crashes, 1) << plan.ToString();
+  }
+}
+
+TEST(FaultPlanTest, WithoutFiredTransientKeepsFatalAndUnfired) {
+  FaultPlan plan;
+  FaultAction fatal_drop;
+  fatal_drop.kind = FaultKind::kDrop;
+  fatal_drop.fatal = true;
+  plan.Add(fatal_drop);                                    // index 0
+  plan.Add({FaultKind::kCorrupt, 0, 1, 2, 0, 0});          // index 1
+  plan.Add({FaultKind::kDuplicate, 1, 0, 3, 0, 0});        // index 2
+  const FaultPlan pruned = plan.WithoutFiredTransient(/*fired=*/0b010);
+  ASSERT_EQ(pruned.actions().size(), 2u);
+  EXPECT_TRUE(pruned.actions()[0].fatal);
+  EXPECT_EQ(pruned.actions()[1].kind, FaultKind::kDuplicate);
 }
 
 TEST(CodecTest, BigIntVectorRoundTrip) {

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/op_counters.h"
 #include "data/dataset.h"
 #include "pivot/prediction.h"
 #include "pivot/runner.h"
@@ -91,6 +92,9 @@ int RunTrain(const Args& args) {
   cfg.params.tree.max_splits = args.GetInt("splits", 8);
   const bool enhanced = args.Get("protocol", "basic") == "enhanced";
   cfg.params.key_bits = args.GetInt("key-bits", enhanced ? 512 : 256);
+  // Reliable-channel tunables (timeouts, retry budget, backoff) are
+  // environment-overridable; see net/network.h.
+  cfg.net = NetConfig::FromEnv(cfg.net);
 
   std::printf("training a %s-protocol Pivot tree: %zu samples, %zu features, "
               "%d parties...\n",
@@ -100,6 +104,7 @@ int RunTrain(const Args& args) {
   std::mutex mu;
   int internal_nodes = 0;
   NetworkStats net_stats;
+  const OpSnapshot ops_before = OpSnapshot::Take();
   Status st = RunFederation(data.value(), cfg, [&](PartyContext& ctx) -> Status {
     TrainTreeOptions opts;
     opts.protocol = enhanced ? Protocol::kEnhanced : Protocol::kBasic;
@@ -123,6 +128,21 @@ int RunTrain(const Args& args) {
               static_cast<double>(net_stats.bytes_sent) / 1e6,
               static_cast<unsigned long long>(net_stats.messages_sent),
               static_cast<unsigned long long>(net_stats.rounds));
+  std::printf("reliability: %llu retransmits, %llu duplicates suppressed, "
+              "%llu corrupt frames, %llu nacks\n",
+              static_cast<unsigned long long>(net_stats.retransmits),
+              static_cast<unsigned long long>(net_stats.duplicates_suppressed),
+              static_cast<unsigned long long>(net_stats.corrupt_frames),
+              static_cast<unsigned long long>(net_stats.nacks_sent));
+  const OpSnapshot ops = OpSnapshot::Take().Delta(ops_before);
+  if (ops.ckpt_writes > 0 || ops.ckpt_restores > 0) {
+    std::printf("checkpointing: %llu writes (%llu us), %llu restores "
+                "(%llu us)\n",
+                static_cast<unsigned long long>(ops.ckpt_writes),
+                static_cast<unsigned long long>(ops.ckpt_write_us),
+                static_cast<unsigned long long>(ops.ckpt_restores),
+                static_cast<unsigned long long>(ops.ckpt_restore_us));
+  }
   return 0;
 }
 

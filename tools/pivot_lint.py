@@ -31,6 +31,14 @@ Rules (see DESIGN.md, "Correctness tooling"):
                     mesh forever when a peer dies (see DESIGN.md, "Fault
                     model"). Use wait_for/wait_until or Endpoint Recv.
 
+  unbounded-retry   an unbounded loop (while (true) / for (;;)) that talks
+                    about retrying (retry/retransmit/resend/backoff/nack)
+                    with no budget in scope (retry_budget, a deadline, or
+                    max_restarts) in src/. Recovery loops must be bounded
+                    so a persistent fault exhausts its budget and
+                    escalates to the abort path instead of spinning
+                    forever (see DESIGN.md, "Fault model").
+
 Usage:
   tools/pivot_lint.py [ROOT]            lint the whole tree (default: cwd)
   tools/pivot_lint.py ROOT --files F... lint specific files only
@@ -62,6 +70,11 @@ RE_LINE_COMMENT = re.compile(r"//.*$")
 RE_UNBOUNDED_WAIT = re.compile(
     r"(?:\.|->)wait\s*\(|(?:\.|->)Pop\s*\(|MessageQueue::Pop\b"
 )
+RE_UNBOUNDED_LOOP = re.compile(r"while\s*\(\s*(?:true|1)\s*\)|for\s*\(\s*;\s*;")
+RE_RETRY_KEYWORD = re.compile(
+    r"retry|retransmit|resend|backoff|nack", re.IGNORECASE)
+RE_RETRY_BOUND = re.compile(
+    r"budget|deadline|max_restarts", re.IGNORECASE)
 
 
 class Finding:
@@ -175,12 +188,42 @@ def check_unbounded_wait(rel, lines, findings):
                 "recv_timeout_ms can wake it"))
 
 
+def check_unbounded_retry(rel, lines, findings):
+    if not rel.startswith("src/"):
+        return
+    # Segment the file at column-0 '}' (function-level approximation, as
+    # in check_unchecked_value) and flag segments that contain an
+    # unbounded loop and retry vocabulary but never reference a bound.
+    boundaries = [0]
+    for i, line in enumerate(lines, 1):
+        if line.startswith("}"):
+            boundaries.append(i)
+    boundaries.append(len(lines))
+    for start, end in zip(boundaries, boundaries[1:]):
+        seg = [strip_comment(l) for l in lines[start:end]]
+        loop_line = None
+        for off, code in enumerate(seg):
+            if RE_UNBOUNDED_LOOP.search(code):
+                loop_line = start + off + 1
+                break
+        if loop_line is None:
+            continue
+        text = "\n".join(seg)
+        if RE_RETRY_KEYWORD.search(text) and not RE_RETRY_BOUND.search(text):
+            findings.append(Finding(
+                rel, loop_line, "unbounded-retry",
+                "unbounded retry/backoff loop with no budget in scope; "
+                "bound it (retry_budget, a deadline, or max_restarts) so a "
+                "persistent fault escalates instead of spinning forever"))
+
+
 CHECKS = (
     check_banned_random,
     check_secret_print,
     check_include_guard,
     check_unchecked_value,
     check_unbounded_wait,
+    check_unbounded_retry,
 )
 
 

@@ -216,6 +216,94 @@ class UnboundedWaitTest(unittest.TestCase):
         self.assertEqual(findings, [])
 
 
+class UnboundedRetryTest(unittest.TestCase):
+    def test_flags_while_true_retry_without_budget(self):
+        code = ("void F() {\n"
+                "  while (true) {\n"
+                "    if (Retransmit()) break;\n"
+                "    SleepBackoff();\n"
+                "  }\n"
+                "}\n")
+        findings = run_lint({"src/net/network.cc": code})
+        self.assertEqual(rules(findings), ["unbounded-retry"])
+
+    def test_flags_forever_loop_with_nack(self):
+        code = ("void F() {\n"
+                "  for (;;) {\n"
+                "    SendNack(peer, seq);\n"
+                "  }\n"
+                "}\n")
+        findings = run_lint({"src/net/network.cc": code})
+        self.assertEqual(rules(findings), ["unbounded-retry"])
+
+    def test_accepts_loop_referencing_budget(self):
+        code = ("void F() {\n"
+                "  for (;;) {\n"
+                "    if (++evidence > cfg.retry_budget) return;\n"
+                "    SendNack(peer, seq);\n"
+                "  }\n"
+                "}\n")
+        findings = run_lint({"src/net/network.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_accepts_loop_referencing_deadline(self):
+        code = ("void F() {\n"
+                "  while (true) {\n"
+                "    if (Now() > deadline) return;\n"
+                "    Retransmit();\n"
+                "  }\n"
+                "}\n")
+        findings = run_lint({"src/net/network.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_accepts_unbounded_loop_without_retry_vocabulary(self):
+        code = ("void F() {\n"
+                "  while (true) {\n"
+                "    Step();\n"
+                "  }\n"
+                "}\n")
+        findings = run_lint({"src/net/network.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_bounded_for_loop_not_flagged(self):
+        code = ("void F() {\n"
+                "  for (int i = 0; i < 3; ++i) {\n"
+                "    Retransmit();\n"
+                "  }\n"
+                "}\n")
+        findings = run_lint({"src/net/network.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_budget_in_other_function_does_not_count(self):
+        code = ("void G() {\n"
+                "  if (n > retry_budget) return;\n"
+                "}\n"
+                "void F() {\n"
+                "  while (true) {\n"
+                "    Retransmit();\n"
+                "  }\n"
+                "}\n")
+        findings = run_lint({"src/net/network.cc": code})
+        self.assertEqual(rules(findings), ["unbounded-retry"])
+        self.assertEqual(findings[0].line, 5)
+
+    def test_tests_and_tools_exempt(self):
+        code = "while (true) { Retransmit(); }\n"
+        findings = run_lint({"tests/x_test.cc": code,
+                             "tools/cli.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_ignores_commented_retry(self):
+        code = ("void F() {\n"
+                "  while (true) {\n"
+                "    // no retransmit here, just polling\n"
+                "    Step();\n"
+                "  }\n"
+                "}\n")
+        findings = run_lint({"src/net/network.cc": code})
+        self.assertEqual(findings, [])
+
+
 class ExpectedGuardTest(unittest.TestCase):
     def test_mapping(self):
         self.assertEqual(pivot_lint.expected_guard("src/net/network.h"),
