@@ -8,8 +8,14 @@
 // paper-scale parameters (long-running).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "baselines/npd_dt.h"
 #include "baselines/spdz_dt.h"
@@ -26,14 +32,115 @@ namespace bench {
 
 struct BenchArgs {
   bool full = false;
+  // CI smoke mode: shrink the workload until the bench finishes in
+  // seconds; results are for plumbing validation, not measurement.
+  bool tiny = false;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) args.full = true;
+    if (std::strcmp(argv[i], "--tiny") == 0) args.tiny = true;
   }
   return args;
+}
+
+// ----- JSON result emission ------------------------------------------------
+// Every bench can persist its measurements as one JSON object in
+// bench_results/<name>.json (directory overridable with
+// PIVOT_BENCH_OUT_DIR) so runs are diffable and machine-readable. The
+// object carries the host's hardware_threads so wall-clock numbers from
+// core-starved machines (e.g. 1-core CI) are interpretable.
+
+// Flat ordered string->literal JSON object builder; enough for bench rows
+// (numbers and strings, no nesting).
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    std::string escaped;
+    for (char c : v) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    return SetRaw(key, "\"" + escaped + "\"");
+  }
+  JsonObject& Set(const std::string& key, const char* v) {
+    return Set(key, std::string(v));
+  }
+  JsonObject& Set(const std::string& key, double v) {
+    std::ostringstream os;
+    os << v;
+    return SetRaw(key, os.str());
+  }
+  JsonObject& Set(const std::string& key, uint64_t v) {
+    return SetRaw(key, std::to_string(v));
+  }
+  JsonObject& Set(const std::string& key, int v) {
+    return SetRaw(key, std::to_string(v));
+  }
+
+  std::string Render(const std::string& indent) const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      out += (i == 0 ? "\n" : ",\n");
+      out += indent + "  \"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "\n" + indent + "}";
+    return out;
+  }
+
+  // Standard per-row operation counts (cost-model + kernel counters).
+  JsonObject& SetOps(const OpSnapshot& ops) {
+    Set("ciphertext_ops", ops.ce);
+    Set("threshold_decryptions", ops.cd);
+    Set("secure_ops", ops.cs);
+    Set("pool_tasks", ops.pool_tasks);
+    Set("batch_calls", ops.batch_calls);
+    Set("enc_pool_hits", ops.enc_pool_hits);
+    Set("enc_pool_misses", ops.enc_pool_misses);
+    return *this;
+  }
+
+ private:
+  JsonObject& SetRaw(const std::string& key, std::string literal) {
+    fields_.emplace_back(key, std::move(literal));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// Writes `{...meta, "rows": [...]}` to <out-dir>/<name>.json. Returns
+// false (and warns on stderr) on I/O failure; benches treat the JSON as
+// best-effort and still print their human-readable tables.
+inline bool WriteBenchJson(const std::string& name, JsonObject meta,
+                           const std::vector<JsonObject>& rows) {
+  const char* env = std::getenv("PIVOT_BENCH_OUT_DIR");
+  const std::filesystem::path dir = env != nullptr ? env : "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path = dir / (name + ".json");
+
+  meta.Set("bench", name);
+  meta.Set("hardware_threads",
+           static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  std::string body = meta.Render("");
+  body.erase(body.rfind('\n'));  // drop the closing "\n}" ...
+  body += ",\n  \"rows\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    body += (i == 0 ? "\n    " : ",\n    ") + rows[i].Render("    ");
+  }
+  body += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.string().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("# results written to %s\n", path.string().c_str());
+  return true;
 }
 
 // The evaluated parameters of the paper's Table 4 (defaults scaled down;
@@ -125,7 +232,7 @@ inline Result<TrainResult> TimeTreeTraining(const Dataset& data,
                                             FederationConfig cfg,
                                             System system) {
   if (system == System::kPivotBasicPP || system == System::kPivotEnhancedPP) {
-    cfg.params.decryption_threads = 6;
+    cfg.params.crypto_threads = 6;
   }
   if (system == System::kPivotEnhanced || system == System::kPivotEnhancedPP) {
     cfg.params.key_bits = std::max(cfg.params.key_bits, 384);

@@ -599,16 +599,16 @@ BigInt MontgomeryContext::ModMul(const BigInt& a, const BigInt& b) const {
   return FromMontgomery(MontMul(ToMontgomery(a), ToMontgomery(b)));
 }
 
-BigInt MontgomeryContext::ModExp(const BigInt& base, const BigInt& exp) const {
-  PIVOT_CHECK_MSG(!exp.IsNegative(), "negative exponent");
-  if (exp.IsZero()) return BigInt(1).Mod(modulus_);
-
-  const BigInt mbase = ToMontgomery(base.Mod(modulus_));
-  // Fixed 4-bit window.
-  BigInt table[16];
+void MontgomeryContext::BuildWindowTable(const BigInt& mbase,
+                                         BigInt table[16]) const {
   table[0] = r_mod_;  // Montgomery representation of 1
   for (int i = 1; i < 16; ++i) table[i] = MontMul(table[i - 1], mbase);
+}
 
+BigInt MontgomeryContext::MontExpWithTable(const BigInt table[16],
+                                           const BigInt& exp) const {
+  PIVOT_CHECK_MSG(!exp.IsNegative(), "negative exponent");
+  if (exp.IsZero()) return r_mod_;
   const int bits = exp.BitLength();
   int top = ((bits + 3) / 4) * 4;  // round up to a window boundary
   BigInt acc = r_mod_;
@@ -618,7 +618,20 @@ BigInt MontgomeryContext::ModExp(const BigInt& base, const BigInt& exp) const {
                  (exp.TestBit(pos + 1) << 1) | exp.TestBit(pos);
     if (window) acc = MontMul(acc, table[window]);
   }
-  return FromMontgomery(acc);
+  return acc;
+}
+
+BigInt MontgomeryContext::MontExp(const BigInt& mbase, const BigInt& exp) const {
+  BigInt table[16];
+  BuildWindowTable(mbase, table);
+  return MontExpWithTable(table, exp);
+}
+
+BigInt MontgomeryContext::ModExp(const BigInt& base, const BigInt& exp) const {
+  PIVOT_CHECK_MSG(!exp.IsNegative(), "negative exponent");
+  if (exp.IsZero()) return BigInt(1).Mod(modulus_);
+  const BigInt mbase = ToMontgomery(base.Mod(modulus_));
+  return FromMontgomery(MontExp(mbase, exp));
 }
 
 }  // namespace pivot

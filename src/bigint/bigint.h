@@ -144,12 +144,30 @@ class MontgomeryContext {
   // base^exp mod m with a fixed 4-bit window; base in [0, m), exp >= 0.
   BigInt ModExp(const BigInt& base, const BigInt& exp) const;
 
- private:
+  // ----- Montgomery-domain primitives ------------------------------------
+  // Exposed so batch kernels can keep long chains of multiplications in
+  // the Montgomery domain and convert out once at the end (the per-term
+  // To/FromMontgomery round-trip is the dominant cost of a homomorphic
+  // dot product; see crypto/paillier.cc). A "mont" value is a·R mod m.
+
   BigInt ToMontgomery(const BigInt& a) const;
   BigInt FromMontgomery(const BigInt& a) const;
   // Montgomery product of two Montgomery-domain values.
-  BigInt Redc(const BigInt& t) const;
   BigInt MontMul(const BigInt& a, const BigInt& b) const;
+  // Montgomery representation of 1 (R mod m), the neutral accumulator.
+  const BigInt& MontOne() const { return r_mod_; }
+  // base^exp with Montgomery-domain input AND output: the caller converts
+  // in once, chains MontMul/MontExp freely, and converts out once.
+  // A 16-entry window table of `mbase` may be supplied (and reused across
+  // calls) via MontExpWithTable; BuildWindowTable fills table[i] =
+  // mbase^i for i in [0, 16).
+  BigInt MontExp(const BigInt& mbase, const BigInt& exp) const;
+  void BuildWindowTable(const BigInt& mbase, BigInt table[16]) const;
+  BigInt MontExpWithTable(const BigInt table[16], const BigInt& exp) const;
+
+ private:
+  // Montgomery reduction of a double-width product.
+  BigInt Redc(const BigInt& t) const;
 
   BigInt modulus_;
   size_t k_;            // number of limbs in modulus

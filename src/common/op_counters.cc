@@ -20,6 +20,10 @@ void OpCounters::Reset() {
   ckpt_write_us_.store(0);
   ckpt_restores_.store(0);
   ckpt_restore_us_.store(0);
+  pool_tasks_.store(0);
+  batch_calls_.store(0);
+  enc_pool_hits_.store(0);
+  enc_pool_misses_.store(0);
 }
 
 OpSnapshot OpSnapshot::Take() {
@@ -35,6 +39,10 @@ OpSnapshot OpSnapshot::Take() {
   s.ckpt_write_us = g.checkpoint_write_micros();
   s.ckpt_restores = g.checkpoint_restores();
   s.ckpt_restore_us = g.checkpoint_restore_micros();
+  s.pool_tasks = g.pool_tasks();
+  s.batch_calls = g.batch_calls();
+  s.enc_pool_hits = g.enc_pool_hits();
+  s.enc_pool_misses = g.enc_pool_misses();
   return s;
 }
 
@@ -50,6 +58,10 @@ OpSnapshot OpSnapshot::Delta(const OpSnapshot& earlier) const {
   d.ckpt_write_us = ckpt_write_us - earlier.ckpt_write_us;
   d.ckpt_restores = ckpt_restores - earlier.ckpt_restores;
   d.ckpt_restore_us = ckpt_restore_us - earlier.ckpt_restore_us;
+  d.pool_tasks = pool_tasks - earlier.pool_tasks;
+  d.batch_calls = batch_calls - earlier.batch_calls;
+  d.enc_pool_hits = enc_pool_hits - earlier.enc_pool_hits;
+  d.enc_pool_misses = enc_pool_misses - earlier.enc_pool_misses;
   return d;
 }
 
@@ -57,6 +69,10 @@ std::string OpSnapshot::ToString() const {
   std::ostringstream os;
   os << "Ce=" << ce << " Cd=" << cd << " Cs=" << cs << " Cc=" << cc
      << " bytes=" << bytes << " msgs=" << messages;
+  if (pool_tasks > 0 || batch_calls > 0) {
+    os << " pool_tasks=" << pool_tasks << " batch_calls=" << batch_calls
+       << " enc_pool=" << enc_pool_hits << "h/" << enc_pool_misses << "m";
+  }
   if (ckpt_writes > 0 || ckpt_restores > 0) {
     os << " ckpt_writes=" << ckpt_writes << "(" << ckpt_write_us << "us)"
        << " ckpt_restores=" << ckpt_restores << "(" << ckpt_restore_us

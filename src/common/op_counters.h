@@ -36,6 +36,22 @@ class OpCounters {
     ckpt_restores_.fetch_add(1, std::memory_order_relaxed);
     ckpt_restore_us_.fetch_add(micros, std::memory_order_relaxed);
   }
+  // Parallel crypto kernel accounting (common/thread_pool.h and
+  // crypto/paillier_batch.h): tasks scheduled on the shared pool, batch
+  // kernel invocations, and offline encryption-randomness pool drains
+  // (hit = pair was precomputed, miss = computed inline on demand).
+  void AddPoolTask(uint64_t n = 1) {
+    pool_tasks_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddBatchCall(uint64_t n = 1) {
+    batch_calls_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddEncPoolHit(uint64_t n = 1) {
+    enc_pool_hits_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddEncPoolMiss(uint64_t n = 1) {
+    enc_pool_misses_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   uint64_t ciphertext_ops() const { return ce_.load(std::memory_order_relaxed); }
   uint64_t threshold_decryptions() const { return cd_.load(std::memory_order_relaxed); }
@@ -55,6 +71,18 @@ class OpCounters {
   uint64_t checkpoint_restore_micros() const {
     return ckpt_restore_us_.load(std::memory_order_relaxed);
   }
+  uint64_t pool_tasks() const {
+    return pool_tasks_.load(std::memory_order_relaxed);
+  }
+  uint64_t batch_calls() const {
+    return batch_calls_.load(std::memory_order_relaxed);
+  }
+  uint64_t enc_pool_hits() const {
+    return enc_pool_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t enc_pool_misses() const {
+    return enc_pool_misses_.load(std::memory_order_relaxed);
+  }
 
   void Reset();
 
@@ -69,6 +97,10 @@ class OpCounters {
   std::atomic<uint64_t> ckpt_write_us_{0};
   std::atomic<uint64_t> ckpt_restores_{0};
   std::atomic<uint64_t> ckpt_restore_us_{0};
+  std::atomic<uint64_t> pool_tasks_{0};
+  std::atomic<uint64_t> batch_calls_{0};
+  std::atomic<uint64_t> enc_pool_hits_{0};
+  std::atomic<uint64_t> enc_pool_misses_{0};
 };
 
 // Immutable snapshot of the global counters; `Delta` computes the counts
@@ -77,6 +109,8 @@ struct OpSnapshot {
   uint64_t ce = 0, cd = 0, cs = 0, cc = 0, bytes = 0, messages = 0;
   uint64_t ckpt_writes = 0, ckpt_write_us = 0;
   uint64_t ckpt_restores = 0, ckpt_restore_us = 0;
+  uint64_t pool_tasks = 0, batch_calls = 0;
+  uint64_t enc_pool_hits = 0, enc_pool_misses = 0;
 
   static OpSnapshot Take();
   OpSnapshot Delta(const OpSnapshot& earlier) const;

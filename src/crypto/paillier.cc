@@ -20,15 +20,20 @@ BigInt PaillierPublicKey::MulModN2(const BigInt& a, const BigInt& b) const {
   return mont_n2_->ModMul(a, b);
 }
 
-BigInt PaillierPublicKey::SampleUnit(Rng& rng) const {
-  for (;;) {
+Result<BigInt> PaillierPublicKey::SampleUnit(Rng& rng) const {
+  constexpr int kMaxRejections = 128;
+  for (int it = 0; it < kMaxRejections; ++it) {
     BigInt r = BigInt::RandomBelow(n_, rng);
     if (!r.IsZero() && BigInt::Gcd(r, n_).IsOne()) return r;
   }
+  return Status::Internal(
+      "SampleUnit: rejection bound exhausted (malformed Paillier modulus?)");
 }
 
 Ciphertext PaillierPublicKey::Encrypt(const BigInt& m, Rng& rng) const {
-  return EncryptWithRandomness(m, SampleUnit(rng));
+  Result<BigInt> r = SampleUnit(rng);
+  PIVOT_CHECK_MSG(r.ok(), "Paillier encryption randomness sampling failed");
+  return EncryptWithRandomness(m, r.value());
 }
 
 Ciphertext PaillierPublicKey::EncryptWithRandomness(const BigInt& m,
@@ -67,22 +72,35 @@ Ciphertext PaillierPublicKey::AddPlain(const Ciphertext& c,
 Ciphertext PaillierPublicKey::DotProduct(
     const std::vector<BigInt>& plain, const std::vector<Ciphertext>& cts) const {
   PIVOT_CHECK_MSG(plain.size() == cts.size(), "dot product size mismatch");
-  Ciphertext acc = One();
+  // The whole accumulation stays in the Montgomery domain: one
+  // FromMontgomery for the dot product instead of one per term (each
+  // Add/ScalarMul round-trips through To/FromMontgomery internally).
+  // Values are exact modular products, so the result is bit-identical to
+  // the per-term fold.
+  const MontgomeryContext& mont = *mont_n2_;
+  BigInt acc = mont.MontOne();
+  uint64_t ops = 0;
   for (size_t i = 0; i < plain.size(); ++i) {
     const BigInt k = plain[i].Mod(n_);
     if (k.IsZero()) continue;
     if (k.IsOne()) {
-      acc = Add(acc, cts[i]);
+      acc = mont.MontMul(acc, mont.ToMontgomery(cts[i].value));
+      ops += 1;  // one homomorphic Add
     } else {
-      acc = Add(acc, ScalarMul(k, cts[i]));
+      acc = mont.MontMul(acc,
+                         mont.MontExp(mont.ToMontgomery(cts[i].value), k));
+      ops += 2;  // ScalarMul + Add
     }
   }
-  return acc;
+  OpCounters::Global().AddCiphertextOp(ops);
+  return Ciphertext{mont.FromMontgomery(acc)};
 }
 
 Ciphertext PaillierPublicKey::Rerandomize(const Ciphertext& c, Rng& rng) const {
   OpCounters::Global().AddCiphertextOp();
-  const BigInt rn = PowModN2(SampleUnit(rng), n_);
+  Result<BigInt> r = SampleUnit(rng);
+  PIVOT_CHECK_MSG(r.ok(), "Paillier rerandomization sampling failed");
+  const BigInt rn = PowModN2(r.value(), n_);
   return Ciphertext{MulModN2(c.value, rn)};
 }
 

@@ -70,8 +70,17 @@ class PaillierPublicKey {
   BigInt PowModN2(const BigInt& base, const BigInt& exp) const;
   BigInt MulModN2(const BigInt& a, const BigInt& b) const;
 
-  // Samples r uniform in Z*_n.
-  BigInt SampleUnit(Rng& rng) const;
+  // Montgomery context of Z_{n^2}, shared with the batch kernels
+  // (crypto/paillier_batch.h) so they can chain MontMul/MontExp without
+  // re-deriving the modulus constants. REQUIRES: valid().
+  const MontgomeryContext& mont_n2() const { return *mont_n2_; }
+
+  // Samples r uniform in Z*_n with a bounded rejection loop. A draw with
+  // gcd(r, n) != 1 reveals a factor of n, which happens with probability
+  // ~2^{-key_bits/2} per iteration for a well-formed key; exhausting the
+  // bound therefore indicates a malformed modulus and errors out instead
+  // of spinning.
+  Result<BigInt> SampleUnit(Rng& rng) const;
 
  private:
   BigInt n_;

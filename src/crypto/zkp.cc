@@ -38,7 +38,9 @@ PopkProof ProvePlaintextKnowledge(const PaillierPublicKey& pk,
                                   const BigInt& r, Rng& rng) {
   const int mask_bits = pk.n().BitLength() + kMaskSlackBits;
   const BigInt s = BigInt::RandomBits(mask_bits, rng);
-  const BigInt u = pk.SampleUnit(rng);
+  Result<BigInt> ru = pk.SampleUnit(rng);
+  PIVOT_CHECK_MSG(ru.ok(), "POPK mask sampling failed");
+  const BigInt u = ru.value();
 
   const BigInt commitment =
       pk.MulModN2(PowGBase(pk, s), pk.PowModN2(u, pk.n()));
@@ -73,8 +75,11 @@ PopcmProof ProvePlainCipherMul(const PaillierPublicKey& pk,
                                const BigInt& s, Rng& rng) {
   const int mask_bits = pk.n().BitLength() + kMaskSlackBits;
   const BigInt x = BigInt::RandomBits(mask_bits, rng);
-  const BigInt u = pk.SampleUnit(rng);
-  const BigInt v = pk.SampleUnit(rng);
+  Result<BigInt> ru = pk.SampleUnit(rng);
+  Result<BigInt> rv = pk.SampleUnit(rng);
+  PIVOT_CHECK_MSG(ru.ok() && rv.ok(), "POPCM mask sampling failed");
+  const BigInt u = ru.value();
+  const BigInt v = rv.value();
 
   PopcmProof proof;
   proof.commitment_b = pk.MulModN2(PowGBase(pk, x), pk.PowModN2(u, pk.n()));
@@ -137,12 +142,16 @@ PohdpProof ProveHomomorphicDotProduct(
   proof.commitments_b.reserve(k);
   std::vector<BigInt> x(k), u(k);
   BigInt a_acc(1);
-  const BigInt v = pk.SampleUnit(rng);
+  Result<BigInt> rv = pk.SampleUnit(rng);
+  PIVOT_CHECK_MSG(rv.ok(), "POHDP mask sampling failed");
+  const BigInt v = rv.value();
   for (size_t j = 0; j < k; ++j) {
     // Masks are sampled below n and used reduced: the verification
     // relations hold exactly in the exponent group.
     x[j] = BigInt::RandomBelow(pk.n(), rng);
-    u[j] = pk.SampleUnit(rng);
+    Result<BigInt> ruj = pk.SampleUnit(rng);
+    PIVOT_CHECK_MSG(ruj.ok(), "POHDP mask sampling failed");
+    u[j] = ruj.value();
     proof.commitments_b.push_back(
         pk.MulModN2(PowGBase(pk, x[j]), pk.PowModN2(u[j], pk.n())));
     a_acc = pk.MulModN2(a_acc, pk.PowModN2(cb[j].value, x[j]));

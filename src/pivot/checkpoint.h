@@ -34,7 +34,7 @@ namespace pivot {
 // they neither resume from nor overwrite the newest snapshots) until
 // the crashed tree's Train call reaches the store's epoch and resumes.
 //
-// Snapshot wire format (ByteWriter, little-endian), version 1:
+// Snapshot wire format (ByteWriter, little-endian), version 2:
 //   u32  magic 'PVCK' (0x5056434B)    u32  version
 //   u64  epoch    u64  completed-node count (the checkpoint index)
 //   tree: u8 protocol, u8 task, u32 num_classes, u64 node count, then
@@ -45,6 +45,8 @@ namespace pivot {
 //     ciphertext vectors, per-client availability bitsets, depth)
 //   randomness: RngState of the context rng, the MPC engine rng + round
 //     counter, and the preprocessing rng + triples/masks counters
+//   v2 appends: u64 offline encryption-randomness pool cursor (the next
+//     (r, r^n) pair index; see crypto/paillier_batch.h)
 //
 // Snapshots live in memory (CheckpointStore), mirroring how each real
 // party would persist to its own local disk; the store is the per-party

@@ -1,7 +1,5 @@
 #include "pivot/context.h"
 
-#include <thread>
-
 #include "common/check.h"
 #include "common/fixed_point.h"
 #include "net/codec.h"
@@ -54,6 +52,11 @@ PartyContext::PartyContext(int party_id, int super_client_id,
       params_(params),
       rng_(params.run_seed * 1000003 + party_id) {
   PIVOT_CHECK(endpoint_->id() == party_id);
+  // The pool's stream is independent of rng_ (distinct domain constant);
+  // its cursor is checkpointed via RandomnessState.
+  enc_pool_ = std::make_unique<EncRandomnessPool>(
+      pk_, DeriveStreamSeed(params.run_seed ^ 0x454E4352u /* "ENCR" */,
+                            static_cast<uint64_t>(party_id)));
   prep_ = std::make_unique<Preprocessing>(party_id, endpoint_->num_parties(),
                                           params.prep_seed);
   engine_ = std::make_unique<MpcEngine>(endpoint_, prep_.get(),
@@ -103,24 +106,11 @@ Result<std::vector<BigInt>> PartyContext::JointDecrypt(
   }
   // 2. Every party computes partial decryptions; non-holders send theirs
   //    to the holder. Partial decryptions of a batch are independent, so
-  //    they parallelize across decryption_threads (the "-PP" variants).
-  std::vector<BigInt> partials(work.size());
-  const int threads = std::max(1, params_.decryption_threads);
-  if (threads == 1 || work.size() < 8) {
-    for (size_t i = 0; i < work.size(); ++i) {
-      partials[i] = PartialDecrypt(pk_, partial_key_, work[i]).value;
-    }
-  } else {
-    std::vector<std::thread> pool;
-    for (int w = 0; w < threads; ++w) {
-      pool.emplace_back([&, w] {
-        for (size_t i = w; i < work.size(); i += threads) {
-          partials[i] = PartialDecrypt(pk_, partial_key_, work[i]).value;
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
-  }
+  //    they fan out across crypto_threads on the shared pool (the
+  //    paper's "-PP" variants).
+  PIVOT_ASSIGN_OR_RETURN(
+      std::vector<BigInt> partials,
+      PartialDecryptBatch(pk_, partial_key_, work, crypto_threads()));
   if (id() != holder) {
     PIVOT_RETURN_IF_ERROR(
         endpoint_->Send(holder, EncodeBigIntVector(partials)));
@@ -139,32 +129,9 @@ Result<std::vector<BigInt>> PartyContext::JointDecrypt(
       return Status::ProtocolError("partial decryption count mismatch");
     }
   }
-  std::vector<BigInt> plain(work.size());
-  std::vector<Status> worker_status(threads);
-  // (w, step): worker w combines indices w, w+step, ... — step is 1 on the
-  // sequential path and `threads` on the pooled path.
-  auto combine_range = [&](int w, int step) {
-    for (size_t i = w; i < work.size(); i += step) {
-      std::vector<PartialDecryption> parts;
-      parts.reserve(m);
-      for (int p = 0; p < m; ++p) parts.push_back({p, all[p][i]});
-      Result<BigInt> x = CombinePartialDecryptions(pk_, parts, m);
-      if (!x.ok()) {
-        worker_status[w] = x.status();
-        return;
-      }
-      plain[i] = std::move(x).value();
-    }
-  };
-  if (threads == 1 || work.size() < 8) {
-    combine_range(0, 1);
-    PIVOT_RETURN_IF_ERROR(worker_status[0]);
-  } else {
-    std::vector<std::thread> pool;
-    for (int w = 0; w < threads; ++w) pool.emplace_back(combine_range, w, threads);
-    for (std::thread& t : pool) t.join();
-    for (const Status& st : worker_status) PIVOT_RETURN_IF_ERROR(st);
-  }
+  PIVOT_ASSIGN_OR_RETURN(
+      std::vector<BigInt> plain,
+      CombinePartialDecryptionsBatch(pk_, all, m, crypto_threads()));
   if (m > 1) {
     PIVOT_RETURN_IF_ERROR(endpoint_->Broadcast(EncodeBigIntVector(plain)));
   }
@@ -195,11 +162,11 @@ Result<std::vector<u128>> PartyContext::CiphertextsToShares(
   std::vector<u128> masks(batch);
   for (u128& v : masks) v = FpRandom(rng_);
 
-  std::vector<Ciphertext> my_encrypted;
-  my_encrypted.reserve(batch);
-  for (u128 v : masks) {
-    my_encrypted.push_back(pk_.Encrypt(FpToBigInt(v), rng_));
-  }
+  std::vector<BigInt> mask_plain;
+  mask_plain.reserve(batch);
+  for (u128 v : masks) mask_plain.push_back(FpToBigInt(v));
+  PIVOT_ASSIGN_OR_RETURN(std::vector<Ciphertext> my_encrypted,
+                         EncryptBatch(mask_plain));
 
   std::vector<Ciphertext> masked;
   if (id() == holder) {
@@ -245,9 +212,10 @@ Result<std::vector<u128>> PartyContext::CiphertextsToShares(
 
 Result<std::vector<Ciphertext>> PartyContext::SharesToCiphertexts(
     const std::vector<u128>& shares) {
-  std::vector<Ciphertext> mine;
-  mine.reserve(shares.size());
-  for (u128 s : shares) mine.push_back(pk_.Encrypt(FpToBigInt(s), rng_));
+  std::vector<BigInt> plain;
+  plain.reserve(shares.size());
+  for (u128 s : shares) plain.push_back(FpToBigInt(s));
+  PIVOT_ASSIGN_OR_RETURN(std::vector<Ciphertext> mine, EncryptBatch(plain));
 
   if (num_parties() == 1) return mine;
 
@@ -264,6 +232,25 @@ Result<std::vector<Ciphertext>> PartyContext::SharesToCiphertexts(
     }
   }
   return sum;
+}
+
+Result<std::vector<Ciphertext>> PartyContext::EncryptBatch(
+    const std::vector<BigInt>& plains) {
+  // Refill ahead of the drain so the next similarly-sized batch finds its
+  // (r, r^n) pairs precomputed; with a single crypto thread there is no
+  // idle worker to overlap with, so skip the queue traffic.
+  if (crypto_threads() > 1) {
+    enc_pool_->PrefillAsync(ThreadPool::Global(), 2 * plains.size());
+  }
+  return pivot::EncryptBatch(pk_, plains, *enc_pool_, crypto_threads());
+}
+
+Result<std::vector<Ciphertext>> PartyContext::RerandomizeBatch(
+    const std::vector<Ciphertext>& cts) {
+  if (crypto_threads() > 1) {
+    enc_pool_->PrefillAsync(ThreadPool::Global(), 2 * cts.size());
+  }
+  return pivot::RerandomizeBatch(pk_, cts, *enc_pool_, crypto_threads());
 }
 
 i128 PartyContext::PlaintextToSigned(const BigInt& plain) const {

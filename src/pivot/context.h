@@ -1,9 +1,11 @@
 #ifndef PIVOT_PIVOT_CONTEXT_H_
 #define PIVOT_PIVOT_CONTEXT_H_
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
+#include "crypto/paillier_batch.h"
 #include "crypto/threshold_paillier.h"
 #include "data/dataset.h"
 #include "mpc/engine.h"
@@ -55,6 +57,22 @@ class PartyContext {
   const std::vector<double>& labels() const { return labels_; }
   Rng& rng() { return rng_; }
 
+  // Per-call fan-out cap for the batched crypto kernels (shared pool, see
+  // common/thread_pool.h). Results are bit-identical for every value.
+  int crypto_threads() const { return std::max(1, params_.crypto_threads); }
+  // This party's offline encryption-randomness pool (pairs are pure
+  // functions of the pool seed, so the cursor below checkpoints them).
+  EncRandomnessPool& enc_pool() { return *enc_pool_; }
+
+  // Encrypts a batch with randomness drained from the offline pool,
+  // fanning out across crypto_threads(); schedules an asynchronous refill
+  // for the next batch when more than one thread is configured.
+  Result<std::vector<Ciphertext>> EncryptBatch(
+      const std::vector<BigInt>& plains);
+  // Batched Rerandomize, drawing encryption randomness from the pool.
+  Result<std::vector<Ciphertext>> RerandomizeBatch(
+      const std::vector<Ciphertext>& cts);
+
   // Optional per-party checkpoint store (pivot/checkpoint.h). When set,
   // the trainer snapshots its state after every completed node and can
   // resume from the latest snapshot after a restart. Not owned.
@@ -68,21 +86,24 @@ class PartyContext {
 
   // Every randomness stream a training run draws from, captured together
   // so a checkpoint can rewind all of them to one exact position: the
-  // context rng (Paillier encryption randomness), the MPC engine's
-  // masking rng + round counter, and the preprocessing dealer stream.
+  // context rng (masks and residual Paillier randomness), the MPC
+  // engine's masking rng + round counter, the preprocessing dealer
+  // stream, and the offline encryption-randomness pool cursor.
   struct RandomnessState {
     RngState rng;
     MpcEngine::EngineState engine;
     Preprocessing::PrepState prep;
+    uint64_t enc_pool_next = 0;
   };
   RandomnessState SaveRandomnessState() const {
     return RandomnessState{rng_.SaveState(), engine_->SaveState(),
-                           prep_->SaveState()};
+                           prep_->SaveState(), enc_pool_->next_index()};
   }
   void RestoreRandomnessState(const RandomnessState& state) {
     rng_.RestoreState(state.rng);
     engine_->RestoreState(state.engine);
     prep_->RestoreState(state.prep);
+    enc_pool_->SetNextIndex(state.enc_pool_next);
   }
 
   // Per-local-feature candidate split thresholds (computed once from the
@@ -139,6 +160,7 @@ class PartyContext {
   std::vector<double> labels_;
   PivotParams params_;
   Rng rng_;
+  std::unique_ptr<EncRandomnessPool> enc_pool_;
   std::unique_ptr<Preprocessing> prep_;
   std::unique_ptr<MpcEngine> engine_;
   std::vector<std::vector<double>> split_candidates_;

@@ -14,7 +14,9 @@ CommittedVector CommitIndicatorVector(const PaillierPublicKey& pk,
   out.randomness.reserve(bits.size());
   for (uint8_t b : bits) {
     out.values.push_back(BigInt(b ? 1 : 0));
-    out.randomness.push_back(pk.SampleUnit(rng));
+    Result<BigInt> r = pk.SampleUnit(rng);
+    PIVOT_CHECK_MSG(r.ok(), "commitment randomness sampling failed");
+    out.randomness.push_back(r.value());
     out.commitments.push_back(
         pk.EncryptWithRandomness(out.values.back(), out.randomness.back()));
   }
@@ -123,7 +125,7 @@ Result<std::vector<u128>> VerifiedCiphertextsToShares(
   payload.WriteU64(batch);
   for (size_t i = 0; i < batch; ++i) {
     masks[i] = FpRandom(ctx.rng());
-    my_rand[i] = pk.SampleUnit(ctx.rng());
+    PIVOT_ASSIGN_OR_RETURN(my_rand[i], pk.SampleUnit(ctx.rng()));
     my_cts[i] = pk.EncryptWithRandomness(FpToBigInt(masks[i]), my_rand[i]);
     PopkProof proof = ProvePlaintextKnowledge(pk, my_cts[i],
                                               FpToBigInt(masks[i]),
@@ -199,7 +201,7 @@ Result<std::vector<u128>> VerifiedCiphertextsToShares(
   commit_payload.WriteU64(batch);
   std::vector<Ciphertext> my_share_cts(batch);
   for (size_t i = 0; i < batch; ++i) {
-    BigInt r = pk.SampleUnit(ctx.rng());
+    PIVOT_ASSIGN_OR_RETURN(BigInt r, pk.SampleUnit(ctx.rng()));
     my_share_cts[i] = pk.EncryptWithRandomness(FpToBigInt(shares[i]), r);
     PopkProof proof = ProvePlaintextKnowledge(pk, my_share_cts[i],
                                               FpToBigInt(shares[i]), r,

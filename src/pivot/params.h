@@ -52,9 +52,12 @@ struct PivotParams {
 
   MpcConfig mpc;
 
-  // Threads used for batched threshold decryption (the paper's "-PP"
-  // partially-parallelized variants use 6 cores; 1 = sequential).
-  int decryption_threads = 1;
+  // Per-call fan-out cap for every batched crypto kernel — encryption,
+  // threshold decryption, scalar multiplication and the offline
+  // randomness pool (the paper's "-PP" partially-parallelized variants
+  // use 6 cores; 1 = sequential). Training results are bit-identical for
+  // every value; see DESIGN.md, "Parallelism model".
+  int crypto_threads = 1;
 
   // Seed of the simulated offline phase (see mpc/preprocessing.h).
   uint64_t prep_seed = 0xC0FFEE;

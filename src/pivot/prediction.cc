@@ -39,11 +39,13 @@ std::vector<std::vector<PathConstraint>> LeafPaths(const PivotTree& tree) {
 
 // Basic-protocol round-robin update of the encrypted prediction vector:
 // this party zeroes every leaf whose path contradicts one of its own
-// feature comparisons, and rerandomizes the rest.
-void ApplyLocalUpdates(PartyContext& ctx, const PivotTree& tree,
-                       const std::vector<double>& my_features,
-                       const std::vector<std::vector<PathConstraint>>& paths,
-                       std::vector<Ciphertext>* eta) {
+// feature comparisons, and rerandomizes the rest (batched: multiply by 1
+// or 0, then rerandomize so the two cases are indistinguishable).
+Status ApplyLocalUpdates(PartyContext& ctx, const PivotTree& tree,
+                         const std::vector<double>& my_features,
+                         const std::vector<std::vector<PathConstraint>>& paths,
+                         std::vector<Ciphertext>* eta) {
+  std::vector<BigInt> sel(paths.size());
   for (size_t leaf = 0; leaf < paths.size(); ++leaf) {
     bool possible = true;
     for (const PathConstraint& pc : paths[leaf]) {
@@ -55,10 +57,13 @@ void ApplyLocalUpdates(PartyContext& ctx, const PivotTree& tree,
         break;
       }
     }
-    // Multiply by 1 (rerandomize) or by 0 (fresh encryption of zero).
-    (*eta)[leaf] = ctx.pk().Rerandomize(
-        ctx.pk().ScalarMul(BigInt(possible ? 1 : 0), (*eta)[leaf]), ctx.rng());
+    sel[leaf] = BigInt(possible ? 1 : 0);
   }
+  PIVOT_ASSIGN_OR_RETURN(
+      std::vector<Ciphertext> scaled,
+      ScalarMulBatch(ctx.pk(), sel, *eta, ctx.crypto_threads()));
+  PIVOT_ASSIGN_OR_RETURN(*eta, ctx.RerandomizeBatch(scaled));
+  return Status::Ok();
 }
 
 Result<Ciphertext> RunBasicPrediction(PartyContext& ctx, const PivotTree& tree,
@@ -70,17 +75,16 @@ Result<Ciphertext> RunBasicPrediction(PartyContext& ctx, const PivotTree& tree,
   // Round-robin from party m-1 down to party 0 (Algorithm 4).
   std::vector<Ciphertext> eta;
   if (ctx.id() == m - 1) {
-    eta.reserve(leaves);
-    for (size_t i = 0; i < leaves; ++i) {
-      eta.push_back(ctx.pk().Encrypt(BigInt(1), ctx.rng()));
-    }
+    const std::vector<BigInt> ones(leaves, BigInt(1));
+    PIVOT_ASSIGN_OR_RETURN(eta, ctx.EncryptBatch(ones));
   } else {
     PIVOT_ASSIGN_OR_RETURN(eta, ctx.RecvCiphertexts(ctx.id() + 1));
     if (eta.size() != leaves) {
       return Status::ProtocolError("prediction vector size mismatch");
     }
   }
-  ApplyLocalUpdates(ctx, tree, my_features, paths, &eta);
+  PIVOT_RETURN_IF_ERROR(
+      ApplyLocalUpdates(ctx, tree, my_features, paths, &eta));
   if (ctx.id() > 0) {
     PIVOT_RETURN_IF_ERROR(
         ctx.endpoint().Send(ctx.id() - 1, EncodeCiphertextVector(eta)));
@@ -295,8 +299,12 @@ Result<std::vector<Ciphertext>> PredictTrainingSetEncrypted(
   for (int id : leaf_ids) {
     const PivotNode& leaf = tree.nodes[id];
     const BigInt z = FpToBigInt(FpFromSigned(FixedFromDouble(leaf.leaf_value)));
+    const std::vector<BigInt> zs(n, z);
+    PIVOT_ASSIGN_OR_RETURN(
+        std::vector<Ciphertext> scaled,
+        ScalarMulBatch(ctx.pk(), zs, leaf.leaf_mask, ctx.crypto_threads()));
     for (size_t t = 0; t < n; ++t) {
-      out[t] = ctx.pk().Add(out[t], ctx.pk().ScalarMul(z, leaf.leaf_mask[t]));
+      out[t] = ctx.pk().Add(out[t], scaled[t]);
     }
   }
   return out;

@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "common/fixed_point.h"
 #include "common/op_counters.h"
+#include "common/thread_pool.h"
+#include "crypto/paillier_batch.h"
 #include "mpc/dp.h"
 #include "net/codec.h"
 #include "pivot/checkpoint.h"
@@ -32,8 +34,10 @@ struct Block {
 };
 
 // Training-checkpoint snapshot framing ('PVCK'); format in checkpoint.h.
+// Version 2 appends the offline encryption-randomness pool cursor to the
+// randomness state.
 constexpr uint32_t kCheckpointMagic = 0x5056434B;
-constexpr uint32_t kCheckpointVersion = 1;
+constexpr uint32_t kCheckpointVersion = 2;
 
 class TreeTrainer {
  public:
@@ -73,11 +77,13 @@ class TreeTrainer {
       // bootstrap weights the entries are the multiplicities).
       NodeState root;
       root.depth = 0;
-      root.alpha.reserve(n_);
+      std::vector<BigInt> weights;
+      weights.reserve(n_);
       for (int t = 0; t < n_; ++t) {
         const int w = opts_.sample_weights.empty() ? 1 : opts_.sample_weights[t];
-        root.alpha.push_back(ctx_.pk().Encrypt(BigInt(w), ctx_.rng()));
+        weights.push_back(BigInt(w));
       }
+      PIVOT_ASSIGN_OR_RETURN(root.alpha, ctx_.EncryptBatch(weights));
       if (opts_.encrypted_labels.has_value()) {
         root.gamma1 = opts_.encrypted_labels->y;
         root.gamma2 = opts_.encrypted_labels->y_sq;
@@ -222,23 +228,25 @@ class TreeTrainer {
     if (ctx_.is_super()) {
       const std::vector<double>& y = ctx_.labels();
       for (int k = 0; k < vectors; ++k) {
-        gammas[k].reserve(n_);
+        std::vector<BigInt> betas(n_);
         for (int t = 0; t < n_; ++t) {
-          BigInt beta;
           if (regression_) {
             // Shifted labels keep the homomorphic carrier small and
             // non-negative; the variance gain is shift-invariant and the
             // leaf subtracts the offset again.
             const double shifted = y[t] + ctx_.params().regression_label_offset;
             const double v = (k == 0) ? shifted : shifted * shifted;
-            beta = FpToBigInt(FpFromSigned(FixedFromDouble(v)));
+            betas[t] = FpToBigInt(FpFromSigned(FixedFromDouble(v)));
           } else {
-            beta = BigInt(static_cast<int>(y[t]) == k ? 1 : 0);
+            betas[t] = BigInt(static_cast<int>(y[t]) == k ? 1 : 0);
           }
-          // Rerandomize so [0]/copy entries are indistinguishable.
-          gammas[k].push_back(ctx_.pk().Rerandomize(
-              ctx_.pk().ScalarMul(beta, node.alpha[t]), ctx_.rng()));
         }
+        PIVOT_ASSIGN_OR_RETURN(
+            std::vector<Ciphertext> scaled,
+            ScalarMulBatch(ctx_.pk(), betas, node.alpha,
+                           ctx_.crypto_threads()));
+        // Rerandomize so [0]/copy entries are indistinguishable.
+        PIVOT_ASSIGN_OR_RETURN(gammas[k], ctx_.RerandomizeBatch(scaled));
       }
     }
     for (int k = 0; k < vectors; ++k) {
@@ -249,11 +257,9 @@ class TreeTrainer {
   }
 
   // Homomorphic sum of a broadcast ciphertext vector (local, identical on
-  // every party).
+  // every party), folded in the Montgomery domain by the batch kernel.
   Ciphertext SumCiphertexts(const std::vector<Ciphertext>& cts) {
-    Ciphertext acc = ctx_.pk().One();
-    for (const Ciphertext& c : cts) acc = ctx_.pk().Add(acc, c);
-    return acc;
+    return pivot::SumCiphertexts(ctx_.pk(), cts);
   }
 
   // Builds the flat list of available splits and their blocks (public).
@@ -346,29 +352,43 @@ class TreeTrainer {
     for (int i = 0; i < m_; ++i) {
       // Client i's stat ciphertexts for its blocks, flattened
       // split-major: [split][slot].
-      std::vector<Ciphertext> mine;
       int my_split_count = 0;
+      std::vector<std::pair<int, int>> tasks;  // (feature, candidate)
       for (const Block& b : blocks) {
         if (b.client != i) continue;
         my_split_count += b.count;
         if (me_ != i) continue;
-        for (int s = 0; s < b.count; ++s) {
-          const std::vector<uint8_t>& left =
-              ctx_.LeftIndicator(b.feature, s);
-          std::vector<BigInt> vl(n_), vr(n_);
-          for (int t = 0; t < n_; ++t) {
-            vl[t] = BigInt(left[t] ? 1 : 0);
-            vr[t] = BigInt(left[t] ? 0 : 1);
-          }
-          mine.push_back(ctx_.pk().DotProduct(vl, node.alpha));
-          mine.push_back(ctx_.pk().DotProduct(vr, node.alpha));
-          for (const auto& gamma : gammas) {
-            mine.push_back(ctx_.pk().DotProduct(vl, gamma));
-            mine.push_back(ctx_.pk().DotProduct(vr, gamma));
-          }
-        }
+        for (int s = 0; s < b.count; ++s) tasks.emplace_back(b.feature, s);
       }
       if (my_split_count == 0) continue;
+      std::vector<Ciphertext> mine;
+      if (me_ == i) {
+        // [alpha] and every [gamma_k] are dot-multiplied once per candidate
+        // split: converting them into the Montgomery domain once amortizes
+        // the dominant per-term conversion across all splits, and each
+        // split writes its own output slots, so the splits fan out across
+        // crypto_threads without affecting the result.
+        PreparedCiphertexts alpha_prep(ctx_.pk(), node.alpha);
+        std::vector<PreparedCiphertexts> gamma_prep;
+        gamma_prep.reserve(gammas.size());
+        for (const auto& gamma : gammas) {
+          gamma_prep.emplace_back(ctx_.pk(), gamma);
+        }
+        mine.resize(tasks.size() * per_split);
+        PIVOT_RETURN_IF_ERROR(ThreadPool::Global().ParallelFor(
+            tasks.size(), ctx_.crypto_threads(), [&](size_t idx) -> Status {
+              const std::vector<uint8_t>& left =
+                  ctx_.LeftIndicator(tasks[idx].first, tasks[idx].second);
+              size_t out = idx * per_split;
+              mine[out++] = alpha_prep.DotIndicator(left, false);
+              mine[out++] = alpha_prep.DotIndicator(left, true);
+              for (const PreparedCiphertexts& g : gamma_prep) {
+                mine[out++] = g.DotIndicator(left, false);
+                mine[out++] = g.DotIndicator(left, true);
+              }
+              return Status::Ok();
+            }));
+      }
       PIVOT_ASSIGN_OR_RETURN(std::vector<u128> shares,
                              ctx_.CiphertextsToShares(mine, i));
       if (shares.size() != static_cast<size_t>(my_split_count * per_split)) {
@@ -404,28 +424,28 @@ class TreeTrainer {
       internal->threshold = ctx_.split_candidates()[block.feature][split_local];
       const std::vector<uint8_t>& ind =
           ctx_.LeftIndicator(block.feature, split_local);
-      alpha_l->reserve(n_);
-      alpha_r->reserve(n_);
+      std::vector<BigInt> bl(n_), br(n_);
       for (int t = 0; t < n_; ++t) {
-        alpha_l->push_back(ctx_.pk().Rerandomize(
-            ctx_.pk().ScalarMul(BigInt(ind[t] ? 1 : 0), node.alpha[t]),
-            ctx_.rng()));
-        alpha_r->push_back(ctx_.pk().Rerandomize(
-            ctx_.pk().ScalarMul(BigInt(ind[t] ? 0 : 1), node.alpha[t]),
-            ctx_.rng()));
+        bl[t] = BigInt(ind[t] ? 1 : 0);
+        br[t] = BigInt(ind[t] ? 0 : 1);
       }
+      // Masked child vectors: select + rerandomize, batched (the
+      // rerandomization hides which entries are [0]s / copies).
+      auto masked = [&](const std::vector<BigInt>& sel,
+                        const std::vector<Ciphertext>& cts)
+          -> Result<std::vector<Ciphertext>> {
+        PIVOT_ASSIGN_OR_RETURN(
+            std::vector<Ciphertext> scaled,
+            ScalarMulBatch(ctx_.pk(), sel, cts, ctx_.crypto_threads()));
+        return ctx_.RerandomizeBatch(scaled);
+      };
+      PIVOT_ASSIGN_OR_RETURN(*alpha_l, masked(bl, node.alpha));
+      PIVOT_ASSIGN_OR_RETURN(*alpha_r, masked(br, node.alpha));
       if (enc_label_mode()) {
-        for (int t = 0; t < n_; ++t) {
-          const BigInt bl(ind[t] ? 1 : 0), br(ind[t] ? 0 : 1);
-          left->gamma1.push_back(ctx_.pk().Rerandomize(
-              ctx_.pk().ScalarMul(bl, node.gamma1[t]), ctx_.rng()));
-          left->gamma2.push_back(ctx_.pk().Rerandomize(
-              ctx_.pk().ScalarMul(bl, node.gamma2[t]), ctx_.rng()));
-          right->gamma1.push_back(ctx_.pk().Rerandomize(
-              ctx_.pk().ScalarMul(br, node.gamma1[t]), ctx_.rng()));
-          right->gamma2.push_back(ctx_.pk().Rerandomize(
-              ctx_.pk().ScalarMul(br, node.gamma2[t]), ctx_.rng()));
-        }
+        PIVOT_ASSIGN_OR_RETURN(left->gamma1, masked(bl, node.gamma1));
+        PIVOT_ASSIGN_OR_RETURN(left->gamma2, masked(bl, node.gamma2));
+        PIVOT_ASSIGN_OR_RETURN(right->gamma1, masked(br, node.gamma1));
+        PIVOT_ASSIGN_OR_RETURN(right->gamma2, masked(br, node.gamma2));
       }
       // Broadcast threshold + masks.
       ByteWriter w;
@@ -503,28 +523,26 @@ class TreeTrainer {
               ctx_.split_candidates()[slice_features[i][e]]
                                      [slice_splits[i][e]])));
         }
-        payload.push_back(ctx_.pk().DotProduct(cand_fix, slices[i]));
-        payload.reserve(1 + 2 * n_);
-        for (int t = 0; t < n_; ++t) {
-          std::vector<BigInt> row(k), row_c(k);
-          for (size_t e = 0; e < k; ++e) {
-            const bool left = ctx_.LeftIndicator(slice_features[i][e],
-                                                 slice_splits[i][e])[t];
-            row[e] = BigInt(left ? 1 : 0);
-            row_c[e] = BigInt(left ? 0 : 1);
-          }
-          payload.push_back(ctx_.pk().DotProduct(row, slices[i]));
-        }
-        for (int t = 0; t < n_; ++t) {
-          std::vector<BigInt> row_c(k);
-          for (size_t e = 0; e < k; ++e) {
-            row_c[e] = BigInt(ctx_.LeftIndicator(slice_features[i][e],
-                                                 slice_splits[i][e])[t]
-                                  ? 0
-                                  : 1);
-          }
-          payload.push_back(ctx_.pk().DotProduct(row_c, slices[i]));
-        }
+        // The lambda slice is dot-multiplied 2n+1 times; prepare its
+        // Montgomery forms once and fan the per-sample rows out across
+        // crypto_threads (each row writes its own payload slots).
+        PreparedCiphertexts slice_prep(ctx_.pk(), slices[i]);
+        payload.resize(1 + 2 * n_);
+        payload[0] = slice_prep.DotProduct(cand_fix);
+        PIVOT_RETURN_IF_ERROR(ThreadPool::Global().ParallelFor(
+            static_cast<size_t>(n_), ctx_.crypto_threads(),
+            [&](size_t t) -> Status {
+              std::vector<uint8_t> row(k);
+              for (size_t e = 0; e < k; ++e) {
+                row[e] = ctx_.LeftIndicator(slice_features[i][e],
+                                            slice_splits[i][e])[t]
+                             ? 1
+                             : 0;
+              }
+              payload[1 + t] = slice_prep.DotIndicator(row, false);
+              payload[1 + n_ + t] = slice_prep.DotIndicator(row, true);
+              return Status::Ok();
+            }));
       }
       PIVOT_ASSIGN_OR_RETURN(payload, BroadcastFrom(i, payload));
       if (payload.size() != static_cast<size_t>(1 + 2 * n_)) {
@@ -563,16 +581,19 @@ class TreeTrainer {
     const int aggregator = 0;
     PIVOT_ASSIGN_OR_RETURN(std::vector<u128> alpha_shares,
                            ctx_.CiphertextsToShares(node.alpha, 0));
-    std::vector<Ciphertext> partial;
-    partial.reserve(2 * n_);
+    std::vector<BigInt> share_scalars(n_);
     for (int t = 0; t < n_; ++t) {
-      partial.push_back(
-          ctx_.pk().ScalarMul(FpToBigInt(alpha_shares[t]), vl_sum[t]));
+      share_scalars[t] = FpToBigInt(alpha_shares[t]);
     }
-    for (int t = 0; t < n_; ++t) {
-      partial.push_back(
-          ctx_.pk().ScalarMul(FpToBigInt(alpha_shares[t]), vr_sum[t]));
-    }
+    PIVOT_ASSIGN_OR_RETURN(
+        std::vector<Ciphertext> partial,
+        ScalarMulBatch(ctx_.pk(), share_scalars, vl_sum,
+                       ctx_.crypto_threads()));
+    PIVOT_ASSIGN_OR_RETURN(
+        std::vector<Ciphertext> part_r,
+        ScalarMulBatch(ctx_.pk(), share_scalars, vr_sum,
+                       ctx_.crypto_threads()));
+    partial.insert(partial.end(), part_r.begin(), part_r.end());
     if (me_ != aggregator) {
       PIVOT_RETURN_IF_ERROR(
           ctx_.endpoint().Send(aggregator, EncodeCiphertextVector(partial)));
@@ -932,6 +953,7 @@ class TreeTrainer {
     EncodeRngState(rs.prep.rng, w);
     w.WriteU64(rs.prep.triples_used);
     w.WriteU64(rs.prep.masks_used);
+    w.WriteU64(rs.enc_pool_next);
     store->Save(epoch_, completed, w.Take());
     const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                             std::chrono::steady_clock::now() - t0)
@@ -986,6 +1008,7 @@ class TreeTrainer {
     PIVOT_ASSIGN_OR_RETURN(rs.prep.rng, DecodeRngState(r));
     PIVOT_ASSIGN_OR_RETURN(rs.prep.triples_used, r.ReadU64());
     PIVOT_ASSIGN_OR_RETURN(rs.prep.masks_used, r.ReadU64());
+    PIVOT_ASSIGN_OR_RETURN(rs.enc_pool_next, r.ReadU64());
     if (!r.AtEnd()) {
       return Status::ProtocolError("trailing bytes in checkpoint snapshot");
     }

@@ -378,6 +378,59 @@ TEST(ChaosRecoveryTest, CrashRecoveryResumesAndBitMatches) {
   }
 }
 
+// The parallel crypto kernels promise thread-count invariance (DESIGN.md,
+// "Parallelism model"): trained state must be bit-identical whether the
+// batched Paillier ops run sequentially or fanned out on the shared pool.
+TEST(ChaosRecoveryTest, CryptoThreadCountDoesNotChangeFingerprints) {
+  const Dataset data = TinyClassification();
+  FederationConfig sequential = RecoveryConfig();
+  sequential.params.crypto_threads = 1;
+  std::vector<Bytes> baseline;
+  ASSERT_TRUE(TrainAndFingerprint(data, sequential, &baseline).ok());
+  FederationConfig fanned = RecoveryConfig();
+  fanned.params.crypto_threads = 4;
+  // Fanning out 4 crypto workers per party oversubscribes small/instrumented
+  // hosts (TSan runs this test too); a longer recv timeout only slows
+  // failure detection, it cannot change the trained bits.
+  fanned.net.recv_timeout_ms = 8 * kRecvTimeoutMs;
+  std::vector<Bytes> prints;
+  ASSERT_TRUE(TrainAndFingerprint(data, fanned, &prints).ok());
+  for (int p = 0; p < kParties; ++p) {
+    EXPECT_EQ(prints[p], baseline[p])
+        << "party " << p << " diverged between crypto_threads 1 and 4";
+  }
+}
+
+// Thread-count invariance must also hold across a crash/resume boundary:
+// the checkpoint carries the randomness-pool cursor (snapshot v2), so a
+// parallel run that restarts mid-tree still lands on the sequential
+// fault-free fingerprints.
+TEST(ChaosRecoveryTest, CrashRecoveryBitMatchesWithParallelCrypto) {
+  const Dataset data = TinyClassification();
+  std::vector<Bytes> baseline;
+  ASSERT_TRUE(
+      TrainAndFingerprint(data, RecoveryConfig(), &baseline).ok());
+  FederationConfig cfg = RecoveryConfig();
+  cfg.params.crypto_threads = 4;
+  // See CryptoThreadCountDoesNotChangeFingerprints: absorb sanitizer
+  // slowdown under 4-way fan-out. Transient delays are 1-20 ms, so the
+  // longer timeout still masks them and still detects the crash.
+  cfg.net.recv_timeout_ms = 8 * kRecvTimeoutMs;
+  cfg.fault_plan =
+      FaultPlan::FromSeed(0x2F000000ULL, kParties, kFatalMs, /*max_op=*/40,
+                          /*max_msg=*/12, FaultMix::kCrashRecovery);
+  cfg.checkpoint = std::make_shared<FederationCheckpoint>(kParties);
+  cfg.max_restarts = 2;
+  std::vector<Bytes> prints;
+  const Status st = TrainAndFingerprint(data, cfg, &prints);
+  ASSERT_TRUE(st.ok()) << st.ToString()
+                       << "\nplan: " << cfg.fault_plan.ToString();
+  for (int p = 0; p < kParties; ++p) {
+    EXPECT_EQ(prints[p], baseline[p])
+        << "party " << p << " diverged under parallel crypto + restart";
+  }
+}
+
 // A fault that survives retransmission (fatal corrupt) must exhaust the
 // retry budget and abort within the tier-1 latency bound — recovery
 // machinery must not turn a persistent fault into a slow failure.

@@ -2,6 +2,7 @@
 
 #include "common/sha256.h"
 #include "crypto/paillier.h"
+#include "crypto/paillier_batch.h"
 #include "crypto/threshold_paillier.h"
 #include "crypto/zkp.h"
 
@@ -238,7 +239,7 @@ class ZkpTest : public PaillierTest {};
 
 TEST_F(ZkpTest, PopkAcceptsHonestProof) {
   BigInt m(123456);
-  BigInt r = keys_->pk.SampleUnit(*rng_);
+  BigInt r = keys_->pk.SampleUnit(*rng_).value();
   Ciphertext c = keys_->pk.EncryptWithRandomness(m, r);
   PopkProof proof = ProvePlaintextKnowledge(keys_->pk, c, m, r, *rng_);
   EXPECT_TRUE(VerifyPlaintextKnowledge(keys_->pk, c, proof).ok());
@@ -246,7 +247,7 @@ TEST_F(ZkpTest, PopkAcceptsHonestProof) {
 
 TEST_F(ZkpTest, PopkRejectsWrongCiphertext) {
   BigInt m(5);
-  BigInt r = keys_->pk.SampleUnit(*rng_);
+  BigInt r = keys_->pk.SampleUnit(*rng_).value();
   Ciphertext c = keys_->pk.EncryptWithRandomness(m, r);
   PopkProof proof = ProvePlaintextKnowledge(keys_->pk, c, m, r, *rng_);
   Ciphertext other = keys_->pk.Encrypt(BigInt(6), *rng_);
@@ -255,7 +256,7 @@ TEST_F(ZkpTest, PopkRejectsWrongCiphertext) {
 
 TEST_F(ZkpTest, PopkRejectsTamperedResponse) {
   BigInt m(5);
-  BigInt r = keys_->pk.SampleUnit(*rng_);
+  BigInt r = keys_->pk.SampleUnit(*rng_).value();
   Ciphertext c = keys_->pk.EncryptWithRandomness(m, r);
   PopkProof proof = ProvePlaintextKnowledge(keys_->pk, c, m, r, *rng_);
   proof.z = proof.z + BigInt(1);
@@ -265,7 +266,7 @@ TEST_F(ZkpTest, PopkRejectsTamperedResponse) {
 TEST_F(ZkpTest, PopcmAcceptsHonestProof) {
   // Prover: knows a committed in ca, computes c_out = cb^a.
   BigInt a(17);
-  BigInt ra = keys_->pk.SampleUnit(*rng_);
+  BigInt ra = keys_->pk.SampleUnit(*rng_).value();
   Ciphertext ca = keys_->pk.EncryptWithRandomness(a, ra);
   Ciphertext cb = keys_->pk.Encrypt(BigInt(100), *rng_);
   Ciphertext c_out = keys_->pk.ScalarMul(a, cb);
@@ -278,7 +279,7 @@ TEST_F(ZkpTest, PopcmAcceptsHonestProof) {
 
 TEST_F(ZkpTest, PopcmRejectsWrongProduct) {
   BigInt a(17);
-  BigInt ra = keys_->pk.SampleUnit(*rng_);
+  BigInt ra = keys_->pk.SampleUnit(*rng_).value();
   Ciphertext ca = keys_->pk.EncryptWithRandomness(a, ra);
   Ciphertext cb = keys_->pk.Encrypt(BigInt(100), *rng_);
   PopcmProof proof =
@@ -290,7 +291,7 @@ TEST_F(ZkpTest, PopcmRejectsWrongProduct) {
 
 TEST_F(ZkpTest, PopcmRejectsSwappedCommitment) {
   BigInt a(3);
-  BigInt ra = keys_->pk.SampleUnit(*rng_);
+  BigInt ra = keys_->pk.SampleUnit(*rng_).value();
   Ciphertext ca = keys_->pk.EncryptWithRandomness(a, ra);
   Ciphertext cb = keys_->pk.Encrypt(BigInt(10), *rng_);
   Ciphertext c_out = keys_->pk.ScalarMul(a, cb);
@@ -309,7 +310,7 @@ TEST_F(ZkpTest, PohdpAcceptsHonestProof) {
   std::vector<BigInt> rand;
   std::vector<Ciphertext> commitments;
   for (const BigInt& v : values) {
-    rand.push_back(keys_->pk.SampleUnit(*rng_));
+    rand.push_back(keys_->pk.SampleUnit(*rng_).value());
     commitments.push_back(keys_->pk.EncryptWithRandomness(v, rand.back()));
   }
   std::vector<Ciphertext> mask;
@@ -335,7 +336,7 @@ TEST_F(ZkpTest, PohdpRejectsInflatedStatistic) {
   std::vector<BigInt> rand;
   std::vector<Ciphertext> commitments;
   for (const BigInt& v : values) {
-    rand.push_back(keys_->pk.SampleUnit(*rng_));
+    rand.push_back(keys_->pk.SampleUnit(*rng_).value());
     commitments.push_back(keys_->pk.EncryptWithRandomness(v, rand.back()));
   }
   std::vector<Ciphertext> mask = {keys_->pk.Encrypt(BigInt(1), *rng_),
@@ -357,6 +358,312 @@ TEST_F(ZkpTest, PohdpRejectsSizeMismatch) {
                    keys_->pk, {keys_->pk.Encrypt(BigInt(1), *rng_)}, {},
                    keys_->pk.One(), proof)
                    .ok());
+}
+
+
+// ---------------------------------------------------------------------------
+// Batched kernels (crypto/paillier_batch.h): every kernel must be
+// bit-identical to its scalar counterpart, for every thread count
+// including the degenerate empty and size-1 batches.
+
+class PaillierBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(4242);
+    keys_ = new ThresholdPaillier(GenerateThresholdPaillier(256, 3, rng));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+
+  static std::vector<BigInt> SomePlains(size_t count, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<BigInt> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      out.push_back(BigInt(static_cast<int64_t>(rng.NextU64() % 1000003ULL)));
+    }
+    return out;
+  }
+
+  static std::vector<Ciphertext> SomeCts(const std::vector<BigInt>& plains,
+                                         uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Ciphertext> out;
+    out.reserve(plains.size());
+    for (const BigInt& m : plains) out.push_back(keys_->pk.Encrypt(m, rng));
+    return out;
+  }
+
+  static ThresholdPaillier* keys_;
+};
+
+ThresholdPaillier* PaillierBatchTest::keys_ = nullptr;
+
+constexpr int kThreadSweep[] = {1, 2, 8};
+constexpr size_t kSizeSweep[] = {0, 1, 13};
+
+TEST_F(PaillierBatchTest, EncryptBatchMatchesDerivedScalarPath) {
+  // The batch draws one u64 and derives per-item streams; replicate that
+  // by hand and check bit-equality for every thread count and size.
+  for (size_t count : kSizeSweep) {
+    const std::vector<BigInt> plains = SomePlains(count, 7 + count);
+    Rng scalar_rng(99);
+    std::vector<Ciphertext> expect;
+    if (count > 0) {
+      const uint64_t base = scalar_rng.NextU64();
+      for (size_t i = 0; i < count; ++i) {
+        Rng item(DeriveStreamSeed(base, i));
+        BigInt r = keys_->pk.SampleUnit(item).value();
+        expect.push_back(keys_->pk.EncryptWithRandomness(plains[i], r));
+      }
+    }
+    for (int threads : kThreadSweep) {
+      Rng rng(99);
+      Result<std::vector<Ciphertext>> got =
+          EncryptBatch(keys_->pk, plains, rng, threads);
+      ASSERT_TRUE(got.ok()) << "threads=" << threads << " count=" << count;
+      ASSERT_EQ(got.value().size(), count);
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(got.value()[i].value, expect[i].value)
+            << "threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(PaillierBatchTest, EncryptBatchFromPoolMatchesComputePair) {
+  const std::vector<BigInt> plains = SomePlains(13, 11);
+  // Expected: pair i from a fresh pool with the same seed, via the plain
+  // scalar encryption routine.
+  EncRandomnessPool ref(keys_->pk, 555);
+  std::vector<Ciphertext> expect;
+  for (size_t i = 0; i < plains.size(); ++i) {
+    EncRandomnessPool::Pair pair = ref.ComputePair(i);
+    expect.push_back(keys_->pk.EncryptWithRandomness(plains[i], pair.r));
+  }
+  for (int threads : kThreadSweep) {
+    EncRandomnessPool pool(keys_->pk, 555);
+    if (threads > 1) {
+      // Exercise the prefill path too: precompute ahead, then drain.
+      pool.PrefillAsync(ThreadPool::Global(), plains.size());
+    }
+    Result<std::vector<Ciphertext>> got =
+        EncryptBatch(keys_->pk, plains, pool, threads);
+    ASSERT_TRUE(got.ok()) << "threads=" << threads;
+    ASSERT_EQ(got.value().size(), plains.size());
+    for (size_t i = 0; i < plains.size(); ++i) {
+      EXPECT_EQ(got.value()[i].value, expect[i].value)
+          << "threads=" << threads << " i=" << i;
+    }
+    EXPECT_EQ(pool.next_index(), plains.size());
+  }
+}
+
+TEST_F(PaillierBatchTest, EncRandomnessPoolDrainMatchesComputePair) {
+  EncRandomnessPool pool(keys_->pk, 777);
+  EncRandomnessPool ref(keys_->pk, 777);
+  // Mixed drain: part cold (misses), part prefetched (hits); the pairs
+  // must be identical either way, and the cursor must advance linearly.
+  std::vector<EncRandomnessPool::Pair> first = pool.Drain(3);
+  pool.PrefillAsync(ThreadPool::Global(), 8);
+  std::vector<EncRandomnessPool::Pair> second = pool.Drain(5);
+  ASSERT_EQ(first.size(), 3u);
+  ASSERT_EQ(second.size(), 5u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(first[i].r, ref.ComputePair(i).r);
+    EXPECT_EQ(first[i].rn, ref.ComputePair(i).rn);
+  }
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(second[i].r, ref.ComputePair(3 + i).r);
+    EXPECT_EQ(second[i].rn, ref.ComputePair(3 + i).rn);
+  }
+  EXPECT_EQ(pool.next_index(), 8u);
+  // Rewind (checkpoint restore) replays the same stream.
+  pool.SetNextIndex(3);
+  std::vector<EncRandomnessPool::Pair> replay = pool.Drain(5);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(replay[i].r, second[i].r);
+    EXPECT_EQ(replay[i].rn, second[i].rn);
+  }
+}
+
+TEST_F(PaillierBatchTest, RerandomizeBatchPreservesPlaintexts) {
+  const std::vector<BigInt> plains = SomePlains(9, 21);
+  const std::vector<Ciphertext> cts = SomeCts(plains, 22);
+  for (int threads : kThreadSweep) {
+    Rng rng(1234);
+    Result<std::vector<Ciphertext>> out =
+        RerandomizeBatch(keys_->pk, cts, rng, threads);
+    ASSERT_TRUE(out.ok());
+    EncRandomnessPool pool(keys_->pk, 888);
+    Result<std::vector<Ciphertext>> out2 =
+        RerandomizeBatch(keys_->pk, cts, pool, threads);
+    ASSERT_TRUE(out2.ok());
+    for (size_t i = 0; i < cts.size(); ++i) {
+      EXPECT_NE(out.value()[i].value, cts[i].value);
+      EXPECT_NE(out2.value()[i].value, cts[i].value);
+      EXPECT_EQ(JointDecrypt(*keys_, out.value()[i]).value(), plains[i]);
+      EXPECT_EQ(JointDecrypt(*keys_, out2.value()[i]).value(), plains[i]);
+    }
+  }
+}
+
+TEST_F(PaillierBatchTest, ScalarMulBatchMatchesScalarOp) {
+  for (size_t count : kSizeSweep) {
+    const std::vector<BigInt> plains = SomePlains(count, 31);
+    const std::vector<Ciphertext> cts = SomeCts(plains, 32);
+    std::vector<BigInt> scalars = SomePlains(count, 33);
+    if (count > 1) {
+      scalars[0] = BigInt(0);  // cover the zero / one fast paths
+      scalars[1] = BigInt(1);
+    }
+    std::vector<Ciphertext> expect;
+    for (size_t i = 0; i < count; ++i) {
+      expect.push_back(keys_->pk.ScalarMul(scalars[i], cts[i]));
+    }
+    for (int threads : kThreadSweep) {
+      Result<std::vector<Ciphertext>> got =
+          ScalarMulBatch(keys_->pk, scalars, cts, threads);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got.value().size(), count);
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(got.value()[i].value, expect[i].value)
+            << "threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(PaillierBatchTest, ScalarMulBatchRejectsSizeMismatch) {
+  const std::vector<Ciphertext> cts = SomeCts(SomePlains(2, 41), 42);
+  EXPECT_FALSE(ScalarMulBatch(keys_->pk, {BigInt(1)}, cts, 1).ok());
+}
+
+TEST_F(PaillierBatchTest, PreparedDotProductMatchesPlainDotProduct) {
+  const std::vector<BigInt> plains = SomePlains(11, 51);
+  const std::vector<Ciphertext> cts = SomeCts(plains, 52);
+  std::vector<BigInt> weights = SomePlains(11, 53);
+  weights[2] = BigInt(0);
+  weights[5] = BigInt(1);
+  const Ciphertext expect = keys_->pk.DotProduct(weights, cts);
+  for (bool tables : {false, true}) {
+    PreparedCiphertexts prep(keys_->pk, cts, tables);
+    EXPECT_EQ(prep.DotProduct(weights).value, expect.value)
+        << "tables=" << tables;
+  }
+  // Empty vector: both paths give an encryption-of-zero identity.
+  PreparedCiphertexts empty(keys_->pk, {});
+  EXPECT_EQ(empty.DotProduct({}).value, keys_->pk.DotProduct({}, {}).value);
+}
+
+TEST_F(PaillierBatchTest, PreparedDotIndicatorMatchesBigIntDotProduct) {
+  const std::vector<BigInt> plains = SomePlains(10, 61);
+  const std::vector<Ciphertext> cts = SomeCts(plains, 62);
+  std::vector<uint8_t> ind = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1};
+  std::vector<BigInt> ind_big, comp_big;
+  for (uint8_t b : ind) {
+    ind_big.push_back(BigInt(b));
+    comp_big.push_back(BigInt(1 - b));
+  }
+  for (bool tables : {false, true}) {
+    PreparedCiphertexts prep(keys_->pk, cts, tables);
+    EXPECT_EQ(prep.DotIndicator(ind, false).value,
+              keys_->pk.DotProduct(ind_big, cts).value);
+    EXPECT_EQ(prep.DotIndicator(ind, true).value,
+              keys_->pk.DotProduct(comp_big, cts).value);
+  }
+}
+
+TEST_F(PaillierBatchTest, PreparedScalarMulMatchesScalarOp) {
+  const std::vector<BigInt> plains = SomePlains(4, 71);
+  const std::vector<Ciphertext> cts = SomeCts(plains, 72);
+  for (bool tables : {false, true}) {
+    PreparedCiphertexts prep(keys_->pk, cts, tables);
+    for (const BigInt& k : {BigInt(0), BigInt(1), BigInt(12345)}) {
+      for (size_t i = 0; i < cts.size(); ++i) {
+        EXPECT_EQ(prep.ScalarMul(i, k).value,
+                  keys_->pk.ScalarMul(k, cts[i]).value)
+            << "tables=" << tables << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(PaillierBatchTest, ThresholdBatchMatchesScalarPipeline) {
+  for (size_t count : kSizeSweep) {
+    const std::vector<BigInt> plains = SomePlains(count, 81);
+    const std::vector<Ciphertext> cts = SomeCts(plains, 82);
+    for (int threads : kThreadSweep) {
+      std::vector<std::vector<BigInt>> partials;
+      for (const PartialKey& key : keys_->partial_keys) {
+        Result<std::vector<BigInt>> part =
+            PartialDecryptBatch(keys_->pk, key, cts, threads);
+        ASSERT_TRUE(part.ok());
+        ASSERT_EQ(part.value().size(), count);
+        for (size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(part.value()[i],
+                    PartialDecrypt(keys_->pk, key, cts[i]).value);
+        }
+        partials.push_back(std::move(part).value());
+      }
+      Result<std::vector<BigInt>> combined = CombinePartialDecryptionsBatch(
+          keys_->pk, partials, static_cast<int>(keys_->partial_keys.size()),
+          threads);
+      ASSERT_TRUE(combined.ok()) << "threads=" << threads;
+      ASSERT_EQ(combined.value().size(), count);
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(combined.value()[i], plains[i])
+            << "threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(PaillierBatchTest, CombineBatchRejectsBadShapes) {
+  const std::vector<Ciphertext> cts = SomeCts(SomePlains(2, 91), 92);
+  std::vector<std::vector<BigInt>> partials;
+  for (const PartialKey& key : keys_->partial_keys) {
+    partials.push_back(PartialDecryptBatch(keys_->pk, key, cts, 1).value());
+  }
+  // Missing a party.
+  std::vector<std::vector<BigInt>> missing(partials.begin(),
+                                           partials.end() - 1);
+  EXPECT_FALSE(CombinePartialDecryptionsBatch(keys_->pk, missing, 3, 1).ok());
+  // Ragged inner sizes.
+  std::vector<std::vector<BigInt>> ragged = partials;
+  ragged[1].pop_back();
+  EXPECT_FALSE(CombinePartialDecryptionsBatch(keys_->pk, ragged, 3, 1).ok());
+}
+
+TEST_F(PaillierBatchTest, DecryptBatchMatchesScalarDecrypt) {
+  Rng rng(4711);
+  PaillierKeyPair pair = GeneratePaillierKeyPair(256, rng);
+  for (size_t count : kSizeSweep) {
+    std::vector<BigInt> plains = SomePlains(count, 103);
+    std::vector<Ciphertext> cts;
+    for (const BigInt& m : plains) cts.push_back(pair.pk.Encrypt(m, rng));
+    for (int threads : kThreadSweep) {
+      Result<std::vector<BigInt>> got = DecryptBatch(pair.sk, cts, threads);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got.value().size(), count);
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(got.value()[i], plains[i]);
+      }
+    }
+  }
+}
+
+TEST_F(PaillierBatchTest, SumCiphertextsMatchesAddFold) {
+  for (size_t count : kSizeSweep) {
+    const std::vector<BigInt> plains = SomePlains(count, 101);
+    const std::vector<Ciphertext> cts = SomeCts(plains, 102);
+    Ciphertext expect = keys_->pk.One();
+    for (const Ciphertext& c : cts) expect = keys_->pk.Add(expect, c);
+    EXPECT_EQ(SumCiphertexts(keys_->pk, cts).value, expect.value)
+        << "count=" << count;
+  }
 }
 
 }  // namespace

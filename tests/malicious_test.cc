@@ -154,7 +154,7 @@ TEST_F(MaliciousZkpTest, InflatedStatisticRejected) {
 
 TEST_F(MaliciousZkpTest, GammaEntryVerifies) {
   BigInt beta(1);
-  BigInt r = keys_->pk.SampleUnit(*rng_);
+  BigInt r = keys_->pk.SampleUnit(*rng_).value();
   Ciphertext beta_commit = keys_->pk.EncryptWithRandomness(beta, r);
   Ciphertext alpha = keys_->pk.Encrypt(BigInt(1), *rng_);
   VerifiedGammaEntry entry =

@@ -130,7 +130,7 @@ TEST(ParallelDecryptionTest, SameTreeAsSequential) {
     cfg.params.tree.num_classes = 2;
     cfg.params.tree.max_depth = 2;
     cfg.params.key_bits = 256;
-    cfg.params.decryption_threads = threads;
+    cfg.params.crypto_threads = threads;
     std::vector<PivotNode> nodes;
     std::mutex mu;
     Status st = RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {

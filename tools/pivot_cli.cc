@@ -65,6 +65,7 @@ int Usage() {
                "            [--task classification|regression] [--classes C]\n"
                "            [--parties M] [--depth H] [--splits B]\n"
                "            [--protocol basic|enhanced] [--key-bits K]\n"
+               "            [--crypto-threads T]\n"
                "  pivot_cli predict --data test.csv --model PREFIX "
                "[--parties M]\n");
   return 2;
@@ -92,6 +93,9 @@ int RunTrain(const Args& args) {
   cfg.params.tree.max_splits = args.GetInt("splits", 8);
   const bool enhanced = args.Get("protocol", "basic") == "enhanced";
   cfg.params.key_bits = args.GetInt("key-bits", enhanced ? 512 : 256);
+  // Fan-out cap for the batched crypto kernels; results are bit-identical
+  // for every value (see DESIGN.md, "Parallelism model").
+  cfg.params.crypto_threads = args.GetInt("crypto-threads", 1);
   // Reliable-channel tunables (timeouts, retry budget, backoff) are
   // environment-overridable; see net/network.h.
   cfg.net = NetConfig::FromEnv(cfg.net);
@@ -135,6 +139,14 @@ int RunTrain(const Args& args) {
               static_cast<unsigned long long>(net_stats.corrupt_frames),
               static_cast<unsigned long long>(net_stats.nacks_sent));
   const OpSnapshot ops = OpSnapshot::Take().Delta(ops_before);
+  if (ops.pool_tasks > 0 || ops.batch_calls > 0) {
+    std::printf("crypto kernels: %llu batch calls, %llu pool tasks, "
+                "randomness pool %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(ops.batch_calls),
+                static_cast<unsigned long long>(ops.pool_tasks),
+                static_cast<unsigned long long>(ops.enc_pool_hits),
+                static_cast<unsigned long long>(ops.enc_pool_misses));
+  }
   if (ops.ckpt_writes > 0 || ops.ckpt_restores > 0) {
     std::printf("checkpointing: %llu writes (%llu us), %llu restores "
                 "(%llu us)\n",

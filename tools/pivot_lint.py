@@ -31,6 +31,13 @@ Rules (see DESIGN.md, "Correctness tooling"):
                     mesh forever when a peer dies (see DESIGN.md, "Fault
                     model"). Use wait_for/wait_until or Endpoint Recv.
 
+  raw-std-thread    std::thread (or #include <thread>) in src/ outside
+                    src/common/ and src/net/. Compute parallelism must go
+                    through the shared ThreadPool (common/thread_pool.h)
+                    so fan-out is centrally capped and deterministic;
+                    party threads live in the runner behind src/net/
+                    channels (see DESIGN.md, "Parallelism model").
+
   unbounded-retry   an unbounded loop (while (true) / for (;;)) that talks
                     about retrying (retry/retransmit/resend/backoff/nack)
                     with no budget in scope (retry_budget, a deadline, or
@@ -71,6 +78,7 @@ RE_UNBOUNDED_WAIT = re.compile(
     r"(?:\.|->)wait\s*\(|(?:\.|->)Pop\s*\(|MessageQueue::Pop\b"
 )
 RE_UNBOUNDED_LOOP = re.compile(r"while\s*\(\s*(?:true|1)\s*\)|for\s*\(\s*;\s*;")
+RE_RAW_STD_THREAD = re.compile(r"\bstd::thread\b|#\s*include\s*<thread>")
 RE_RETRY_KEYWORD = re.compile(
     r"retry|retransmit|resend|backoff|nack", re.IGNORECASE)
 RE_RETRY_BOUND = re.compile(
@@ -188,6 +196,20 @@ def check_unbounded_wait(rel, lines, findings):
                 "recv_timeout_ms can wake it"))
 
 
+def check_raw_std_thread(rel, lines, findings):
+    if not rel.startswith("src/"):
+        return
+    if rel.startswith(("src/common/", "src/net/")):
+        return
+    for i, line in enumerate(lines, 1):
+        if RE_RAW_STD_THREAD.search(strip_comment(line)):
+            findings.append(Finding(
+                rel, i, "raw-std-thread",
+                "raw std::thread outside src/common/ and src/net/; use the "
+                "shared ThreadPool (common/thread_pool.h) so fan-out stays "
+                "centrally capped and thread-count invariant"))
+
+
 def check_unbounded_retry(rel, lines, findings):
     if not rel.startswith("src/"):
         return
@@ -223,6 +245,7 @@ CHECKS = (
     check_include_guard,
     check_unchecked_value,
     check_unbounded_wait,
+    check_raw_std_thread,
     check_unbounded_retry,
 )
 

@@ -216,6 +216,44 @@ class UnboundedWaitTest(unittest.TestCase):
         self.assertEqual(findings, [])
 
 
+class RawStdThreadTest(unittest.TestCase):
+    def test_flags_std_thread_in_src(self):
+        code = "std::thread worker([&] { Run(); });\n"
+        findings = run_lint({"src/pivot/context.cc": code})
+        self.assertEqual(rules(findings), ["raw-std-thread"])
+
+    def test_flags_thread_include_in_src(self):
+        findings = run_lint({"src/crypto/paillier.cc": "#include <thread>\n"})
+        self.assertEqual(rules(findings), ["raw-std-thread"])
+
+    def test_allows_thread_pool_home(self):
+        code = "#include <thread>\nstd::thread t;\n"
+        findings = run_lint({"src/common/thread_pool.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_allows_party_threads_in_net(self):
+        code = "std::thread party([&] { RunParty(); });\n"
+        findings = run_lint({"src/net/runner_threads.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_tests_bench_and_tools_exempt(self):
+        code = "#include <thread>\nstd::thread t([] {});\n"
+        findings = run_lint({"tests/pool_test.cc": code,
+                             "bench/bench_x.cc": code,
+                             "tools/cli.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_this_thread_is_not_flagged(self):
+        code = "std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+        findings = run_lint({"src/pivot/trainer.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_ignores_comments(self):
+        code = "// replaced the std::thread pool with ThreadPool\n"
+        findings = run_lint({"src/pivot/context.cc": code})
+        self.assertEqual(findings, [])
+
+
 class UnboundedRetryTest(unittest.TestCase):
     def test_flags_while_true_retry_without_budget(self):
         code = ("void F() {\n"
