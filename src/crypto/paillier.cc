@@ -119,12 +119,16 @@ PaillierPrivateKey::PaillierPrivateKey(const PaillierPublicKey& pk,
   // mu = (L(g^lambda mod n^2))^{-1} mod n, with g = n + 1:
   // g^lambda mod n^2 = 1 + lambda·n mod n^2, so L(...) = lambda mod n.
   const BigInt l = lambda_.Mod(pk_.n());
+  // pivot-taint: allow(variable-time-call) key setup: runs once at keygen,
+  // before the adversary can issue timed decryption queries.
   Result<BigInt> inv = l.ModInverse(pk_.n());
   PIVOT_CHECK_MSG(inv.ok(), "lambda not invertible mod n");
   mu_ = std::move(inv).value();
 }
 
 Result<BigInt> PaillierPrivateKey::Decrypt(const Ciphertext& c) const {
+  // pivot-taint: allow(variable-time-call) the ladder length depends only
+  // on bitlen(lambda), fixed by the key size — not on per-message data.
   const BigInt u = pk_.PowModN2(c.value, lambda_);
   PIVOT_ASSIGN_OR_RETURN(BigInt l, PaillierL(u, pk_.n()));
   return l.ModMul(mu_, pk_.n());

@@ -297,6 +297,8 @@ Result<std::vector<BigInt>> PartialDecryptBatch(
     const std::vector<Ciphertext>& cts, int threads) {
   OpCounters::Global().AddBatchCall();
   std::vector<BigInt> out(cts.size());
+  // pivot-taint: allow(variable-time-call) the ladder length depends only
+  // on bitlen(d_share), fixed at key generation — not on per-message data.
   PIVOT_RETURN_IF_ERROR(ThreadPool::Global().ParallelFor(
       cts.size(), threads, [&](size_t i) -> Status {
         out[i] = pk.PowModN2(cts[i].value, key.d_share);

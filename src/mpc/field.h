@@ -5,6 +5,7 @@
 
 #include "bigint/bigint.h"
 #include "common/check.h"
+#include "common/ct.h"
 #include "common/rng.h"
 
 namespace pivot {
@@ -28,24 +29,39 @@ inline u128 FpFold(u128 x) {
   return (x & kFieldPrime) + (x >> 127);
 }
 
+// The Fp* primitives below are branchless: they run on secret shares, MAC
+// values, and masks, so their timing must not depend on operand values
+// (tools/pivot_taint.py annotates their parameters as secret). Conditional
+// subtractions are expressed as arithmetic masks from common/ct.h.
+
 inline u128 FpReduce(u128 x) {
   x = FpFold(x);
-  if (x >= kFieldPrime) x -= kFieldPrime;
-  return x;
+  // Subtract p iff x >= p, as a mask: x < 2^127 + 1 here, so x - p
+  // underflows (top bit set) exactly when x < p.
+  const u128 d = x - kFieldPrime;
+  const u128 borrow = ct::MaskNonZeroU128(d >> 127);  // all-ones iff x < p
+  return ct::SelectU128(borrow, x, d);
 }
 
 inline u128 FpAdd(u128 a, u128 b) {
   // a, b < p < 2^127, so the sum fits in 128 bits.
-  u128 s = a + b;
-  if (s >= kFieldPrime) s -= kFieldPrime;
-  return s;
+  const u128 s = a + b;
+  const u128 d = s - kFieldPrime;
+  const u128 borrow = ct::MaskNonZeroU128(d >> 127);
+  return ct::SelectU128(borrow, s, d);
 }
 
 inline u128 FpSub(u128 a, u128 b) {
-  return a >= b ? a - b : a + kFieldPrime - b;
+  // a - b, wrapping by +p iff a < b.
+  const u128 d = a - b;
+  const u128 borrow = ct::MaskNonZeroU128(d >> 127);  // all-ones iff a < b
+  return d + (borrow & kFieldPrime);
 }
 
-inline u128 FpNeg(u128 a) { return a == 0 ? 0 : kFieldPrime - a; }
+inline u128 FpNeg(u128 a) {
+  // p - a for a != 0, and 0 for a == 0, without branching on a.
+  return (kFieldPrime - a) & ct::MaskNonZeroU128(a);
+}
 
 // Full 127x127 -> 254-bit product with Mersenne folding.
 inline u128 FpMul(u128 a, u128 b) {
@@ -60,14 +76,16 @@ inline u128 FpMul(u128 a, u128 b) {
   const u128 p11 = static_cast<u128>(a1) * b1;  // < 2^126
 
   // acc = p11*2^128 + (p01 + p10)*2^64 + p00, tracked as acc1*2^128 + acc0.
+  // Carries are computed as 0/1 comparison values (SETcc), not branches,
+  // so multiplication time is independent of the operand bit patterns.
   u128 mid = p01 + p10;
-  const u128 mid_carry = (mid < p01) ? 1 : 0;  // overflow of the mid sum
+  const u128 mid_carry = static_cast<u128>(mid < p01);  // mid-sum overflow
 
   u128 acc0 = p00;
   u128 acc1 = p11 + (mid >> 64) + (mid_carry << 64);
   const u128 mid_lo_shifted = mid << 64;
   acc0 += mid_lo_shifted;
-  if (acc0 < mid_lo_shifted) ++acc1;
+  acc1 += static_cast<u128>(acc0 < mid_lo_shifted);
 
   // value = acc1*2^128 + acc0 ≡ 2*acc1 + acc0 (mod 2^127 - 1).
   u128 r = FpFold(acc0) + FpFold(acc1 << 1);
@@ -103,8 +121,13 @@ inline u128 FpRandom(Rng& rng) {
 
 // Signed encode/decode: logical values live in (-p/2, p/2).
 inline u128 FpFromSigned(i128 v) {
-  return v >= 0 ? FpReduce(static_cast<u128>(v))
-                : FpNeg(FpReduce(static_cast<u128>(-v)));
+  // Branchless sign split: select |v| by the sign mask, reduce, then
+  // select the negation the same way (v is a secret logical value).
+  const u128 uv = static_cast<u128>(v);
+  const u128 neg = ct::MaskNonZeroU128(uv >> 127);  // all-ones iff v < 0
+  const u128 mag = FpReduce(ct::SelectU128(neg, static_cast<u128>(0) - uv,
+                                           uv));
+  return ct::SelectU128(neg, FpNeg(mag), mag);
 }
 
 inline i128 FpToSigned(u128 v) {

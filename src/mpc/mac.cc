@@ -1,6 +1,7 @@
 #include "mpc/mac.h"
 
 #include "common/check.h"
+#include "common/ct.h"
 #include "common/op_counters.h"
 #include "net/codec.h"
 
@@ -100,6 +101,9 @@ Result<AuthShare> AuthEngine::Input(int owner, i128 value) {
     ByteWriter we;
     EncodeU128(eps, we);
     if (num_parties() > 1) {
+      // pivot-taint: allow(raw-send) eps = value - r is one-time-pad
+      // masked by the fresh dealer randomness r; broadcasting it is the
+      // SPDZ input step.
       PIVOT_RETURN_IF_ERROR(endpoint_->Broadcast(we.Take()));
     }
   } else {
@@ -146,6 +150,9 @@ Result<std::vector<u128>> AuthEngine::OpenVec(
   }
   std::vector<u128> zsum = zs;
   if (num_parties() > 1) {
+    // pivot-taint: allow(raw-send) MAC-check shares z_i = mac_i - x·Δ_i
+    // are uniform under the secret MAC key and sum to zero iff the
+    // opened values are untampered; publishing them IS the check.
     PIVOT_RETURN_IF_ERROR(endpoint_->Broadcast(EncodeU128Vector(zs)));
     for (int p = 0; p < num_parties(); ++p) {
       if (p == party_id()) continue;
@@ -157,10 +164,12 @@ Result<std::vector<u128>> AuthEngine::OpenVec(
       for (size_t i = 0; i < n; ++i) zsum[i] = FpAdd(zsum[i], theirs[i]);
     }
   }
-  for (size_t i = 0; i < n; ++i) {
-    if (zsum[i] != 0) {
-      return Status::IntegrityError("MAC check failed: share was tampered");
-    }
+  // Constant-time verdict: fold every element before the single branch so
+  // timing cannot reveal *which* index (and hence which value) failed.
+  // An early-exit scan would leak the position of the first tampered
+  // share through round latency.
+  if (!ct::AllZeroU128(zsum.data(), zsum.size())) {
+    return Status::IntegrityError("MAC check failed: share was tampered");
   }
   return opened;
 }

@@ -112,6 +112,9 @@ Result<std::vector<BigInt>> PartyContext::JointDecrypt(
       std::vector<BigInt> partials,
       PartialDecryptBatch(pk_, partial_key_, work, crypto_threads()));
   if (id() != holder) {
+    // pivot-taint: allow(raw-send) partial decryptions are the messages
+    // threshold decryption publishes by design; any t-1 of them reveal
+    // nothing about the plaintext or the key share.
     PIVOT_RETURN_IF_ERROR(
         endpoint_->Send(holder, EncodeBigIntVector(partials)));
     // 4. Receive combined plaintexts.

@@ -1,6 +1,7 @@
 #include "pivot/ensemble.h"
 
 #include "common/check.h"
+#include "common/ct.h"
 #include "common/fixed_point.h"
 #include "pivot/prediction.h"
 
@@ -173,8 +174,14 @@ Result<PivotEnsemble> TrainPivotGbdt(PartyContext& ctx,
     std::vector<i128> target(n, 0);
     if (ctx.is_super()) {
       for (int t = 0; t < n; ++t) {
-        target[t] =
-            (static_cast<int>(ctx.labels()[t]) == k) ? FixedFromDouble(1.0) : 0;
+        // Constant-time one-hot: the label value must not steer a branch
+        // (class membership would leak through encoding time), so the
+        // match bit is computed with a CT compare and multiplied in.
+        const auto label = static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int>(ctx.labels()[t])));
+        const auto hit = static_cast<uint64_t>(
+            ct::EqualU64(label, static_cast<uint64_t>(k)));
+        target[t] = static_cast<i128>(hit) * FixedFromDouble(1.0);
       }
     }
     PIVOT_ASSIGN_OR_RETURN(onehot[k],

@@ -142,18 +142,18 @@ Result<std::vector<u128>> VerifiedCiphertextsToShares(
   for (int p = 0; p < m; ++p) {
     if (p == ctx.id()) continue;
     PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx.endpoint().Recv(p));
-    ByteReader r(msg);
-    PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+    ByteReader rd(msg);
+    PIVOT_ASSIGN_OR_RETURN(uint64_t count, rd.ReadU64());
     if (count != batch) {
       return Status::IntegrityError("mask batch size mismatch");
     }
     all_masks[p].resize(batch);
     for (size_t i = 0; i < batch; ++i) {
-      PIVOT_ASSIGN_OR_RETURN(BigInt ct, DecodeBigInt(r));
+      PIVOT_ASSIGN_OR_RETURN(BigInt ct, DecodeBigInt(rd));
       PopkProof proof;
-      PIVOT_ASSIGN_OR_RETURN(proof.commitment, DecodeBigInt(r));
-      PIVOT_ASSIGN_OR_RETURN(proof.z, DecodeBigInt(r));
-      PIVOT_ASSIGN_OR_RETURN(proof.w, DecodeBigInt(r));
+      PIVOT_ASSIGN_OR_RETURN(proof.commitment, DecodeBigInt(rd));
+      PIVOT_ASSIGN_OR_RETURN(proof.z, DecodeBigInt(rd));
+      PIVOT_ASSIGN_OR_RETURN(proof.w, DecodeBigInt(rd));
       all_masks[p][i] = Ciphertext{std::move(ct)};
       PIVOT_RETURN_IF_ERROR(
           VerifyPlaintextKnowledge(pk, all_masks[p][i], proof));
@@ -217,17 +217,17 @@ Result<std::vector<u128>> VerifiedCiphertextsToShares(
   for (int p = 0; p < m; ++p) {
     if (p == ctx.id()) continue;
     PIVOT_ASSIGN_OR_RETURN(Bytes msg, ctx.endpoint().Recv(p));
-    ByteReader r(msg);
-    PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+    ByteReader rd(msg);
+    PIVOT_ASSIGN_OR_RETURN(uint64_t count, rd.ReadU64());
     if (count != batch) {
       return Status::IntegrityError("share commitment size mismatch");
     }
     for (size_t i = 0; i < batch; ++i) {
-      PIVOT_ASSIGN_OR_RETURN(BigInt ct, DecodeBigInt(r));
+      PIVOT_ASSIGN_OR_RETURN(BigInt ct, DecodeBigInt(rd));
       PopkProof proof;
-      PIVOT_ASSIGN_OR_RETURN(proof.commitment, DecodeBigInt(r));
-      PIVOT_ASSIGN_OR_RETURN(proof.z, DecodeBigInt(r));
-      PIVOT_ASSIGN_OR_RETURN(proof.w, DecodeBigInt(r));
+      PIVOT_ASSIGN_OR_RETURN(proof.commitment, DecodeBigInt(rd));
+      PIVOT_ASSIGN_OR_RETURN(proof.z, DecodeBigInt(rd));
+      PIVOT_ASSIGN_OR_RETURN(proof.w, DecodeBigInt(rd));
       Ciphertext share_ct{std::move(ct)};
       PIVOT_RETURN_IF_ERROR(VerifyPlaintextKnowledge(pk, share_ct, proof));
       share_sums[i] = pk.Add(share_sums[i], share_ct);

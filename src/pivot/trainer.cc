@@ -6,6 +6,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "common/ct.h"
 #include "common/fixed_point.h"
 #include "common/op_counters.h"
 #include "common/thread_pool.h"
@@ -238,7 +239,12 @@ class TreeTrainer {
             const double v = (k == 0) ? shifted : shifted * shifted;
             betas[t] = FpToBigInt(FpFromSigned(FixedFromDouble(v)));
           } else {
-            betas[t] = BigInt(static_cast<int>(y[t]) == k ? 1 : 0);
+            // Constant-time one-hot: no label-steered branch, the match
+            // bit comes from a CT compare (see common/ct.h).
+            const auto label = static_cast<uint64_t>(
+                static_cast<int64_t>(static_cast<int>(y[t])));
+            betas[t] = BigInt(static_cast<uint64_t>(
+                ct::EqualU64(label, static_cast<uint64_t>(k))));
           }
         }
         PIVOT_ASSIGN_OR_RETURN(

@@ -263,6 +263,43 @@ TEST_F(ZkpTest, PopkRejectsTamperedResponse) {
   EXPECT_FALSE(VerifyPlaintextKnowledge(keys_->pk, c, proof).ok());
 }
 
+TEST_F(ZkpTest, PopkRejectsNegativeResponse) {
+  // A malformed proof with z < 0 must be rejected before any modular
+  // arithmetic (negative exponents would be undefined behavior upstream).
+  BigInt m(5);
+  BigInt r = keys_->pk.SampleUnit(*rng_).value();
+  Ciphertext c = keys_->pk.EncryptWithRandomness(m, r);
+  PopkProof proof = ProvePlaintextKnowledge(keys_->pk, c, m, r, *rng_);
+  proof.z = BigInt(0) - BigInt(1);
+  Status s = VerifyPlaintextKnowledge(keys_->pk, c, proof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("negative response"), std::string::npos);
+}
+
+TEST_F(ZkpTest, PopkRejectsReplayedProofOnFreshCiphertext) {
+  // Fiat-Shamir binds the challenge to the statement: a proof replayed
+  // against a different encryption of the SAME plaintext must fail,
+  // because the recomputed challenge no longer matches the response.
+  BigInt m(41);
+  BigInt r1 = keys_->pk.SampleUnit(*rng_).value();
+  Ciphertext c1 = keys_->pk.EncryptWithRandomness(m, r1);
+  PopkProof proof = ProvePlaintextKnowledge(keys_->pk, c1, m, r1, *rng_);
+  ASSERT_TRUE(VerifyPlaintextKnowledge(keys_->pk, c1, proof).ok());
+  Ciphertext c2 = keys_->pk.Encrypt(m, *rng_);
+  EXPECT_FALSE(VerifyPlaintextKnowledge(keys_->pk, c2, proof).ok());
+}
+
+TEST_F(ZkpTest, PopkRejectsTamperedCommitment) {
+  // Tampering with the commitment changes the recomputed challenge e,
+  // so the verification equation fails (challenge-binding).
+  BigInt m(9);
+  BigInt r = keys_->pk.SampleUnit(*rng_).value();
+  Ciphertext c = keys_->pk.EncryptWithRandomness(m, r);
+  PopkProof proof = ProvePlaintextKnowledge(keys_->pk, c, m, r, *rng_);
+  proof.commitment = proof.commitment + BigInt(1);
+  EXPECT_FALSE(VerifyPlaintextKnowledge(keys_->pk, c, proof).ok());
+}
+
 TEST_F(ZkpTest, PopcmAcceptsHonestProof) {
   // Prover: knows a committed in ca, computes c_out = cb^a.
   BigInt a(17);
@@ -348,6 +385,59 @@ TEST_F(ZkpTest, PohdpRejectsInflatedStatistic) {
   EXPECT_FALSE(VerifyHomomorphicDotProduct(keys_->pk, commitments, mask,
                                            inflated, proof)
                    .ok());
+}
+
+TEST_F(ZkpTest, PopcmRejectsTamperedWitnesses) {
+  BigInt a(6);
+  BigInt ra = keys_->pk.SampleUnit(*rng_).value();
+  Ciphertext ca = keys_->pk.EncryptWithRandomness(a, ra);
+  Ciphertext cb = keys_->pk.Encrypt(BigInt(11), *rng_);
+  Ciphertext c_out = keys_->pk.ScalarMul(a, cb);
+  PopcmProof proof =
+      ProvePlainCipherMul(keys_->pk, ca, ra, a, cb, BigInt(1), *rng_);
+  ASSERT_TRUE(VerifyPlainCipherMul(keys_->pk, ca, cb, c_out, proof).ok());
+  // Check 1 (ciphertext relation) and check 2 (commitment relation) must
+  // each catch a tampered witness independently.
+  PopcmProof bad1 = proof;
+  bad1.w2 = bad1.w2 + BigInt(1);
+  EXPECT_FALSE(VerifyPlainCipherMul(keys_->pk, ca, cb, c_out, bad1).ok());
+  PopcmProof bad2 = proof;
+  bad2.w1 = bad2.w1 + BigInt(1);
+  EXPECT_FALSE(VerifyPlainCipherMul(keys_->pk, ca, cb, c_out, bad2).ok());
+}
+
+TEST_F(ZkpTest, PopcmRejectsNegativeResponse) {
+  BigInt a(3);
+  BigInt ra = keys_->pk.SampleUnit(*rng_).value();
+  Ciphertext ca = keys_->pk.EncryptWithRandomness(a, ra);
+  Ciphertext cb = keys_->pk.Encrypt(BigInt(2), *rng_);
+  Ciphertext c_out = keys_->pk.ScalarMul(a, cb);
+  PopcmProof proof =
+      ProvePlainCipherMul(keys_->pk, ca, ra, a, cb, BigInt(1), *rng_);
+  proof.z = BigInt(0) - BigInt(5);
+  Status s = VerifyPlainCipherMul(keys_->pk, ca, cb, c_out, proof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("negative response"), std::string::npos);
+}
+
+TEST_F(ZkpTest, PohdpRejectsNegativeResponse) {
+  std::vector<BigInt> values = {BigInt(1)};
+  std::vector<BigInt> rand = {keys_->pk.SampleUnit(*rng_).value()};
+  std::vector<Ciphertext> commitments = {
+      keys_->pk.EncryptWithRandomness(values[0], rand[0])};
+  std::vector<Ciphertext> mask = {keys_->pk.Encrypt(BigInt(1), *rng_)};
+  Ciphertext c_out = Ciphertext{
+      keys_->pk.PowModN2(mask[0].value, values[0])};
+  PohdpProof proof = ProveHomomorphicDotProduct(
+      keys_->pk, commitments, rand, values, mask, BigInt(1), *rng_);
+  ASSERT_TRUE(VerifyHomomorphicDotProduct(keys_->pk, commitments, mask,
+                                          c_out, proof)
+                  .ok());
+  proof.z[0] = BigInt(0) - BigInt(1);
+  Status s = VerifyHomomorphicDotProduct(keys_->pk, commitments, mask, c_out,
+                                         proof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("negative response"), std::string::npos);
 }
 
 TEST_F(ZkpTest, PohdpRejectsSizeMismatch) {

@@ -1,0 +1,110 @@
+#include "common/ct.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace pivot {
+namespace {
+
+using ct::u128ct;
+
+TEST(CtMaskTest, MaskNonZeroU32) {
+  EXPECT_EQ(ct::MaskNonZeroU32(0), 0u);
+  EXPECT_EQ(ct::MaskNonZeroU32(1), 0xFFFFFFFFu);
+  EXPECT_EQ(ct::MaskNonZeroU32(0x80000000u), 0xFFFFFFFFu);
+  EXPECT_EQ(ct::MaskNonZeroU32(0xFFFFFFFFu), 0xFFFFFFFFu);
+}
+
+TEST(CtMaskTest, MaskNonZeroU64) {
+  EXPECT_EQ(ct::MaskNonZeroU64(0), 0u);
+  EXPECT_EQ(ct::MaskNonZeroU64(1), ~0ull);
+  // Value with bits only in the high half.
+  EXPECT_EQ(ct::MaskNonZeroU64(1ull << 63), ~0ull);
+}
+
+TEST(CtMaskTest, MaskNonZeroU128) {
+  EXPECT_EQ(ct::MaskNonZeroU128(0), static_cast<u128ct>(0));
+  EXPECT_EQ(ct::MaskNonZeroU128(1), ~static_cast<u128ct>(0));
+  // Bits only above the 64-bit boundary.
+  EXPECT_EQ(ct::MaskNonZeroU128(static_cast<u128ct>(1) << 100),
+            ~static_cast<u128ct>(0));
+}
+
+TEST(CtPredicateTest, IsZeroAndEqual) {
+  EXPECT_TRUE(ct::IsZeroU64(0));
+  EXPECT_FALSE(ct::IsZeroU64(42));
+  EXPECT_TRUE(ct::IsZeroU128(0));
+  EXPECT_FALSE(ct::IsZeroU128(static_cast<u128ct>(1) << 127));
+  EXPECT_TRUE(ct::EqualU64(7, 7));
+  EXPECT_FALSE(ct::EqualU64(7, 8));
+  const u128ct big = (static_cast<u128ct>(0xABCD) << 64) | 0x1234;
+  EXPECT_TRUE(ct::EqualU128(big, big));
+  EXPECT_FALSE(ct::EqualU128(big, big + 1));
+}
+
+TEST(CtSelectTest, SelectWords) {
+  EXPECT_EQ(ct::SelectU64(~0ull, 1, 2), 1u);
+  EXPECT_EQ(ct::SelectU64(0, 1, 2), 2u);
+  const u128ct a = static_cast<u128ct>(10) << 90;
+  const u128ct b = static_cast<u128ct>(20) << 90;
+  EXPECT_EQ(ct::SelectU128(~static_cast<u128ct>(0), a, b), a);
+  EXPECT_EQ(ct::SelectU128(0, a, b), b);
+}
+
+TEST(CtEqualTest, ByteSpans) {
+  Bytes a = {1, 2, 3, 4};
+  Bytes b = {1, 2, 3, 4};
+  Bytes c = {1, 2, 3, 5};
+  EXPECT_TRUE(ct::CtEqual(a, b));
+  EXPECT_FALSE(ct::CtEqual(a, c));
+  // Difference in the first byte must be found just as in the last.
+  Bytes d = {9, 2, 3, 4};
+  EXPECT_FALSE(ct::CtEqual(a, d));
+}
+
+TEST(CtEqualTest, LengthMismatchIsFalse) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3, 4};
+  EXPECT_FALSE(ct::CtEqual(a, b));
+}
+
+TEST(CtEqualTest, EmptySpansAreEqual) {
+  Bytes a, b;
+  EXPECT_TRUE(ct::CtEqual(a, b));
+}
+
+TEST(CtSelectTest, ByteSpans) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {4, 5, 6};
+  Bytes out;
+  ct::CtSelect(1, a, b, out);
+  EXPECT_EQ(out, a);
+  ct::CtSelect(0, a, b, out);
+  EXPECT_EQ(out, b);
+}
+
+TEST(CtSelectTest, OutMayAliasInput) {
+  Bytes a = {7, 8};
+  Bytes b = {9, 10};
+  ct::CtSelect(0, a, b, a);
+  EXPECT_EQ(a, (Bytes{9, 10}));
+}
+
+TEST(CtAllZeroTest, Fold) {
+  std::vector<u128ct> zeros(8, 0);
+  EXPECT_TRUE(ct::AllZeroU128(zeros.data(), zeros.size()));
+  // A failure anywhere — first, middle, last — must be caught.
+  for (size_t bad : {size_t{0}, size_t{4}, size_t{7}}) {
+    std::vector<u128ct> v(8, 0);
+    v[bad] = static_cast<u128ct>(1) << 97;
+    EXPECT_FALSE(ct::AllZeroU128(v.data(), v.size()));
+  }
+  EXPECT_TRUE(ct::AllZeroU128(nullptr, 0));
+}
+
+}  // namespace
+}  // namespace pivot

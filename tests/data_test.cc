@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <set>
+#include <string>
 
 #include "data/synthetic.h"
 
@@ -90,6 +92,25 @@ TEST(CsvTest, SaveLoadRoundTrip) {
 
 TEST(CsvTest, MissingFileFails) {
   EXPECT_FALSE(LoadCsv("/tmp/definitely_missing_pivot.csv").ok());
+}
+
+TEST(CsvTest, NonNumericCellErrorIsRedacted) {
+  // A malformed cell may hold a label or feature value; the diagnostic
+  // must report coordinates and length, never the cell bytes themselves
+  // (Status messages cross party and log boundaries).
+  const std::string path = "/tmp/pivot_csv_redact_test.csv";
+  {
+    std::ofstream out(path);
+    out << "1.0,2.0\n3.0,secret_label_77\n";
+  }
+  Result<Dataset> loaded = LoadCsv(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(loaded.ok());
+  const std::string& msg = loaded.status().message();
+  EXPECT_EQ(msg.find("secret_label_77"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("row 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("col 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("15 bytes"), std::string::npos) << msg;
 }
 
 TEST(SyntheticTest, ClassificationShapeAndLabels) {

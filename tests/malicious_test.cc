@@ -76,6 +76,30 @@ TEST(AuthShareTest, TamperedShareIsDetected) {
   });
 }
 
+TEST(AuthShareTest, TamperAtAnyBatchIndexDetected) {
+  // The MAC check folds all z-shares into one constant-time verdict
+  // (ct::AllZeroU128); tampering with the first, middle, or last element
+  // of a batch must be caught identically.
+  for (size_t bad : {size_t{0}, size_t{2}, size_t{4}}) {
+    RunAuth(2, [bad](AuthEngine& eng) -> Status {
+      std::vector<AuthShare> batch;
+      for (int v = 0; v < 5; ++v) {
+        PIVOT_ASSIGN_OR_RETURN(AuthShare s, eng.Input(0, v * 11));
+        batch.push_back(s);
+      }
+      if (eng.party_id() == 1) {
+        batch[bad] = AuthEngine::Tamper(batch[bad], 1);
+      }
+      Result<std::vector<u128>> opened = eng.OpenVec(batch);
+      if (opened.ok()) return Status::Internal("batch tamper undetected");
+      if (opened.status().code() != StatusCode::kIntegrityError) {
+        return Status::Internal("wrong error: " + opened.status().ToString());
+      }
+      return Status::Ok();
+    });
+  }
+}
+
 TEST(AuthShareTest, TamperedMulInputDetected) {
   RunAuth(2, [](AuthEngine& eng) -> Status {
     PIVOT_ASSIGN_OR_RETURN(AuthShare a, eng.Input(0, 5));

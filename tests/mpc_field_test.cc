@@ -89,6 +89,63 @@ TEST(FieldTest, BigIntBridge) {
   EXPECT_EQ(FpFromBigInt(way_above), static_cast<u128>(77));
 }
 
+// The branchless (constant-time) Fp kernels must agree with the BigInt
+// reference at the borrow boundaries their masks switch on: operands at
+// 0, 1, p-1, and sums/differences that straddle p exactly.
+TEST(FieldTest, BranchlessBoundaryCases) {
+  const u128 edges[] = {0, 1, 2, kFieldPrime / 2, kFieldPrime - 2,
+                        kFieldPrime - 1};
+  for (u128 a : edges) {
+    for (u128 b : edges) {
+      EXPECT_EQ(U128ToBig(FpAdd(a, b)),
+                (U128ToBig(a) + U128ToBig(b)).Mod(kPrimeBig));
+      EXPECT_EQ(U128ToBig(FpSub(a, b)),
+                (U128ToBig(a) + kPrimeBig - U128ToBig(b)).Mod(kPrimeBig));
+      EXPECT_EQ(U128ToBig(FpMul(a, b)),
+                U128ToBig(a).ModMul(U128ToBig(b), kPrimeBig));
+    }
+    EXPECT_EQ(U128ToBig(FpNeg(a)),
+              (kPrimeBig - U128ToBig(a)).Mod(kPrimeBig));
+    EXPECT_LT(FpAdd(a, a), kFieldPrime);
+  }
+  // FpReduce at the two representable multiples of p.
+  EXPECT_EQ(FpReduce(kFieldPrime), static_cast<u128>(0));
+  EXPECT_EQ(FpReduce(kFieldPrime - 1), kFieldPrime - 1);
+}
+
+TEST(FieldTest, BranchlessAgainstReferenceRandomized) {
+  Rng rng(20260809);
+  for (int i = 0; i < 2000; ++i) {
+    const u128 a = FpRandom(rng);
+    const u128 b = FpRandom(rng);
+    EXPECT_EQ(U128ToBig(FpAdd(a, b)),
+              (U128ToBig(a) + U128ToBig(b)).Mod(kPrimeBig));
+    EXPECT_EQ(U128ToBig(FpSub(a, b)),
+              (U128ToBig(a) + kPrimeBig - U128ToBig(b)).Mod(kPrimeBig));
+    EXPECT_EQ(FpAdd(a, FpNeg(a)), static_cast<u128>(0));
+    EXPECT_EQ(FpAdd(FpSub(a, b), b), a);
+  }
+}
+
+TEST(FieldTest, FromSignedBoundaries) {
+  // FpFromSigned selects the negation path with a sign mask; check both
+  // paths and the largest magnitudes the fixed-point layer produces.
+  const i128 half = static_cast<i128>(kFieldPrime / 2);
+  for (i128 v : {i128{0}, i128{1}, i128{-1}, half, -half,
+                 static_cast<i128>(1) << 126,
+                 -(static_cast<i128>(1) << 126)}) {
+    const u128 f = FpFromSigned(v);
+    EXPECT_LT(f, kFieldPrime);
+    if (v >= 0) {
+      EXPECT_EQ(U128ToBig(f), U128ToBig(static_cast<u128>(v)).Mod(kPrimeBig));
+    } else {
+      EXPECT_EQ(U128ToBig(f),
+                (kPrimeBig - U128ToBig(static_cast<u128>(-v)).Mod(kPrimeBig))
+                    .Mod(kPrimeBig));
+    }
+  }
+}
+
 TEST(FieldTest, FoldReduceInvariants) {
   Rng rng(11);
   for (int i = 0; i < 1000; ++i) {

@@ -14,14 +14,18 @@ Rules (see DESIGN.md, "Correctness tooling"):
                     to stderr (PIVOT_CHECK) or into Status messages. Tools,
                     benches, examples, and tests are exempt.
 
-  include-guard     Headers under src/ must use the canonical guard
-                    PIVOT_<RELPATH>_H_ (e.g. src/net/network.h ->
-                    PIVOT_NET_NETWORK_H_), with a matching #define.
+  include-guard     Headers under src/, tools/, and bench/ must use the
+                    canonical guard PIVOT_<RELPATH>_H_ (src/ is stripped
+                    from the prefix: src/net/network.h ->
+                    PIVOT_NET_NETWORK_H_; elsewhere the full path is used:
+                    bench/bench_util.h -> PIVOT_BENCH_BENCH_UTIL_H_), with
+                    a matching #define.
 
-  unchecked-value   .value() on a Result inside src/ without a preceding
-                    check in the same function (an ok() test, a PIVOT_CHECK,
-                    or a PIVOT_ASSIGN_OR_RETURN / PIVOT_RETURN_IF_ERROR).
-                    src/common/status.h (the definition site) is exempt.
+  unchecked-value   .value() on a Result inside src/, tools/, or bench/
+                    without a preceding check in the same function (an ok()
+                    test, a PIVOT_CHECK, or a PIVOT_ASSIGN_OR_RETURN /
+                    PIVOT_RETURN_IF_ERROR). src/common/status.h (the
+                    definition site) is exempt.
 
   unbounded-wait    condition_variable wait() without a timeout, or a raw
                     MessageQueue Pop(), in src/ outside src/net/. Blocking
@@ -106,8 +110,9 @@ def strip_comment(line):
 
 
 def expected_guard(rel):
-    """src/net/network.h -> PIVOT_NET_NETWORK_H_"""
-    stem = rel[len("src/"):]
+    """src/net/network.h -> PIVOT_NET_NETWORK_H_ (src/ is stripped);
+    bench/bench_util.h -> PIVOT_BENCH_BENCH_UTIL_H_ (full path kept)."""
+    stem = rel[len("src/"):] if rel.startswith("src/") else rel
     return "PIVOT_" + re.sub(r"[/.\-]", "_", stem).upper() + "_"
 
 
@@ -134,7 +139,8 @@ def check_secret_print(rel, lines, findings):
 
 
 def check_include_guard(rel, lines, findings):
-    if not (rel.startswith("src/") and rel.endswith((".h", ".hpp"))):
+    if not (rel.startswith(("src/", "tools/", "bench/")) and
+            rel.endswith((".h", ".hpp"))):
         return
     want = expected_guard(rel)
     ifndef_idx = None
@@ -160,7 +166,8 @@ def check_include_guard(rel, lines, findings):
 
 
 def check_unchecked_value(rel, lines, findings):
-    if not rel.startswith("src/") or rel == "src/common/status.h":
+    if not rel.startswith(("src/", "tools/", "bench/")) or \
+            rel == "src/common/status.h":
         return
     for i, line in enumerate(lines, 1):
         code = strip_comment(line)

@@ -115,10 +115,12 @@ class IncludeGuardTest(unittest.TestCase):
         findings = run_lint({"src/foo/bar.h": bad})
         self.assertEqual(rules(findings), ["include-guard"])
 
-    def test_ignores_headers_outside_src(self):
-        findings = run_lint({"bench/bench_util.h": "#ifndef WHATEVER_H\n"
-                                                   "#define WHATEVER_H\n"
-                                                   "#endif\n"})
+    def test_ignores_headers_outside_covered_dirs(self):
+        # tests/ and examples/ headers are exempt; bench/ and tools/ are
+        # covered (see ToolsAndBenchCoverageTest).
+        findings = run_lint({"tests/util.h": "#ifndef WHATEVER_H\n"
+                                             "#define WHATEVER_H\n"
+                                             "#endif\n"})
         self.assertEqual(findings, [])
 
 
@@ -348,6 +350,45 @@ class ExpectedGuardTest(unittest.TestCase):
                          "PIVOT_NET_NETWORK_H_")
         self.assertEqual(pivot_lint.expected_guard("src/common/op_counters.h"),
                          "PIVOT_COMMON_OP_COUNTERS_H_")
+
+    def test_mapping_outside_src_keeps_prefix(self):
+        self.assertEqual(pivot_lint.expected_guard("bench/bench_util.h"),
+                         "PIVOT_BENCH_BENCH_UTIL_H_")
+        self.assertEqual(pivot_lint.expected_guard("tools/arg_parse.h"),
+                         "PIVOT_TOOLS_ARG_PARSE_H_")
+
+
+class ToolsAndBenchCoverageTest(unittest.TestCase):
+    """tools/ and bench/ are linted for guards and unchecked .value()."""
+
+    def test_bench_header_needs_canonical_guard(self):
+        good = ("#ifndef PIVOT_BENCH_BENCH_UTIL_H_\n"
+                "#define PIVOT_BENCH_BENCH_UTIL_H_\n"
+                "#endif\n")
+        self.assertEqual(run_lint({"bench/bench_util.h": good}), [])
+        bad = good.replace("PIVOT_BENCH_BENCH_UTIL_H_", "BENCH_UTIL_H")
+        findings = run_lint({"bench/bench_util.h": bad})
+        self.assertEqual(rules(findings), ["include-guard"])
+
+    def test_tools_header_missing_guard_flagged(self):
+        findings = run_lint({"tools/helper.h": "namespace pivot {}\n"})
+        self.assertEqual(rules(findings), ["include-guard"])
+
+    def test_unchecked_value_in_tools_flagged(self):
+        findings = run_lint(
+            {"tools/cli.cc": "int n = data.value().num_samples();\n"})
+        self.assertEqual(rules(findings), ["unchecked-value"])
+
+    def test_checked_value_in_bench_allowed(self):
+        findings = run_lint(
+            {"bench/bench_x.cc": "if (!r.ok()) std::exit(1);\n"
+                                 "double s = r.value().seconds;\n"})
+        self.assertEqual(findings, [])
+
+    def test_examples_remain_exempt(self):
+        findings = run_lint(
+            {"examples/demo.cc": "int n = data.value().num_samples();\n"})
+        self.assertEqual(findings, [])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Self-test for pivot_taint.py.
+
+Two layers:
+  * the fixture corpus in tools/taint_fixtures/ — one known-leaky snippet
+    per rule, each of which must trip EXACTLY its own rule exactly once,
+    plus a clean snippet that must produce no findings;
+  * unit tests for the taint machinery (propagation, sanitizer stripping,
+    suppression handling) on synthetic snippets in a temp tree.
+"""
+
+import contextlib
+import io
+import os
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TOOLS_DIR)
+sys.path.insert(0, TOOLS_DIR)
+import pivot_taint  # noqa: E402
+
+FIXTURE_DIR = "tools/taint_fixtures"
+
+
+def run_taint(root, files):
+    """Runs the analyzer CLI; returns (exit_code, [finding lines])."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = pivot_taint.main([root, "--files"] + files)
+    lines = [ln for ln in out.getvalue().splitlines()
+             if "[taint:" in ln]
+    return code, lines
+
+
+def run_snippet(content, rel="src/mpc/snippet.cc"):
+    """Analyzes one synthetic file against the real taint model."""
+    with tempfile.TemporaryDirectory() as root:
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+        return run_taint(root, [rel])
+
+
+def rules_of(lines):
+    return [ln.split("[taint:")[1].split("]")[0] for ln in lines]
+
+
+class FixtureCorpusTest(unittest.TestCase):
+    """Each fixture trips exactly one finding of exactly its rule."""
+
+    EXPECTED = {
+        "leaky_status.cc": "status-leak",
+        "leaky_print.cc": "secret-print",
+        "leaky_send.cc": "raw-send",
+        "leaky_branch.cc": "secret-branch",
+        "leaky_compare.cc": "non-ct-compare",
+        "leaky_vartime.cc": "variable-time-call",
+        "leaky_suppression.cc": "bad-suppression",
+    }
+
+    def test_every_rule_has_a_fixture(self):
+        self.assertEqual(sorted(set(self.EXPECTED.values())),
+                         sorted(set(pivot_taint.RULES) | {"bad-suppression"}))
+
+    def test_leaky_fixtures_trip_their_rule_once(self):
+        for name, rule in sorted(self.EXPECTED.items()):
+            rel = f"{FIXTURE_DIR}/{name}"
+            self.assertTrue(
+                os.path.exists(os.path.join(REPO_ROOT, rel)),
+                f"fixture missing: {rel}")
+            code, lines = run_taint(REPO_ROOT, [rel])
+            self.assertEqual(code, 1, f"{name}: expected exit 1")
+            self.assertEqual(
+                rules_of(lines), [rule],
+                f"{name}: expected exactly one [{rule}], got {lines}")
+
+    def test_clean_fixture_is_clean(self):
+        code, lines = run_taint(
+            REPO_ROOT, [f"{FIXTURE_DIR}/clean_sanitized.cc"])
+        self.assertEqual((code, lines), (0, []))
+
+
+class PropagationTest(unittest.TestCase):
+    def test_assignment_propagates_taint(self):
+        code, lines = run_snippet(
+            "void F(Endpoint* ep) {\n"
+            "  u128 key = 1;  // pivot:secret\n"
+            "  u128 copy = key;\n"
+            "  ep->Send(1, EncodeU128(copy));\n"
+            "}\n")
+        self.assertEqual(rules_of(lines), ["raw-send"])
+
+    def test_registry_field_is_tainted(self):
+        code, lines = run_snippet(
+            "void F() {\n"
+            "  if (sk.lambda_ > 0) { Use(); }\n"
+            "}\n")
+        self.assertEqual(rules_of(lines), ["secret-branch"])
+
+    def test_secret_type_declaration(self):
+        code, lines = run_snippet(
+            "void F() {\n"
+            "  PaillierPrivateKey sk = MakeKey();\n"
+            "  std::printf(\"%d\\n\", sk.bits);\n"
+            "}\n")
+        self.assertEqual(rules_of(lines), ["secret-print"])
+
+    def test_qualified_type_marker_names_the_variable(self):
+        # Regression: `std::string line; // pivot:secret` must taint
+        # `line`, not the namespace token `std`.
+        code, lines = run_snippet(
+            "void F() {\n"
+            "  std::string cell;  // pivot:secret\n"
+            "  std::string other;\n"
+            "  if (other > \"x\") { Use(); }\n"
+            "  if (cell > \"x\") { Use(); }\n"
+            "}\n")
+        self.assertEqual(len(lines), 1, lines)
+        self.assertIn("snippet.cc:5", lines[0])
+
+
+class SanitizerTest(unittest.TestCase):
+    def test_encryption_declassifies(self):
+        code, lines = run_snippet(
+            "Status F(Endpoint* ep, const PaillierPublicKey& pk, Rng& rng) {\n"
+            "  BigInt m(1);  // pivot:secret\n"
+            "  Ciphertext c = pk.Encrypt(m, rng);\n"
+            "  return ep->Send(1, EncodeBigInt(c.value));\n"
+            "}\n")
+        self.assertEqual((code, lines), (0, []))
+
+    def test_lengths_are_public(self):
+        code, lines = run_snippet(
+            "void F() {\n"
+            "  Bytes share_bytes;  // pivot:secret\n"
+            "  std::printf(\"%zu\\n\", share_bytes.size());\n"
+            "}\n")
+        self.assertEqual((code, lines), (0, []))
+
+    def test_ct_predicates_are_sanctioned(self):
+        code, lines = run_snippet(
+            "bool F() {\n"
+            "  u128 mac = Get();  // pivot:secret\n"
+            "  u128 expect = Get2();  // pivot:secret\n"
+            "  if (!ct::EqualU128(mac, expect)) { return false; }\n"
+            "  return true;\n"
+            "}\n")
+        self.assertEqual((code, lines), (0, []))
+
+    def test_plain_equality_is_flagged(self):
+        code, lines = run_snippet(
+            "bool F() {\n"
+            "  u128 mac = Get();  // pivot:secret\n"
+            "  if (mac == 0) { return false; }\n"
+            "  return true;\n"
+            "}\n")
+        self.assertEqual(sorted(rules_of(lines)),
+                         ["non-ct-compare", "secret-branch"])
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_suppression_with_reason_is_honored(self):
+        code, lines = run_snippet(
+            "void F(Endpoint* ep) {\n"
+            "  u128 share = Get();  // pivot:secret\n"
+            "  // pivot-taint: allow(raw-send) share is uniform, test.\n"
+            "  ep->Send(1, EncodeU128(share));\n"
+            "}\n")
+        self.assertEqual((code, lines), (0, []))
+
+    def test_multiline_comment_block_suppression(self):
+        code, lines = run_snippet(
+            "void F(Endpoint* ep) {\n"
+            "  u128 share = Get();  // pivot:secret\n"
+            "  // pivot-taint: allow(raw-send) the reason for this flow\n"
+            "  // wraps across two comment lines above the statement.\n"
+            "  ep->Send(1, EncodeU128(share));\n"
+            "}\n")
+        self.assertEqual((code, lines), (0, []))
+
+    def test_comma_list_suppresses_multiple_rules(self):
+        code, lines = run_snippet(
+            "bool F() {\n"
+            "  u128 mac = Get();  // pivot:secret\n"
+            "  // pivot-taint: allow(secret-branch, non-ct-compare) test.\n"
+            "  if (mac == 0) { return false; }\n"
+            "  return true;\n"
+            "}\n")
+        self.assertEqual((code, lines), (0, []))
+
+    def test_empty_reason_is_a_finding(self):
+        code, lines = run_snippet(
+            "void F(Endpoint* ep) {\n"
+            "  u128 share = Get();  // pivot:secret\n"
+            "  // pivot-taint: allow(raw-send)\n"
+            "  ep->Send(1, EncodeU128(share));\n"
+            "}\n")
+        self.assertEqual(rules_of(lines), ["bad-suppression"])
+
+    def test_wrong_rule_does_not_suppress(self):
+        code, lines = run_snippet(
+            "void F(Endpoint* ep) {\n"
+            "  u128 share = Get();  // pivot:secret\n"
+            "  // pivot-taint: allow(secret-print) mismatched rule.\n"
+            "  ep->Send(1, EncodeU128(share));\n"
+            "}\n")
+        self.assertEqual(rules_of(lines), ["raw-send"])
+
+
+class TreeTest(unittest.TestCase):
+    def test_repo_tree_is_clean(self):
+        """The shipped tree must analyze clean (suppressions all carry
+        reasons); this is the same invariant the `pivot_taint` ctest
+        entry enforces."""
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = pivot_taint.main([REPO_ROOT])
+        self.assertEqual(code, 0, out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,26 @@
+// Taint-analyzer fixture: must produce ZERO findings — every secret flow
+// below passes through a sanctioned sanitizer or a valid suppression.
+// Not compiled — scanned by tools/pivot_taint_test.py.
+#include <cstdio>
+
+#include "net/channel.h"
+
+namespace pivot {
+
+Status SanitizedFlows(Endpoint* endpoint, const PaillierPublicKey& pk,
+                      Rng& rng) {
+  BigInt value(7);  // pivot:secret
+  // Encryption declassifies: ciphertexts may leave the party.
+  Ciphertext c = pk.Encrypt(value, rng);
+  PIVOT_RETURN_IF_ERROR(endpoint->Send(1, EncodeBigInt(c.value)));
+  // Lengths are public even when contents are secret.
+  Bytes shares;  // pivot:secret
+  std::printf("sent %zu share bytes\n", shares.size());
+  // A suppression with a reason is honored.
+  // pivot-taint: allow(secret-print) fixture: documents the suppression
+  // format; a real site must justify why the flow is safe.
+  std::printf("%d\n", static_cast<int>(shares[0]));
+  return Status::Ok();
+}
+
+}  // namespace pivot

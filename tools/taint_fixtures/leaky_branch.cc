@@ -1,0 +1,17 @@
+// Taint-analyzer fixture: must trip exactly one [taint:secret-branch].
+// Not compiled — scanned by tools/pivot_taint_test.py.
+
+namespace pivot {
+
+int CountLabelOnes(const int* labels_raw, int n) {
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    int label = labels_raw[i];  // pivot:secret
+    if (label > 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace pivot

@@ -1,0 +1,12 @@
+// Taint-analyzer fixture: must trip exactly one [taint:non-ct-compare].
+// Not compiled — scanned by tools/pivot_taint_test.py.
+#include <cstring>
+
+namespace pivot {
+
+bool MacBytesMatch(const unsigned char* theirs, int len) {
+  unsigned char mac_bytes[32];  // pivot:secret
+  return std::memcmp(mac_bytes, theirs, len) == 0;
+}
+
+}  // namespace pivot

@@ -1,0 +1,12 @@
+// Taint-analyzer fixture: must trip exactly one [taint:secret-print].
+// Not compiled — scanned by tools/pivot_taint_test.py.
+#include <cstdio>
+
+namespace pivot {
+
+void DebugDumpKey() {
+  unsigned long long lambda_bits = 0;  // pivot:secret
+  std::printf("key material: %llu\n", lambda_bits);
+}
+
+}  // namespace pivot

@@ -1,0 +1,12 @@
+// Taint-analyzer fixture: must trip exactly one [taint:raw-send].
+// Not compiled — scanned by tools/pivot_taint_test.py.
+#include "net/channel.h"
+
+namespace pivot {
+
+Status LeakLabelsToPeer(Endpoint* endpoint) {
+  Bytes label_bytes;  // pivot:secret
+  return endpoint->Send(1, label_bytes);
+}
+
+}  // namespace pivot

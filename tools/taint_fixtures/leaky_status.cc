@@ -1,0 +1,13 @@
+// Taint-analyzer fixture: must trip exactly one [taint:status-leak].
+// Not compiled — scanned by tools/pivot_taint_test.py.
+#include "common/status.h"
+
+namespace pivot {
+
+Status ReportBadShare() {
+  u128 share = 0;  // pivot:secret
+  return Status::ProtocolError("bad share value: " + std::to_string(
+      static_cast<unsigned long long>(share)));
+}
+
+}  // namespace pivot

@@ -1,0 +1,14 @@
+// Taint-analyzer fixture: must trip exactly one [taint:bad-suppression] —
+// the allow() below matches the rule but carries no reason.
+// Not compiled — scanned by tools/pivot_taint_test.py.
+#include <cstdio>
+
+namespace pivot {
+
+void DumpWithEmptyExcuse() {
+  unsigned long long seed_state = 0;  // pivot:secret
+  // pivot-taint: allow(secret-print)
+  std::printf("%llu\n", seed_state);
+}
+
+}  // namespace pivot

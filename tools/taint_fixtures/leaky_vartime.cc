@@ -1,0 +1,12 @@
+// Taint-analyzer fixture: must trip exactly one [taint:variable-time-call].
+// Not compiled — scanned by tools/pivot_taint_test.py.
+#include "bigint/bigint.h"
+
+namespace pivot {
+
+BigInt RaiseToSecret(const BigInt& base, const BigInt& modulus) {
+  BigInt exponent(12345);  // pivot:secret
+  return base.ModExp(exponent, modulus);
+}
+
+}  // namespace pivot
