@@ -24,6 +24,8 @@ void OpCounters::Reset() {
   batch_calls_.store(0);
   enc_pool_hits_.store(0);
   enc_pool_misses_.store(0);
+  serve_requests_.store(0);
+  serve_batches_.store(0);
 }
 
 OpSnapshot OpSnapshot::Take() {
@@ -43,6 +45,8 @@ OpSnapshot OpSnapshot::Take() {
   s.batch_calls = g.batch_calls();
   s.enc_pool_hits = g.enc_pool_hits();
   s.enc_pool_misses = g.enc_pool_misses();
+  s.serve_requests = g.serve_requests();
+  s.serve_batches = g.serve_batches();
   return s;
 }
 
@@ -62,6 +66,8 @@ OpSnapshot OpSnapshot::Delta(const OpSnapshot& earlier) const {
   d.batch_calls = batch_calls - earlier.batch_calls;
   d.enc_pool_hits = enc_pool_hits - earlier.enc_pool_hits;
   d.enc_pool_misses = enc_pool_misses - earlier.enc_pool_misses;
+  d.serve_requests = serve_requests - earlier.serve_requests;
+  d.serve_batches = serve_batches - earlier.serve_batches;
   return d;
 }
 
@@ -72,6 +78,9 @@ std::string OpSnapshot::ToString() const {
   if (pool_tasks > 0 || batch_calls > 0) {
     os << " pool_tasks=" << pool_tasks << " batch_calls=" << batch_calls
        << " enc_pool=" << enc_pool_hits << "h/" << enc_pool_misses << "m";
+  }
+  if (serve_requests > 0 || serve_batches > 0) {
+    os << " serve=" << serve_requests << "req/" << serve_batches << "batches";
   }
   if (ckpt_writes > 0 || ckpt_restores > 0) {
     os << " ckpt_writes=" << ckpt_writes << "(" << ckpt_write_us << "us)"

@@ -52,6 +52,15 @@ class OpCounters {
   void AddEncPoolMiss(uint64_t n = 1) {
     enc_pool_misses_.fetch_add(n, std::memory_order_relaxed);
   }
+  // Serving accounting (serve/serving_session.h): requests answered and
+  // coalesced protocol batches executed; their ratio is the realized
+  // batch occupancy the cost report prints.
+  void AddServeRequests(uint64_t n) {
+    serve_requests_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddServeBatch(uint64_t n = 1) {
+    serve_batches_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   uint64_t ciphertext_ops() const { return ce_.load(std::memory_order_relaxed); }
   uint64_t threshold_decryptions() const { return cd_.load(std::memory_order_relaxed); }
@@ -83,6 +92,12 @@ class OpCounters {
   uint64_t enc_pool_misses() const {
     return enc_pool_misses_.load(std::memory_order_relaxed);
   }
+  uint64_t serve_requests() const {
+    return serve_requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t serve_batches() const {
+    return serve_batches_.load(std::memory_order_relaxed);
+  }
 
   void Reset();
 
@@ -101,6 +116,8 @@ class OpCounters {
   std::atomic<uint64_t> batch_calls_{0};
   std::atomic<uint64_t> enc_pool_hits_{0};
   std::atomic<uint64_t> enc_pool_misses_{0};
+  std::atomic<uint64_t> serve_requests_{0};
+  std::atomic<uint64_t> serve_batches_{0};
 };
 
 // Immutable snapshot of the global counters; `Delta` computes the counts
@@ -111,6 +128,7 @@ struct OpSnapshot {
   uint64_t ckpt_restores = 0, ckpt_restore_us = 0;
   uint64_t pool_tasks = 0, batch_calls = 0;
   uint64_t enc_pool_hits = 0, enc_pool_misses = 0;
+  uint64_t serve_requests = 0, serve_batches = 0;
 
   static OpSnapshot Take();
   OpSnapshot Delta(const OpSnapshot& earlier) const;

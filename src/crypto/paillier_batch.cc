@@ -121,6 +121,28 @@ void EncRandomnessPool::PrefillAsync(ThreadPool& pool, size_t count) {
   }
 }
 
+void EncRandomnessPool::Prefill(size_t count) {
+  uint64_t begin, end;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (prefill_next_ < next_index_) prefill_next_ = next_index_;
+    const uint64_t target = next_index_ + count;
+    if (prefill_next_ >= target) return;  // already cached or scheduled
+    begin = prefill_next_;
+    end = target;
+    prefill_next_ = end;
+  }
+  // Same pure (seed, index) derivation as the async path, so interleaving
+  // synchronous and asynchronous prefills never changes a drained value.
+  std::vector<Pair> pairs;
+  pairs.reserve(end - begin);
+  for (uint64_t i = begin; i < end; ++i) pairs.push_back(ComputePair(i));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t i = begin; i < end; ++i) {
+    if (i >= next_index_) ready_.emplace(i, std::move(pairs[i - begin]));
+  }
+}
+
 uint64_t EncRandomnessPool::next_index() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_index_;
@@ -175,6 +197,19 @@ Ciphertext PreparedCiphertexts::DotProduct(
   }
   OpCounters::Global().AddCiphertextOp(ops);
   return Ciphertext{mont.FromMontgomery(acc)};
+}
+
+Result<std::vector<Ciphertext>> PreparedCiphertexts::DotProductMany(
+    const std::vector<std::vector<BigInt>>& plains, int threads) const {
+  OpCounters::Global().AddBatchCall();
+  std::vector<Ciphertext> out(plains.size());
+  if (plains.empty()) return out;
+  PIVOT_RETURN_IF_ERROR(ThreadPool::Global().ParallelFor(
+      plains.size(), threads, [&](size_t i) -> Status {
+        out[i] = DotProduct(plains[i]);
+        return Status::Ok();
+      }));
+  return out;
 }
 
 Ciphertext PreparedCiphertexts::DotIndicator(const std::vector<uint8_t>& ind,

@@ -74,6 +74,12 @@ class EncRandomnessPool {
   // already-cached indices are not recomputed.
   void PrefillAsync(ThreadPool& pool, size_t count);
 
+  // Synchronous variant: computes up to `count` pairs ahead of next_index
+  // on the calling thread before returning. This is the offline phase of
+  // a serving session — warm the pool before traffic arrives so online
+  // encrypts/rerandomizes are pool hits even with crypto_threads == 1.
+  void Prefill(size_t count);
+
   // Stream position, checkpointed alongside the other randomness streams
   // (PartyContext::RandomnessState).
   uint64_t next_index() const;
@@ -107,6 +113,12 @@ class PreparedCiphertexts {
 
   // Equivalent to pk.DotProduct(plain, cts).
   Ciphertext DotProduct(const std::vector<BigInt>& plain) const;
+  // Dot products against many plaintext vectors (out[i] = DotProduct
+  // (plains[i])), fanned out across `threads` on the shared pool. The
+  // serving shape: one prepared selector/label vector hit by every
+  // sample of a batch. Results are independent of `threads`.
+  Result<std::vector<Ciphertext>> DotProductMany(
+      const std::vector<std::vector<BigInt>>& plains, int threads) const;
   // Dot product against a 0/1 indicator vector (`complement` selects
   // 1 - ind[t]), the dominant shape in split-statistics computation.
   Ciphertext DotIndicator(const std::vector<uint8_t>& ind,

@@ -1,5 +1,7 @@
 #include "net/codec.h"
 
+#include "common/check.h"
+
 namespace pivot {
 
 void EncodeBigInt(const BigInt& v, ByteWriter& w) {
@@ -50,6 +52,36 @@ Result<std::vector<Ciphertext>> DecodeCiphertextVector(const Bytes& data) {
   out.reserve(raw.size());
   for (BigInt& v : raw) out.push_back(Ciphertext{std::move(v)});
   return out;
+}
+
+Bytes EncodeCiphertextMatrix(uint64_t rows, uint64_t cols,
+                             const std::vector<Ciphertext>& flat) {
+  PIVOT_CHECK_MSG(flat.size() == rows * cols, "ciphertext matrix shape");
+  ByteWriter w;
+  w.WriteU64(rows);
+  w.WriteU64(cols);
+  for (const Ciphertext& c : flat) EncodeBigInt(c.value, w);
+  return w.Take();
+}
+
+Result<CiphertextMatrix> DecodeCiphertextMatrix(const Bytes& data) {
+  ByteReader r(data);
+  CiphertextMatrix m;
+  PIVOT_ASSIGN_OR_RETURN(m.rows, r.ReadU64());
+  PIVOT_ASSIGN_OR_RETURN(m.cols, r.ReadU64());
+  // Divide instead of multiply: `rows * cols` can wrap for hostile
+  // dimensions near 2^64 and slip past the >= 1 byte/entry bound.
+  if (m.rows > data.size() ||
+      (m.cols != 0 && m.rows > data.size() / m.cols)) {
+    return Status::ProtocolError("implausible ciphertext matrix shape");
+  }
+  const uint64_t count = m.rows * m.cols;
+  m.flat.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PIVOT_ASSIGN_OR_RETURN(BigInt v, DecodeBigInt(r));
+    m.flat.push_back(Ciphertext{std::move(v)});
+  }
+  return m;
 }
 
 void EncodeU128(u128 v, ByteWriter& w) {

@@ -26,6 +26,20 @@ Result<std::vector<BigInt>> DecodeBigIntVector(const Bytes& data);
 Bytes EncodeCiphertextVector(const std::vector<Ciphertext>& values);
 Result<std::vector<Ciphertext>> DecodeCiphertextVector(const Bytes& data);
 
+// A batch of equally-sized ciphertext vectors shipped as one message —
+// e.g. the B encrypted prediction vectors of one batched Algorithm 4
+// round-robin hop (rows = samples, cols = leaves), stored row-major.
+struct CiphertextMatrix {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  std::vector<Ciphertext> flat;  // rows * cols entries, row-major
+};
+
+// REQUIRES: flat.size() == rows * cols.
+Bytes EncodeCiphertextMatrix(uint64_t rows, uint64_t cols,
+                             const std::vector<Ciphertext>& flat);
+Result<CiphertextMatrix> DecodeCiphertextMatrix(const Bytes& data);
+
 void EncodeU128(u128 v, ByteWriter& w);
 Result<u128> DecodeU128(ByteReader& r);
 

@@ -1,6 +1,8 @@
 #ifndef PIVOT_PIVOT_PREDICTION_H_
 #define PIVOT_PIVOT_PREDICTION_H_
 
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "pivot/context.h"
@@ -26,7 +28,49 @@ namespace pivot {
 Result<double> PredictPivot(PartyContext& ctx, const PivotTree& tree,
                             const std::vector<double>& my_features);
 
-// Batch helper: one call per sample row (rows are this party's slices).
+// One root-path constraint of a leaf: (internal node id, goes-left).
+struct LeafPathConstraint {
+  int node = -1;
+  bool left = false;
+};
+
+// Warm per-model prediction state, reusable across requests. The serving
+// layer (src/serve/) builds one per loaded model and pins it for the
+// session; one-shot callers may pass nullptr and a transient cache is
+// built internally. Everything here is derivable from the tree alone:
+//
+//   paths       — per leaf (LeafOrder), its root-path constraints
+//   leaf_order  — LeafOrder(), cached
+//   leaf_plain  — basic protocol: the plaintext leaf/label vector z
+//   lambda      — enhanced hidden-feature nodes: per node id, per party,
+//                 a Montgomery/window-table view of the retained lambda
+//                 selector slice (the per-request dot products reuse the
+//                 table build); null for slots without a slice
+struct PredictionCache {
+  std::vector<std::vector<LeafPathConstraint>> paths;
+  std::vector<int> leaf_order;
+  std::vector<BigInt> leaf_plain;
+  std::map<int, std::vector<std::unique_ptr<PreparedCiphertexts>>> lambda;
+};
+
+PredictionCache BuildPredictionCache(const PaillierPublicKey& pk,
+                                     const PivotTree& tree);
+
+// Batched prediction: ONE protocol sweep serves all `my_rows`. The basic
+// protocol's round-robin (Algorithm 4) updates all B encrypted prediction
+// vectors per network round — each hop carries a B x leaves ciphertext
+// matrix — and ends in a single joint decryption of B ciphertexts; the
+// enhanced protocol's share/compare/marker/dot steps each run once over
+// the concatenated batch. Predictions are bit-identical to per-sample
+// PredictPivot for every batch size and crypto thread count.
+Result<std::vector<double>> PredictPivotBatch(
+    PartyContext& ctx, const PivotTree& tree,
+    const std::vector<std::vector<double>>& my_rows,
+    const PredictionCache* cache = nullptr);
+
+// Batch helper (rows are this party's slices). Delegates to
+// PredictPivotBatch in bounded chunks, so a whole test set is served at
+// batched-round cost instead of one protocol run per sample.
 Result<std::vector<double>> PredictPivotMany(
     PartyContext& ctx, const PivotTree& tree,
     const std::vector<std::vector<double>>& my_rows);

@@ -1,0 +1,46 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pivot {
+namespace serve {
+
+double LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank: ceil(p/100 * N), 1-based.
+  size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+double LatencyRecorder::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::Max() const {
+  double best = 0.0;
+  for (double s : samples_) best = std::max(best, s);
+  return best;
+}
+
+std::string ServingStats::ToString() const {
+  std::ostringstream os;
+  os << "requests=" << requests << " batches=" << batches
+     << " occupancy=" << mean_occupancy
+     << " max_queue_depth=" << max_queue_depth << " rps=" << requests_per_sec
+     << " p50_ms=" << p50_ms << " p99_ms=" << p99_ms << " mean_ms=" << mean_ms
+     << " max_ms=" << max_ms;
+  return os.str();
+}
+
+}  // namespace serve
+}  // namespace pivot

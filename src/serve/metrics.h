@@ -1,0 +1,52 @@
+#ifndef PIVOT_SERVE_METRICS_H_
+#define PIVOT_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pivot {
+namespace serve {
+
+// Per-request latency sample set with exact percentiles. Serving runs are
+// bounded (a session serves a finite request stream), so keeping every
+// sample is cheaper than a sketch and keeps p50/p99 exact for the bench
+// JSON and the cost report.
+class LatencyRecorder {
+ public:
+  void Record(double ms) { samples_.push_back(ms); }
+  size_t count() const { return samples_.size(); }
+
+  // Nearest-rank percentile, p in [0, 100]. 0 with no samples.
+  double Percentile(double p) const;
+  double Mean() const;
+  double Max() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+// One serving session's aggregate statistics, as reported by
+// ServingSession::Serve. Latencies are measured from enqueue to batch
+// completion on this party's own clock (SPMD-symmetric).
+struct ServingStats {
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+  // Deepest queue observed by the coordinator when cutting a batch.
+  uint64_t max_queue_depth = 0;
+  // requests / (batches * batch_size): 1.0 = every batch ran full.
+  double mean_occupancy = 0.0;
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+
+  std::string ToString() const;
+};
+
+}  // namespace serve
+}  // namespace pivot
+
+#endif  // PIVOT_SERVE_METRICS_H_

@@ -38,6 +38,7 @@
 #include "pivot/prediction.h"
 #include "pivot/runner.h"
 #include "pivot/trainer.h"
+#include "serve/serving_session.h"
 
 namespace pivot {
 namespace {
@@ -196,9 +197,9 @@ TEST(ChaosTest, EnhancedTrainingSweep) {
   EXPECT_GE(errored, seeds / 2);
 }
 
-TEST(ChaosTest, BasicPredictionSweep) {
-  const int seeds = EnvInt("PIVOT_CHAOS_PROTO_SEEDS", 25);
-  // Hand-crafted public tree: party 0 splits on its first feature.
+// Hand-crafted public basic-protocol tree (party 0 splits on its first
+// feature) so prediction/serving sweeps skip training.
+PivotTree TinyPublicTree() {
   PivotTree tree;
   tree.protocol = Protocol::kBasic;
   tree.task = TreeTask::kClassification;
@@ -214,7 +215,12 @@ TEST(ChaosTest, BasicPredictionSweep) {
   tree.nodes[root_id].left = tree.AddNode(leaf);
   leaf.leaf_value = 1.0;
   tree.nodes[root_id].right = tree.AddNode(leaf);
+  return tree;
+}
 
+TEST(ChaosTest, BasicPredictionSweep) {
+  const int seeds = EnvInt("PIVOT_CHAOS_PROTO_SEEDS", 25);
+  const PivotTree tree = TinyPublicTree();
   const Dataset data = TinyClassification();
   std::vector<std::vector<std::vector<double>>> slices;
   for (int p = 0; p < kParties; ++p) {
@@ -233,6 +239,43 @@ TEST(ChaosTest, BasicPredictionSweep) {
   // Corruption of a ciphertext can legitimately decrypt to garbage
   // without an error in the semi-honest model, so only a loose error
   // fraction is asserted here.
+  EXPECT_GE(errored, seeds / 4);
+}
+
+// Serving tier: the batched serve loop (header broadcast + ciphertext-
+// matrix hops + batched joint decryption) under fatal-only schedules must
+// abort with a party-naming error within the deadline — a fault mid-batch
+// must not leave the coordinator or a follower blocked on a queue or a
+// socket.
+TEST(ChaosTest, ServingSweep) {
+  const int seeds = EnvInt("PIVOT_CHAOS_PROTO_SEEDS", 25);
+  const PivotTree tree = TinyPublicTree();
+  const Dataset data = TinyClassification();
+  std::vector<std::vector<std::vector<double>>> slices;
+  for (int p = 0; p < kParties; ++p) {
+    slices.push_back(SliceRowsForParty(data, p, kParties));
+  }
+  const int errored = SweepFederation(
+      seeds, /*salt=*/0x5E000000ULL, /*key_bits=*/256, /*max_op=*/12,
+      /*max_msg=*/5, [&](PartyContext& ctx) -> Status {
+        serve::ServeOptions opts;
+        opts.batch_size = 4;
+        opts.max_wait_ms = 0;
+        // Keep the follower bound under the sweep deadline: a fault that
+        // desyncs the batch announcement must fail fast, not serve out
+        // the default two-minute budget.
+        opts.follower_timeout_ms = kRecvTimeoutMs;
+        serve::ServingSession session(ctx, tree, opts);
+        serve::RequestQueue queue;
+        for (const auto& row : slices[ctx.id()]) queue.Push(row);
+        queue.Close();
+        std::vector<double> preds;
+        PIVOT_RETURN_IF_ERROR(session.Serve(queue, &preds).status());
+        return Status::Ok();
+      });
+  // As with prediction: corrupted ciphertexts can decrypt to garbage
+  // without an error in the semi-honest model, so only a loose error
+  // fraction is asserted.
   EXPECT_GE(errored, seeds / 4);
 }
 
@@ -346,6 +389,55 @@ TEST(ChaosRecoveryTest, TransientSweepCompletesAndBitMatches) {
           << "party " << p << " diverged under seed " << seed
           << "\nplan: " << cfg.fault_plan.ToString();
     }
+  }
+}
+
+// Transient drops/corrupts/delays during serving must be masked by the
+// reliable channel layer: every serve completes and the predictions
+// bit-match the fault-free run.
+TEST(ChaosRecoveryTest, ServingTransientSweepCompletesAndMatches) {
+  const int seeds = EnvInt("PIVOT_CHAOS_RECOVERY_SEEDS", 6);
+  const PivotTree tree = TinyPublicTree();
+  const Dataset data = TinyClassification();
+  auto serve_all = [&](const FederationConfig& cfg,
+                       std::vector<double>* out) -> Status {
+    std::mutex mu;
+    return RunFederation(data, cfg, [&](PartyContext& ctx) -> Status {
+      serve::ServeOptions opts;
+      opts.batch_size = 4;
+      opts.max_wait_ms = 0;
+      serve::ServingSession session(ctx, tree, opts);
+      serve::RequestQueue queue;
+      for (const auto& row : SliceRowsForParty(data, ctx.id(), kParties)) {
+        queue.Push(row);
+      }
+      queue.Close();
+      std::vector<double> preds;
+      PIVOT_RETURN_IF_ERROR(session.Serve(queue, &preds).status());
+      if (ctx.id() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        *out = std::move(preds);
+      }
+      return Status::Ok();
+    });
+  };
+  std::vector<double> baseline;
+  ASSERT_TRUE(serve_all(RecoveryConfig(), &baseline).ok());
+  ASSERT_EQ(baseline.size(), data.num_samples());
+  for (int s = 0; s < seeds; ++s) {
+    const uint64_t seed = 0x6E000000ULL + static_cast<uint64_t>(s);
+    FederationConfig cfg = RecoveryConfig();
+    cfg.fault_plan =
+        FaultPlan::FromSeed(seed, kParties, kFatalMs, /*max_op=*/12,
+                            /*max_msg=*/5, FaultMix::kTransientOnly);
+    std::vector<double> preds;
+    const auto start = std::chrono::steady_clock::now();
+    const Status st = serve_all(cfg, &preds);
+    EXPECT_LT(ElapsedMs(start), DeadlineMs()) << "seed " << seed;
+    ASSERT_TRUE(st.ok()) << "seed " << seed << ": " << st.ToString()
+                         << "\nplan: " << cfg.fault_plan.ToString();
+    EXPECT_EQ(preds, baseline) << "predictions diverged under seed " << seed
+                               << "\nplan: " << cfg.fault_plan.ToString();
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -130,6 +131,62 @@ TEST(CodecMalformedTest, SingleU128Truncated) {
   Bytes data = w.Take();
   ByteReader r(data);
   EXPECT_FALSE(DecodeU128(r).ok());
+}
+
+// --- Ciphertext matrices (batched serving rounds) --------------------------
+
+std::vector<Ciphertext> TestCiphertexts(size_t n) {
+  std::vector<Ciphertext> cts;
+  for (size_t i = 0; i < n; ++i) {
+    cts.push_back(Ciphertext{(BigInt(1) << static_cast<int>(8 * i)) +
+                             BigInt(static_cast<int64_t>(i))});
+  }
+  return cts;
+}
+
+TEST(CiphertextMatrixTest, RoundTripsShapeAndEntries) {
+  const std::vector<Ciphertext> flat = TestCiphertexts(6);
+  Bytes wire = EncodeCiphertextMatrix(2, 3, flat);
+  Result<CiphertextMatrix> back = DecodeCiphertextMatrix(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().rows, 2u);
+  EXPECT_EQ(back.value().cols, 3u);
+  EXPECT_EQ(back.value().flat, flat);
+}
+
+TEST(CiphertextMatrixTest, EmptyMatrixRoundTrips) {
+  Bytes wire = EncodeCiphertextMatrix(0, 5, {});
+  Result<CiphertextMatrix> back = DecodeCiphertextMatrix(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().rows, 0u);
+  EXPECT_EQ(back.value().cols, 5u);
+  EXPECT_TRUE(back.value().flat.empty());
+}
+
+TEST(CiphertextMatrixTest, EveryTruncationIsError) {
+  Bytes full = EncodeCiphertextMatrix(2, 2, TestCiphertexts(4));
+  for (size_t len = 0; len < full.size(); ++len) {
+    Bytes cut(full.begin(), full.begin() + static_cast<long>(len));
+    EXPECT_FALSE(DecodeCiphertextMatrix(cut).ok()) << "len=" << len;
+  }
+}
+
+TEST(CiphertextMatrixTest, ImplausibleShapeIsError) {
+  // A header that promises far more entries than the buffer could hold
+  // must be rejected before any allocation is attempted — including
+  // rows*cols products that wrap around 2^64.
+  for (auto [rows, cols] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {1u << 20, 1u << 20},
+           {std::numeric_limits<uint64_t>::max(), 2},
+           {2, std::numeric_limits<uint64_t>::max()},
+           {uint64_t{1} << 33, uint64_t{1} << 33}}) {
+    ByteWriter w;
+    w.WriteU64(rows);
+    w.WriteU64(cols);
+    Bytes data = w.Take();
+    EXPECT_FALSE(DecodeCiphertextMatrix(data).ok())
+        << rows << "x" << cols;
+  }
 }
 
 }  // namespace

@@ -12,8 +12,18 @@
 //       protocol per row; prints predictions (and accuracy/MSE when the
 //       CSV's label column is present).
 //
+//   pivot_cli serve --data requests.csv --model PREFIX [--parties M]
+//             [--batch-size B] [--max-wait MS] [--repeat R] [--prewarm 0|1]
+//       Sustained-traffic mode: pins the model in a per-party
+//       ServingSession (warm prediction cache + pre-warmed encryption-
+//       randomness pool), streams the CSV rows through per-party request
+//       queues, and serves them in coalesced batches — one batched
+//       protocol sweep per batch. Prints throughput/latency stats and the
+//       cost report instead of per-row predictions.
+//
 // CSV format: headerless numeric rows, last column = label.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -26,6 +36,7 @@
 #include "pivot/runner.h"
 #include "pivot/serialize.h"
 #include "pivot/trainer.h"
+#include "serve/serving_session.h"
 
 using namespace pivot;
 
@@ -67,8 +78,23 @@ int Usage() {
                "            [--protocol basic|enhanced] [--key-bits K]\n"
                "            [--crypto-threads T]\n"
                "  pivot_cli predict --data test.csv --model PREFIX "
-               "[--parties M]\n");
+               "[--parties M]\n"
+               "  pivot_cli serve --data requests.csv --model PREFIX\n"
+               "            [--parties M] [--batch-size B] [--max-wait MS]\n"
+               "            [--repeat R] [--prewarm 0|1] "
+               "[--crypto-threads T]\n");
   return 2;
+}
+
+// Loads every party's serialized model view (PREFIX.party<i>.bin).
+Result<std::vector<PivotTree>> LoadViews(const std::string& prefix, int m) {
+  std::vector<PivotTree> views(m);
+  for (int p = 0; p < m; ++p) {
+    const std::string path = prefix + ".party" + std::to_string(p) + ".bin";
+    PIVOT_ASSIGN_OR_RETURN(Bytes blob, LoadModelBytes(path));
+    PIVOT_ASSIGN_OR_RETURN(views[p], DeserializePivotTree(blob));
+  }
+  return views;
 }
 
 int RunTrain(const Args& args) {
@@ -170,22 +196,12 @@ int RunPredict(const Args& args) {
     return 1;
   }
 
-  // Load every party's model view.
-  std::vector<PivotTree> views(m);
-  for (int p = 0; p < m; ++p) {
-    const std::string path = prefix + ".party" + std::to_string(p) + ".bin";
-    Result<Bytes> blob = LoadModelBytes(path);
-    if (!blob.ok()) {
-      std::fprintf(stderr, "error: %s\n", blob.status().ToString().c_str());
-      return 1;
-    }
-    Result<PivotTree> tree = DeserializePivotTree(blob.value());
-    if (!tree.ok()) {
-      std::fprintf(stderr, "error: %s\n", tree.status().ToString().c_str());
-      return 1;
-    }
-    views[p] = std::move(tree).value();
+  Result<std::vector<PivotTree>> views_or = LoadViews(prefix, m);
+  if (!views_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", views_or.status().ToString().c_str());
+    return 1;
   }
+  std::vector<PivotTree> views = std::move(views_or).value();
 
   FederationConfig cfg;
   cfg.num_parties = m;
@@ -224,6 +240,123 @@ int RunPredict(const Args& args) {
   return 0;
 }
 
+int RunServe(const Args& args) {
+  const std::string data_path = args.Get("data", "");
+  const std::string prefix = args.Get("model", "");
+  if (data_path.empty() || prefix.empty()) return Usage();
+  const int m = args.GetInt("parties", 3);
+  const int repeat = std::max(1, args.GetInt("repeat", 1));
+
+  Result<Dataset> data = LoadCsv(data_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<PivotTree>> views_or = LoadViews(prefix, m);
+  if (!views_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", views_or.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<PivotTree> views = std::move(views_or).value();
+
+  FederationConfig cfg;
+  cfg.num_parties = m;
+  cfg.params.tree.task = views[0].task;
+  cfg.params.tree.num_classes = views[0].num_classes;
+  cfg.params.key_bits = views[0].protocol == Protocol::kEnhanced ? 512 : 256;
+  cfg.params.crypto_threads = args.GetInt("crypto-threads", 1);
+  cfg.net = NetConfig::FromEnv(cfg.net);
+
+  serve::ServeOptions opts;
+  opts.batch_size = std::min(4096, std::max(1, args.GetInt("batch-size", 16)));
+  opts.max_wait_ms = std::max(0, args.GetInt("max-wait", 5));
+  const uint64_t total_requests =
+      static_cast<uint64_t>(data.value().num_samples()) * repeat;
+  if (args.GetInt("prewarm", 1) != 0) {
+    // One offline (r, r^n) pair per encrypted prediction-vector entry this
+    // party will touch: requests x leaves.
+    opts.prewarm_pairs =
+        total_requests * static_cast<uint64_t>(views[0].NumLeaves());
+  }
+
+  std::printf("serving %llu requests (%zu rows x %d) with batch_size=%d, "
+              "max_wait=%dms, prewarm_pairs=%llu...\n",
+              static_cast<unsigned long long>(total_requests),
+              data.value().num_samples(), repeat, opts.batch_size,
+              opts.max_wait_ms,
+              static_cast<unsigned long long>(opts.prewarm_pairs));
+
+  std::vector<double> predictions;
+  serve::ServingStats stats;
+  std::mutex mu;
+  NetworkStats net_stats;
+  const OpSnapshot ops_before = OpSnapshot::Take();
+  Status st = RunFederation(
+      data.value(), cfg,
+      [&](PartyContext& ctx) -> Status {
+        serve::ServingSession session(ctx, views[ctx.id()], opts);
+        // Warm the per-model caches and the randomness pool before any
+        // request is enqueued, so latency measures serving, not setup.
+        PIVOT_RETURN_IF_ERROR(session.Warmup());
+        const auto rows = SliceRowsForParty(data.value(), ctx.id(), m);
+        serve::RequestQueue queue;
+        for (int r = 0; r < repeat; ++r) {
+          for (const auto& row : rows) queue.Push(row);
+        }
+        queue.Close();
+        std::vector<double> preds;
+        PIVOT_ASSIGN_OR_RETURN(serve::ServingStats party_stats,
+                               session.Serve(queue, &preds));
+        if (ctx.id() == 0) {
+          std::lock_guard<std::mutex> lock(mu);
+          predictions = std::move(preds);
+          stats = party_stats;
+        }
+        return Status::Ok();
+      },
+      &net_stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "serving failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("served %llu requests in %llu batches: %.1f req/s, occupancy "
+              "%.2f, max queue depth %llu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.batches),
+              stats.requests_per_sec, stats.mean_occupancy,
+              static_cast<unsigned long long>(stats.max_queue_depth));
+  std::printf("latency: p50 %.2f ms, p99 %.2f ms, mean %.2f ms, max %.2f ms\n",
+              stats.p50_ms, stats.p99_ms, stats.mean_ms, stats.max_ms);
+  std::vector<double> labels;
+  for (int r = 0; r < repeat; ++r) {
+    labels.insert(labels.end(), data.value().labels.begin(),
+                  data.value().labels.end());
+  }
+  if (!labels.empty() && predictions.size() == labels.size()) {
+    if (views[0].task == TreeTask::kRegression) {
+      std::printf("mse: %.6f\n", MeanSquaredError(predictions, labels));
+    } else {
+      std::printf("accuracy: %.4f\n", Accuracy(predictions, labels));
+    }
+  }
+  std::printf("network cost: %.2f MB sent in %llu messages, ~%llu rounds\n",
+              static_cast<double>(net_stats.bytes_sent) / 1e6,
+              static_cast<unsigned long long>(net_stats.messages_sent),
+              static_cast<unsigned long long>(net_stats.rounds));
+  const OpSnapshot ops = OpSnapshot::Take().Delta(ops_before);
+  std::printf("crypto kernels: %llu batch calls, %llu pool tasks, "
+              "randomness pool %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(ops.batch_calls),
+              static_cast<unsigned long long>(ops.pool_tasks),
+              static_cast<unsigned long long>(ops.enc_pool_hits),
+              static_cast<unsigned long long>(ops.enc_pool_misses));
+  std::printf("serving counters: %llu requests / %llu batches\n",
+              static_cast<unsigned long long>(ops.serve_requests),
+              static_cast<unsigned long long>(ops.serve_batches));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,5 +364,6 @@ int main(int argc, char** argv) {
   if (!args.ok()) return Usage();
   if (args.value().command == "train") return RunTrain(args.value());
   if (args.value().command == "predict") return RunPredict(args.value());
+  if (args.value().command == "serve") return RunServe(args.value());
   return Usage();
 }

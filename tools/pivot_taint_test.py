@@ -54,6 +54,7 @@ class FixtureCorpusTest(unittest.TestCase):
     EXPECTED = {
         "leaky_status.cc": "status-leak",
         "leaky_print.cc": "secret-print",
+        "leaky_serve.cc": "secret-print",
         "leaky_send.cc": "raw-send",
         "leaky_branch.cc": "secret-branch",
         "leaky_compare.cc": "non-ct-compare",

@@ -1,0 +1,16 @@
+// Taint-analyzer fixture: must trip exactly one [taint:secret-print].
+// Not compiled — scanned by tools/pivot_taint_test.py.
+//
+// Serving surface: a decrypted prediction batch is the querying party's
+// private output. Debug-logging an entry — even "just the first one" —
+// leaks what the protocol computed under encryption.
+#include <cstdio>
+
+namespace pivot {
+
+void DebugLogBatch(ServingSession& session, const Rows& rows) {
+  std::vector<double> preds = PredictBatch(session, rows);
+  std::printf("served batch, first prediction = %f\n", preds[0]);
+}
+
+}  // namespace pivot
