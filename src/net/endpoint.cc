@@ -1,0 +1,32 @@
+#include "net/endpoint.h"
+
+#include <string>
+#include <utility>
+
+namespace pivot {
+
+Status Endpoint::Broadcast(const Bytes& msg) {
+  for (int to = 0; to < num_parties_; ++to) {
+    if (to != id_) PIVOT_RETURN_IF_ERROR(Send(to, msg));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<Bytes>> Endpoint::GatherAll(Bytes own) {
+  std::vector<Bytes> out(num_parties_);
+  out[id_] = std::move(own);
+  for (int from = 0; from < num_parties_; ++from) {
+    if (from == id_) continue;
+    Result<Bytes> r = Recv(from);
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kAborted) return r.status();
+      return Status(r.status().code(), "GatherAll at party " +
+                                           std::to_string(id_) + ": " +
+                                           r.status().message());
+    }
+    out[from] = std::move(r).value();
+  }
+  return out;
+}
+
+}  // namespace pivot

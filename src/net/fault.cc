@@ -20,6 +20,10 @@ const char* FaultKindName(FaultKind kind) {
       return "crash";
     case FaultKind::kStall:
       return "stall";
+    case FaultKind::kSever:
+      return "sever";
+    case FaultKind::kMute:
+      return "mute";
   }
   return "unknown";
 }
@@ -33,7 +37,8 @@ std::string FaultAction::ToString() const {
   } else {
     out += " op=" + std::to_string(nth);
   }
-  if (kind == FaultKind::kDelay || kind == FaultKind::kStall) {
+  if (kind == FaultKind::kDelay || kind == FaultKind::kStall ||
+      kind == FaultKind::kMute) {
     out += " delay_ms=" + std::to_string(delay_ms);
   }
   if (kind == FaultKind::kCorrupt) {

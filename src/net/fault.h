@@ -31,11 +31,12 @@ namespace pivot {
 //   fault := kind " party=" P [" peer=" Q] (" nth=" N | " op=" N)
 //            [" delay_ms=" D] [" bit=" B] " class=" ("transient"|"fatal")
 //
-//   kind       one of drop | delay | duplicate | truncate | corrupt
-//              (message faults, keyed `nth=` on the directed channel
-//              party->peer, peer=-1 meaning any receiver) or
-//              crash | stall (party faults, keyed `op=` on the party's
-//              network-operation counter; crash is sticky from op on).
+//   kind       one of drop | delay | duplicate | truncate | corrupt |
+//              sever | mute (message/connection faults, keyed `nth=` on
+//              the directed channel party->peer, peer=-1 meaning any
+//              receiver) or crash | stall (party faults, keyed `op=` on
+//              the party's network-operation counter; crash is sticky
+//              from op on).
 //   class      transient faults model recoverable conditions: the
 //              reliable channel masks message-level ones (retransmit /
 //              duplicate-suppress / checksum+NACK) and checkpoint/resume
@@ -55,6 +56,20 @@ namespace pivot {
 //   crash                      transient => masked by checkpoint/resume
 //                              (FederationConfig::max_restarts); fatal
 //                              => permanent party loss, aborts the run
+//   sever / mute               connection faults, socket backend only
+//                              (the in-memory mesh has no connections to
+//                              cut, so it treats them as no-ops). sever
+//                              closes the TCP/Unix connection at the nth
+//                              outbound frame: transient => the
+//                              supervisor reconnects and NACK recovery
+//                              resumes the channel; fatal => reconnects
+//                              are refused until the retry budget is
+//                              exhausted and the run aborts. mute
+//                              suppresses all outbound traffic
+//                              (heartbeats included) for delay_ms,
+//                              modelling a hung connection: the peer's
+//                              supervisor detects the missed heartbeats
+//                              and severs/reconnects.
 
 enum class FaultKind {
   kDrop,       // message silently not delivered
@@ -64,6 +79,9 @@ enum class FaultKind {
   kCorrupt,    // one bit of the message body flipped
   kCrash,      // party's network ops all fail from the trigger point on
   kStall,      // party sleeps delay_ms at the trigger point (interruptible)
+  kSever,      // socket backend: connection closed at the nth outbound frame
+  kMute,       // socket backend: outbound (incl. heartbeats) suppressed
+               // for delay_ms — models a hung connection
 };
 
 const char* FaultKindName(FaultKind kind);

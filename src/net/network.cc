@@ -7,100 +7,82 @@
 #include <utility>
 
 #include "common/check.h"
-#include "common/crc32.h"
 #include "common/op_counters.h"
+#include "net/wire.h"
 
 namespace pivot {
 
 namespace {
 
-// Reliable-channel frame layout (little-endian):
-//   [0, 8)   sequence number (per directed channel, starting at 0)
-//   [8]      flags (reserved, 0)
-//   [9, 13)  payload length
-//   [13, 17) CRC32 over the whole frame with this field zeroed
-//   [17, ..) payload
-constexpr size_t kFrameHeader = 17;
-constexpr size_t kCrcOffset = 13;
-
 // Control messages (separate mesh): [0] = type, then type-specific body.
 constexpr uint8_t kCtrlNack = 1;  // [1, 9) = little-endian frame seq
 constexpr size_t kCtrlNackSize = 9;
 
-void PutU64Le(uint8_t* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
-}
-
-uint64_t GetU64Le(const uint8_t* in) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(in[i]) << (8 * i);
-  return v;
-}
-
-void PutU32Le(uint8_t* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
-}
-
-uint32_t GetU32Le(const uint8_t* in) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in[i]) << (8 * i);
-  return v;
-}
-
-Bytes BuildFrame(uint64_t seq, const Bytes& payload) {
-  Bytes frame(kFrameHeader + payload.size());
-  PutU64Le(frame.data(), seq);
-  frame[8] = 0;
-  PutU32Le(frame.data() + 9, static_cast<uint32_t>(payload.size()));
-  PutU32Le(frame.data() + kCrcOffset, 0);
-  std::copy(payload.begin(), payload.end(), frame.begin() + kFrameHeader);
-  PutU32Le(frame.data() + kCrcOffset, Crc32(frame.data(), frame.size()));
-  return frame;
-}
-
-// Validates the frame and extracts (seq, payload). Any damage — too
-// short, length mismatch, checksum mismatch — returns false; callers
-// must not trust any header field of a frame that fails here.
-bool ParseFrame(const Bytes& frame, uint64_t* seq, Bytes* payload) {
-  if (frame.size() < kFrameHeader) return false;
-  const uint32_t payload_len = GetU32Le(frame.data() + 9);
-  if (frame.size() != kFrameHeader + payload_len) return false;
-  const uint32_t stored_crc = GetU32Le(frame.data() + kCrcOffset);
-  const uint8_t zeros[4] = {0, 0, 0, 0};
-  uint32_t crc = Crc32Update(0, frame.data(), kCrcOffset);
-  crc = Crc32Update(crc, zeros, 4);
-  crc = Crc32Update(crc, frame.data() + kCrcOffset + 4,
-                    frame.size() - kCrcOffset - 4);
-  if (crc != stored_crc) return false;
-  *seq = GetU64Le(frame.data());
-  payload->assign(frame.begin() + kFrameHeader, frame.end());
-  return true;
-}
-
-bool EnvInt(const char* name, int* out) {
+// Reads an integer environment variable. Three outcomes: unset (OK,
+// *present = false), parsed (OK, *present = true, *out set), or malformed
+// — which is an error, because a typo'd override silently falling back to
+// the default is exactly the failure mode FromEnv exists to prevent.
+Status EnvInt(const char* name, int* out, bool* present) {
+  *present = false;
   const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return false;
+  if (v == nullptr || *v == '\0') return Status::Ok();
   char* end = nullptr;
   const long parsed = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0') return false;
+  if (end == v || *end != '\0') {
+    return Status::InvalidArgument(std::string(name) + "=\"" + v +
+                                   "\" is not an integer");
+  }
   *out = static_cast<int>(parsed);
-  return true;
+  *present = true;
+  return Status::Ok();
 }
 
 }  // namespace
 
-NetConfig NetConfig::FromEnv(NetConfig base) {
-  EnvInt("PIVOT_NET_RECV_TIMEOUT_MS", &base.recv_timeout_ms);
+Status NetConfig::Validate() const {
+  const auto positive = [](const char* field, int value) -> Status {
+    if (value <= 0) {
+      return Status::InvalidArgument(
+          std::string("NetConfig: ") + field + " must be positive, got " +
+          std::to_string(value));
+    }
+    return Status::Ok();
+  };
+  PIVOT_RETURN_IF_ERROR(positive("recv_timeout_ms", recv_timeout_ms));
+  PIVOT_RETURN_IF_ERROR(positive("retry_budget", retry_budget));
+  PIVOT_RETURN_IF_ERROR(positive("backoff_base_ms", backoff_base_ms));
+  PIVOT_RETURN_IF_ERROR(positive("backoff_max_ms", backoff_max_ms));
+  PIVOT_RETURN_IF_ERROR(
+      positive("resend_buffer_frames", resend_buffer_frames));
+  if (backoff_max_ms < backoff_base_ms) {
+    return Status::InvalidArgument(
+        "NetConfig: backoff_max_ms (" + std::to_string(backoff_max_ms) +
+        ") must be >= backoff_base_ms (" + std::to_string(backoff_base_ms) +
+        ")");
+  }
+  return Status::Ok();
+}
+
+Result<NetConfig> NetConfig::FromEnv(NetConfig base) {
+  bool present = false;
+  PIVOT_RETURN_IF_ERROR(
+      EnvInt("PIVOT_NET_RECV_TIMEOUT_MS", &base.recv_timeout_ms, &present));
   int reliable = base.reliable ? 1 : 0;
-  if (EnvInt("PIVOT_NET_RELIABLE", &reliable)) base.reliable = reliable != 0;
-  EnvInt("PIVOT_NET_RETRY_BUDGET", &base.retry_budget);
-  EnvInt("PIVOT_NET_BACKOFF_BASE_MS", &base.backoff_base_ms);
-  EnvInt("PIVOT_NET_BACKOFF_MAX_MS", &base.backoff_max_ms);
-  EnvInt("PIVOT_NET_RESEND_FRAMES", &base.resend_buffer_frames);
+  PIVOT_RETURN_IF_ERROR(EnvInt("PIVOT_NET_RELIABLE", &reliable, &present));
+  if (present) base.reliable = reliable != 0;
+  PIVOT_RETURN_IF_ERROR(
+      EnvInt("PIVOT_NET_RETRY_BUDGET", &base.retry_budget, &present));
+  PIVOT_RETURN_IF_ERROR(
+      EnvInt("PIVOT_NET_BACKOFF_BASE_MS", &base.backoff_base_ms, &present));
+  PIVOT_RETURN_IF_ERROR(
+      EnvInt("PIVOT_NET_BACKOFF_MAX_MS", &base.backoff_max_ms, &present));
+  PIVOT_RETURN_IF_ERROR(
+      EnvInt("PIVOT_NET_RESEND_FRAMES", &base.resend_buffer_frames, &present));
+  PIVOT_RETURN_IF_ERROR(base.Validate());
   return base;
 }
 
-NetConfig NetConfig::FromEnv() { return FromEnv(NetConfig()); }
+Result<NetConfig> NetConfig::FromEnv() { return FromEnv(NetConfig()); }
 
 void MessageQueue::Push(Bytes msg) {
   {
@@ -159,7 +141,7 @@ InMemoryNetwork::InMemoryNetwork(int num_parties, NetConfig config,
   }
   endpoints_.reserve(num_parties);
   for (int i = 0; i < num_parties; ++i) {
-    endpoints_.push_back(Endpoint(this, i, num_parties));
+    endpoints_.push_back(InMemoryEndpoint(this, i, num_parties));
   }
 }
 
@@ -174,7 +156,7 @@ InMemoryNetwork::InMemoryNetwork(int num_parties, int recv_timeout_ms,
           }(),
           sim) {}
 
-Endpoint& InMemoryNetwork::endpoint(int i) {
+InMemoryEndpoint& InMemoryNetwork::endpoint(int i) {
   PIVOT_CHECK(i >= 0 && i < num_parties_);
   return endpoints_[i];
 }
@@ -217,13 +199,13 @@ void InMemoryNetwork::set_fault_plan(FaultPlan plan) {
 
 uint64_t InMemoryNetwork::total_bytes() const {
   uint64_t total = 0;
-  for (const Endpoint& e : endpoints_) total += e.bytes_sent();
+  for (const InMemoryEndpoint& e : endpoints_) total += e.bytes_sent();
   return total;
 }
 
 NetworkStats InMemoryNetwork::stats() const {
   NetworkStats s;
-  for (const Endpoint& e : endpoints_) {
+  for (const InMemoryEndpoint& e : endpoints_) {
     s.bytes_sent += e.bytes_sent();
     s.bytes_received += e.bytes_received();
     s.messages_sent += e.messages_sent();
@@ -237,10 +219,10 @@ NetworkStats InMemoryNetwork::stats() const {
   return s;
 }
 
-Status Endpoint::BeginOp() {
+Status InMemoryEndpoint::BeginOp() {
   const FaultPlan* plan = net_->fault_plan();
   if (plan != nullptr) {
-    const int idx = plan->MatchParty(id_, ops_++);
+    const int idx = plan->MatchParty(id(), ops_++);
     if (idx >= 0) {
       const FaultAction& a = plan->actions()[idx];
       net_->MarkFaultFired(idx);
@@ -248,37 +230,32 @@ Status Endpoint::BeginOp() {
         // Sticky: every network op at or after the trigger fails.
         if (crashed_at_ < 0) crashed_at_ = static_cast<int64_t>(a.nth);
         return Status::ProtocolError(
-            "injected fault: party " + std::to_string(id_) +
+            "injected fault: party " + std::to_string(id()) +
             " crashed at network op " + std::to_string(crashed_at_));
       }
       // kStall: sleep, but wake immediately if the mesh aborts meanwhile.
-      if (net_->WaitForAbortMs(a.delay_ms)) return net_->abort_status();
+      if (a.kind == FaultKind::kStall || a.kind == FaultKind::kDelay) {
+        if (net_->WaitForAbortMs(a.delay_ms)) return net_->abort_status();
+      }
     }
   }
   if (net_->aborted()) return net_->abort_status();
   return Status::Ok();
 }
 
-void Endpoint::NoteRecvPhase() {
-  if (in_send_phase_) {
-    rounds_.fetch_add(1, std::memory_order_relaxed);
-    in_send_phase_ = false;
-  }
-}
-
-Status Endpoint::Send(int to, Bytes msg) {
-  PIVOT_CHECK_MSG(to != id_, "self-send");
-  PIVOT_CHECK(to >= 0 && to < num_parties_);
-  in_send_phase_ = true;
+Status InMemoryEndpoint::Send(int to, Bytes msg) {
+  PIVOT_CHECK_MSG(to != id(), "self-send");
+  PIVOT_CHECK(to >= 0 && to < num_parties());
+  NoteSendPhase();
   PIVOT_RETURN_IF_ERROR(BeginOp());
   if (!net_->config_.reliable) return SendRaw(to, std::move(msg));
   return SendReliable(to, std::move(msg));
 }
 
-Status Endpoint::SendRaw(int to, Bytes msg) {
+Status InMemoryEndpoint::SendRaw(int to, Bytes msg) {
   int copies = 1;
   if (const FaultPlan* plan = net_->fault_plan()) {
-    const int idx = plan->MatchMessage(id_, to, send_seq_[to]);
+    const int idx = plan->MatchMessage(id(), to, send_seq_[to]);
     if (idx >= 0) {
       const FaultAction& a = plan->actions()[idx];
       net_->MarkFaultFired(idx);
@@ -304,6 +281,9 @@ Status Endpoint::SendRaw(int to, Bytes msg) {
         case FaultKind::kCrash:
         case FaultKind::kStall:
           break;  // party faults are handled in BeginOp
+        case FaultKind::kSever:
+        case FaultKind::kMute:
+          break;  // connection faults; no-ops on the in-memory mesh
       }
     }
   }
@@ -318,23 +298,22 @@ Status Endpoint::SendRaw(int to, Bytes msg) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(static_cast<int64_t>(micros)));
   }
-  bytes_sent_.fetch_add(msg.size(), std::memory_order_relaxed);
-  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  CountSend(msg.size());
   OpCounters::Global().AddBytesSent(msg.size());
   OpCounters::Global().AddMessage();
   for (int c = 0; c < copies; ++c) {
-    net_->queue(id_, to).Push(c + 1 < copies ? msg : std::move(msg));
+    net_->queue(id(), to).Push(c + 1 < copies ? msg : std::move(msg));
   }
   return Status::Ok();
 }
 
-Status Endpoint::SendReliable(int to, Bytes msg) {
+Status InMemoryEndpoint::SendReliable(int to, Bytes msg) {
   // Serve pending retransmission requests before advancing: a peer
   // blocked on an earlier frame must not starve behind new traffic.
   PIVOT_RETURN_IF_ERROR(ServiceControl());
   const uint64_t seq = send_seq_[to]++;
   const size_t payload_size = msg.size();
-  Bytes frame = BuildFrame(seq, msg);
+  Bytes frame = BuildSeqFrame(seq, msg);
   if (net_->sim_.enabled()) {
     // Sender-side delay: per-message latency + serialization time.
     double micros = net_->sim_.latency_us;
@@ -347,8 +326,7 @@ Status Endpoint::SendReliable(int to, Bytes msg) {
   }
   // Counters track logical payloads only: retransmissions and frame
   // headers are reliability overhead, not protocol communication cost.
-  bytes_sent_.fetch_add(payload_size, std::memory_order_relaxed);
-  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  CountSend(payload_size);
   OpCounters::Global().AddBytesSent(payload_size);
   OpCounters::Global().AddMessage();
   // Keep the clean frame for retransmission before faults touch the wire
@@ -361,11 +339,11 @@ Status Endpoint::SendReliable(int to, Bytes msg) {
   return PushFrameWithFaults(to, seq, std::move(frame), /*retransmit=*/false);
 }
 
-Status Endpoint::PushFrameWithFaults(int to, uint64_t seq, Bytes frame,
-                                     bool retransmit) {
+Status InMemoryEndpoint::PushFrameWithFaults(int to, uint64_t seq,
+                                             Bytes frame, bool retransmit) {
   int copies = 1;
   if (const FaultPlan* plan = net_->fault_plan()) {
-    const int idx = plan->MatchMessage(id_, to, seq, retransmit);
+    const int idx = plan->MatchMessage(id(), to, seq, retransmit);
     if (idx >= 0) {
       const FaultAction& a = plan->actions()[idx];
       net_->MarkFaultFired(idx);
@@ -390,21 +368,24 @@ Status Endpoint::PushFrameWithFaults(int to, uint64_t seq, Bytes frame,
         case FaultKind::kCrash:
         case FaultKind::kStall:
           break;  // party faults are handled in BeginOp
+        case FaultKind::kSever:
+        case FaultKind::kMute:
+          break;  // connection faults; no-ops on the in-memory mesh
       }
     }
   }
   for (int c = 0; c < copies; ++c) {
-    net_->queue(id_, to).Push(c + 1 < copies ? frame : std::move(frame));
+    net_->queue(id(), to).Push(c + 1 < copies ? frame : std::move(frame));
   }
   return Status::Ok();
 }
 
-Status Endpoint::ServiceControl() {
+Status InMemoryEndpoint::ServiceControl() {
   if (net_->aborted()) return net_->abort_status();
   Bytes ctrl;
-  for (int p = 0; p < num_parties_; ++p) {
-    if (p == id_) continue;
-    while (net_->ctrl_queue(p, id_).TryPop(&ctrl)) {
+  for (int p = 0; p < num_parties(); ++p) {
+    if (p == id()) continue;
+    while (net_->ctrl_queue(p, id()).TryPop(&ctrl)) {
       if (ctrl.size() == kCtrlNackSize && ctrl[0] == kCtrlNack) {
         PIVOT_RETURN_IF_ERROR(HandleNack(p, GetU64Le(ctrl.data() + 1)));
       }
@@ -414,45 +395,45 @@ Status Endpoint::ServiceControl() {
   return Status::Ok();
 }
 
-Status Endpoint::HandleNack(int peer, uint64_t seq) {
+Status InMemoryEndpoint::HandleNack(int peer, uint64_t seq) {
   // A probe for a frame this party has not produced yet: the peer is
   // ahead of us, not missing data. Nothing to do.
   if (seq >= send_seq_[peer]) return Status::Ok();
   for (const ResendEntry& e : resend_[peer]) {
     if (e.seq == seq) {
-      retransmits_.fetch_add(1, std::memory_order_relaxed);
+      CountRetransmit();
       return PushFrameWithFaults(peer, seq, e.frame, /*retransmit=*/true);
     }
   }
   // The frame was sent but has aged out of the bounded window: the loss
   // is unrecoverable, so fail loudly instead of letting the peer starve.
   return Status::ProtocolError(
-      "reliable channel: party " + std::to_string(id_) +
+      "reliable channel: party " + std::to_string(id()) +
       " cannot retransmit frame " + std::to_string(seq) + " to party " +
       std::to_string(peer) + ": evicted from resend buffer (capacity " +
       std::to_string(net_->config_.resend_buffer_frames) + ")");
 }
 
-void Endpoint::SendNack(int to, uint64_t seq) {
+void InMemoryEndpoint::SendNack(int to, uint64_t seq) {
   Bytes ctrl(kCtrlNackSize);
   ctrl[0] = kCtrlNack;
   PutU64Le(ctrl.data() + 1, seq);
-  net_->ctrl_queue(id_, to).Push(std::move(ctrl));
-  nacks_sent_.fetch_add(1, std::memory_order_relaxed);
+  net_->ctrl_queue(id(), to).Push(std::move(ctrl));
+  CountNack();
 }
 
-Result<Bytes> Endpoint::Recv(int from) {
-  PIVOT_CHECK_MSG(from != id_, "self-receive");
-  PIVOT_CHECK(from >= 0 && from < num_parties_);
+Result<Bytes> InMemoryEndpoint::Recv(int from) {
+  PIVOT_CHECK_MSG(from != id(), "self-receive");
+  PIVOT_CHECK(from >= 0 && from < num_parties());
   NoteRecvPhase();
   PIVOT_RETURN_IF_ERROR(BeginOp());
   if (!net_->config_.reliable) return RecvRaw(from);
   return RecvReliable(from);
 }
 
-Result<Bytes> Endpoint::RecvRaw(int from) {
+Result<Bytes> InMemoryEndpoint::RecvRaw(int from) {
   const auto start = std::chrono::steady_clock::now();
-  MessageQueue& q = net_->queue(from, id_);
+  MessageQueue& q = net_->queue(from, id());
   Result<Bytes> r = q.Pop(net_->config_.recv_timeout_ms);
   if (!r.ok()) {
     if (r.status().code() == StatusCode::kAborted) return r.status();
@@ -460,27 +441,25 @@ Result<Bytes> Endpoint::RecvRaw(int from) {
         std::chrono::steady_clock::now() - start).count();
     return Status::ProtocolError(
         "receive from party " + std::to_string(from) + " timed out at party " +
-        std::to_string(id_) + " after " + std::to_string(elapsed_ms) +
+        std::to_string(id()) + " after " + std::to_string(elapsed_ms) +
         " ms (" + std::to_string(recv_seq_[from]) +
         " messages previously received on this channel, queue depth " +
         std::to_string(q.depth()) + "; peer missing/deadlock?)");
   }
   ++recv_seq_[from];
-  bytes_received_.fetch_add(r.value().size(), std::memory_order_relaxed);
-  messages_received_.fetch_add(1, std::memory_order_relaxed);
+  CountRecv(r.value().size());
   return r;
 }
 
-Result<Bytes> Endpoint::RecvReliable(int from) {
+Result<Bytes> InMemoryEndpoint::RecvReliable(int from) {
   const NetConfig& cfg = net_->config_;
-  MessageQueue& q = net_->queue(from, id_);
+  MessageQueue& q = net_->queue(from, id());
   const auto start = std::chrono::steady_clock::now();
   const uint64_t expected = recv_seq_[from];
   auto& stash = reorder_[from];
   const auto deliver = [&](Bytes payload) -> Result<Bytes> {
     ++recv_seq_[from];
-    bytes_received_.fetch_add(payload.size(), std::memory_order_relaxed);
-    messages_received_.fetch_add(1, std::memory_order_relaxed);
+    CountRecv(payload.size());
     return payload;
   };
   // A retransmission triggered by an earlier gap may already be waiting.
@@ -508,7 +487,7 @@ Result<Bytes> Endpoint::RecvReliable(int from) {
     if (elapsed_ms >= cfg.recv_timeout_ms) {
       return Status::ProtocolError(
           "receive from party " + std::to_string(from) +
-          " timed out at party " + std::to_string(id_) + " after " +
+          " timed out at party " + std::to_string(id()) + " after " +
           std::to_string(elapsed_ms) + " ms (" +
           std::to_string(recv_seq_[from]) +
           " messages previously received on this channel, queue depth " +
@@ -528,14 +507,14 @@ Result<Bytes> Endpoint::RecvReliable(int from) {
     backoff_ms = cfg.backoff_base_ms;  // channel is live again
     uint64_t seq = 0;
     Bytes payload;
-    if (!ParseFrame(r.value(), &seq, &payload)) {
+    if (!ParseSeqFrame(r.value(), &seq, &payload)) {
       // Corrupted or truncated frame; its header cannot be trusted, so
       // re-request the expected frame.
-      corrupt_frames_.fetch_add(1, std::memory_order_relaxed);
+      CountCorruptFrame();
       if (++evidence > cfg.retry_budget) {
         return Status::ProtocolError(
             "retry budget exhausted receiving from party " +
-            std::to_string(from) + " at party " + std::to_string(id_) +
+            std::to_string(from) + " at party " + std::to_string(id()) +
             ": " + std::to_string(evidence) +
             " loss events (damaged or missing frames) exceeded the budget "
             "of " +
@@ -547,7 +526,7 @@ Result<Bytes> Endpoint::RecvReliable(int from) {
     if (seq < expected) {
       // Duplicate of an already-delivered frame (duplicate fault or a
       // redundant retransmission).
-      dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      CountDuplicate();
       continue;
     }
     if (seq > expected) {
@@ -555,13 +534,13 @@ Result<Bytes> Endpoint::RecvReliable(int from) {
       // request the gap.
       const bool inserted = stash.emplace(seq, std::move(payload)).second;
       if (!inserted) {
-        dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
+        CountDuplicate();
         continue;
       }
       if (++evidence > cfg.retry_budget) {
         return Status::ProtocolError(
             "retry budget exhausted receiving from party " +
-            std::to_string(from) + " at party " + std::to_string(id_) +
+            std::to_string(from) + " at party " + std::to_string(id()) +
             ": " + std::to_string(evidence) +
             " loss events (damaged or missing frames) exceeded the budget "
             "of " +
@@ -572,30 +551,6 @@ Result<Bytes> Endpoint::RecvReliable(int from) {
     }
     return deliver(std::move(payload));
   }
-}
-
-Status Endpoint::Broadcast(const Bytes& msg) {
-  for (int to = 0; to < num_parties_; ++to) {
-    if (to != id_) PIVOT_RETURN_IF_ERROR(Send(to, msg));
-  }
-  return Status::Ok();
-}
-
-Result<std::vector<Bytes>> Endpoint::GatherAll(Bytes own) {
-  std::vector<Bytes> out(num_parties_);
-  out[id_] = std::move(own);
-  for (int from = 0; from < num_parties_; ++from) {
-    if (from == id_) continue;
-    Result<Bytes> r = Recv(from);
-    if (!r.ok()) {
-      if (r.status().code() == StatusCode::kAborted) return r.status();
-      return Status(r.status().code(), "GatherAll at party " +
-                                           std::to_string(id_) + ": " +
-                                           r.status().message());
-    }
-    out[from] = std::move(r).value();
-  }
-  return out;
 }
 
 Status RunParties(InMemoryNetwork& net,

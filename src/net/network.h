@@ -13,6 +13,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "net/endpoint.h"
 #include "net/fault.h"
 
 namespace pivot {
@@ -20,11 +21,14 @@ namespace pivot {
 // In-process multi-party message fabric.
 //
 // The paper runs its m clients on a LAN cluster connected through libscapi
-// sockets; this reproduction runs the same SPMD protocol code with each
-// party on its own thread, connected through an in-memory mesh of FIFO
-// channels (see DESIGN.md, substitution table). Per-endpoint byte and
-// message counters preserve the communication-cost measurements that the
-// evaluation reports.
+// sockets; this reproduction runs the same SPMD protocol code against the
+// Endpoint abstraction (net/endpoint.h) over one of two backends. This
+// file is the in-memory one: each party on its own thread, connected
+// through an in-memory mesh of FIFO channels (see DESIGN.md, substitution
+// table). Per-endpoint byte and message counters preserve the
+// communication-cost measurements that the evaluation reports. The
+// socket backend (net/socket.h) runs one party per process over real
+// file descriptors.
 //
 // Usage: construct one `InMemoryNetwork` for the party group, hand
 // `endpoint(i)` to party i's thread, and exchange length-delimited byte
@@ -33,16 +37,17 @@ namespace pivot {
 //
 // Reliable channels (DESIGN.md, "Fault model"): by default every logical
 // message travels inside a frame carrying a per-channel sequence number
-// and a CRC32 over the whole frame. The receiver suppresses duplicates,
-// detects corruption/truncation, and NACKs missing or damaged frames over
-// a separate control mesh; the sender retransmits from a bounded
-// per-channel resend buffer. Transient faults (net/fault.h) are therefore
-// masked transparently; only a persistent fault — one that damages every
-// retransmission, or an evicted resend frame — escalates to an error and
-// from there to the security-with-abort path below. NetConfig sets the
-// recv timeout, retry budget, backoff shape, and resend-buffer capacity;
-// `reliable = false` restores the raw unframed channel for tests that
-// need faults to hit the application payload directly.
+// and a CRC32 over the whole frame (net/wire.h). The receiver suppresses
+// duplicates, detects corruption/truncation, and NACKs missing or damaged
+// frames over a separate control mesh; the sender retransmits from a
+// bounded per-channel resend buffer. Transient faults (net/fault.h) are
+// therefore masked transparently; only a persistent fault — one that
+// damages every retransmission, or an evicted resend frame — escalates to
+// an error and from there to the security-with-abort path below.
+// NetConfig sets the recv timeout, retry budget, backoff shape, and
+// resend-buffer capacity; `reliable = false` restores the raw unframed
+// channel for tests that need faults to hit the application payload
+// directly.
 //
 // Fault tolerance: the mesh implements security-with-abort. The first
 // party whose protocol body fails calls InMemoryNetwork::Abort, which
@@ -82,9 +87,15 @@ struct NetConfig {
   // Returns `base` (default-constructed in the no-arg form) with any of
   // PIVOT_NET_RECV_TIMEOUT_MS, PIVOT_NET_RELIABLE, PIVOT_NET_RETRY_BUDGET,
   // PIVOT_NET_BACKOFF_BASE_MS, PIVOT_NET_BACKOFF_MAX_MS,
-  // PIVOT_NET_RESEND_FRAMES applied on top.
-  static NetConfig FromEnv(NetConfig base);
-  static NetConfig FromEnv();
+  // PIVOT_NET_RESEND_FRAMES applied on top. An unparsable value (not an
+  // integer, or trailing junk) or a non-positive timeout/budget/capacity
+  // fails with InvalidArgument naming the offending variable: a typo'd
+  // override must stop the run, not silently fall back to defaults.
+  static Result<NetConfig> FromEnv(NetConfig base);
+  static Result<NetConfig> FromEnv();
+  // Validates the field ranges of an already-built config (FromEnv calls
+  // this; programmatic configs can too).
+  [[nodiscard]] Status Validate() const;
 };
 
 // One directed FIFO byte-message queue with blocking receive.
@@ -118,7 +129,8 @@ class MessageQueue {
 // latency plus a serialization delay proportional to message size. With
 // the defaults (all zero) messages are delivered instantly; the efficiency
 // benches enable it so that communication-bound cost shapes (Figures 4-5)
-// match the paper's environment.
+// match the paper's environment. In-memory backend only: the socket
+// backend pays real wire latency.
 struct NetworkSim {
   int latency_us = 0;          // one-way per-message latency
   double bandwidth_gbps = 0.0; // 0 = infinite bandwidth
@@ -141,104 +153,41 @@ struct NetworkStats {
   uint64_t duplicates_suppressed = 0;  // frames below the expected seq
   uint64_t corrupt_frames = 0;         // CRC/length check failures
   uint64_t nacks_sent = 0;             // probes + evidence-backed NACKs
+  uint64_t reconnects = 0;   // socket backend: successful re-dials
+  uint64_t heartbeats = 0;   // socket backend: heartbeat frames sent
 };
 
 class InMemoryNetwork;
 
-// Party-local view of the network. Thread-compatible: owned and used by a
-// single party thread.
-class Endpoint {
+// In-memory implementation of the Endpoint abstraction: Send pushes into
+// the mesh's FIFO queues, Recv pops with the reliable-channel recovery
+// loop on top. Thread-compatible: owned and used by a single party
+// thread.
+class InMemoryEndpoint : public Endpoint {
  public:
-  int id() const { return id_; }
-  int num_parties() const { return num_parties_; }
-
-  // Point-to-point send (to != id()). Fails once the mesh has aborted or
-  // an injected fault has crashed this party, so send-only loops also
-  // terminate promptly. In reliable mode the payload is framed
-  // (seq + CRC32) and buffered for retransmission, and pending NACKs
-  // from peers are serviced first.
-  [[nodiscard]] Status Send(int to, Bytes msg);
-  // Blocking receive of the next message from `from`. In reliable mode
-  // this delivers exactly the next in-sequence payload, masking
-  // duplicate/dropped/damaged frames via suppression and NACK-triggered
-  // retransmission. Timeout errors name the channel (sender, receiver,
-  // elapsed ms, queue depth); abort errors name the originating party.
-  Result<Bytes> Recv(int from);
-
-  // Sends `msg` to every other party.
-  [[nodiscard]] Status Broadcast(const Bytes& msg);
-  // Receives one message from every other party; slot id() holds `own`.
-  Result<std::vector<Bytes>> GatherAll(Bytes own);
-
-  // Cumulative traffic through this endpoint. Atomic: the counters are
-  // incremented by the owning party thread but read by the harness
-  // thread (progress reporting, InMemoryNetwork::stats) while party
-  // threads may still be running.
-  uint64_t bytes_sent() const {
-    return bytes_sent_.load(std::memory_order_relaxed);
-  }
-  uint64_t messages_sent() const {
-    return messages_sent_.load(std::memory_order_relaxed);
-  }
-  uint64_t bytes_received() const {
-    return bytes_received_.load(std::memory_order_relaxed);
-  }
-  uint64_t messages_received() const {
-    return messages_received_.load(std::memory_order_relaxed);
-  }
-  // Reliability-layer counters (zero in raw mode).
-  uint64_t retransmits() const {
-    return retransmits_.load(std::memory_order_relaxed);
-  }
-  uint64_t duplicates_suppressed() const {
-    return dup_suppressed_.load(std::memory_order_relaxed);
-  }
-  uint64_t corrupt_frames() const {
-    return corrupt_frames_.load(std::memory_order_relaxed);
-  }
-  uint64_t nacks_sent() const {
-    return nacks_sent_.load(std::memory_order_relaxed);
-  }
-  // Round estimate: number of send-phase -> recv-phase transitions this
-  // party performed. On the in-process mesh this approximates the
-  // sequential communication rounds a socket deployment would pay
-  // latency for.
-  uint64_t Rounds() const { return rounds_.load(std::memory_order_relaxed); }
+  [[nodiscard]] Status Send(int to, Bytes msg) override;
+  Result<Bytes> Recv(int from) override;
 
   // Endpoints live in InMemoryNetwork's vector; atomics are not movable,
   // so moves (vector growth during construction) copy the counter values.
   // Safe: endpoints are only moved before any party thread starts.
-  Endpoint(Endpoint&& other) noexcept
-      : net_(other.net_),
-        id_(other.id_),
-        num_parties_(other.num_parties_),
+  InMemoryEndpoint(InMemoryEndpoint&& other) noexcept
+      : Endpoint(other.id(), other.num_parties()),
+        net_(other.net_),
         send_seq_(std::move(other.send_seq_)),
         recv_seq_(std::move(other.recv_seq_)),
         resend_(std::move(other.resend_)),
         reorder_(std::move(other.reorder_)),
         ops_(other.ops_),
-        crashed_at_(other.crashed_at_),
-        in_send_phase_(other.in_send_phase_),
-        bytes_sent_(other.bytes_sent_.load(std::memory_order_relaxed)),
-        messages_sent_(other.messages_sent_.load(std::memory_order_relaxed)),
-        bytes_received_(
-            other.bytes_received_.load(std::memory_order_relaxed)),
-        messages_received_(
-            other.messages_received_.load(std::memory_order_relaxed)),
-        rounds_(other.rounds_.load(std::memory_order_relaxed)),
-        retransmits_(other.retransmits_.load(std::memory_order_relaxed)),
-        dup_suppressed_(
-            other.dup_suppressed_.load(std::memory_order_relaxed)),
-        corrupt_frames_(
-            other.corrupt_frames_.load(std::memory_order_relaxed)),
-        nacks_sent_(other.nacks_sent_.load(std::memory_order_relaxed)) {}
+        crashed_at_(other.crashed_at_) {
+    CopyCountersFrom(other);
+  }
 
  private:
   friend class InMemoryNetwork;
-  Endpoint(InMemoryNetwork* net, int id, int num_parties)
-      : net_(net),
-        id_(id),
-        num_parties_(num_parties),
+  InMemoryEndpoint(InMemoryNetwork* net, int id, int num_parties)
+      : Endpoint(id, num_parties),
+        net_(net),
         send_seq_(num_parties, 0),
         recv_seq_(num_parties, 0),
         resend_(num_parties),
@@ -254,7 +203,6 @@ class Endpoint {
   // Common prologue of Send/Recv: fires party faults (crash/stall) from
   // the installed FaultPlan and fails fast once the mesh has aborted.
   Status BeginOp();
-  void NoteRecvPhase();
 
   // Raw (unreliable) channel bodies, used when !NetConfig::reliable.
   Status SendRaw(int to, Bytes msg);
@@ -268,15 +216,13 @@ class Endpoint {
   Status ServiceControl();
   Status HandleNack(int peer, uint64_t seq);
   void SendNack(int to, uint64_t seq);
-  // Applies any scheduled message fault for (id_ -> to, seq) to the wire
+  // Applies any scheduled message fault for (id -> to, seq) to the wire
   // copy `frame` and pushes the surviving copies. `retransmit` restricts
   // matching to fatal faults.
   Status PushFrameWithFaults(int to, uint64_t seq, Bytes frame,
                              bool retransmit);
 
   InMemoryNetwork* net_;
-  int id_;
-  int num_parties_;
   // Per-channel logical message indices and the party-local op counter
   // that fault schedules key on. Plain members: touched only by the
   // owning party thread.
@@ -290,16 +236,6 @@ class Endpoint {
   std::vector<std::map<uint64_t, Bytes>> reorder_;
   uint64_t ops_ = 0;
   int64_t crashed_at_ = -1;
-  bool in_send_phase_ = false;
-  std::atomic<uint64_t> bytes_sent_{0};
-  std::atomic<uint64_t> messages_sent_{0};
-  std::atomic<uint64_t> bytes_received_{0};
-  std::atomic<uint64_t> messages_received_{0};
-  std::atomic<uint64_t> rounds_{0};
-  std::atomic<uint64_t> retransmits_{0};
-  std::atomic<uint64_t> dup_suppressed_{0};
-  std::atomic<uint64_t> corrupt_frames_{0};
-  std::atomic<uint64_t> nacks_sent_{0};
 };
 
 class InMemoryNetwork {
@@ -315,7 +251,7 @@ class InMemoryNetwork {
 
   int num_parties() const { return num_parties_; }
   const NetConfig& config() const { return config_; }
-  Endpoint& endpoint(int i);
+  InMemoryEndpoint& endpoint(int i);
 
   // Network-wide abort (security-with-abort): records `cause` as coming
   // from `origin_party` and poisons every queue so all blocked receives
@@ -344,7 +280,7 @@ class InMemoryNetwork {
   NetworkStats stats() const;
 
  private:
-  friend class Endpoint;
+  friend class InMemoryEndpoint;
   MessageQueue& queue(int from, int to) {
     return *queues_[static_cast<size_t>(from) * num_parties_ + to];
   }
@@ -364,7 +300,7 @@ class InMemoryNetwork {
   NetworkSim sim_;
   std::vector<std::unique_ptr<MessageQueue>> queues_;       // [from * m + to]
   std::vector<std::unique_ptr<MessageQueue>> ctrl_queues_;  // [from * m + to]
-  std::vector<Endpoint> endpoints_;
+  std::vector<InMemoryEndpoint> endpoints_;
   std::unique_ptr<FaultPlan> fault_plan_;
 
   std::atomic<bool> aborted_{false};

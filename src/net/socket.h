@@ -1,0 +1,306 @@
+#ifndef PIVOT_NET_SOCKET_H_
+#define PIVOT_NET_SOCKET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/endpoint.h"
+#include "net/fault.h"
+#include "net/network.h"
+#include "net/supervisor.h"
+#include "net/wire.h"
+
+namespace pivot {
+
+// Multi-process socket transport (DESIGN.md, "Transport model").
+//
+// One SocketNetwork per party *process*: it binds a TCP or Unix-domain
+// listener, negotiates the full mesh (listen/dial by rank with a
+// version-checked party-id handshake), and exposes a single
+// SocketEndpoint speaking the same reliable frame format as the
+// in-memory mesh (net/wire.h: seq + CRC32 + NACK retransmit) — so a
+// protocol run over real file descriptors is bit-identical to the
+// single-process run, and the checkpoint/resume machinery carries over
+// unchanged to real process crashes.
+//
+// Mesh negotiation: party i dials every peer j < i and accepts from
+// every j > i, so each directed pair has exactly one connection and no
+// adoption races. The dialer opens with a kHello (magic, transport
+// version, party id, party count, incarnation); the acceptor validates
+// and answers kHelloAck with its own identity. `incarnation` identifies
+// one SocketNetwork instance: a reconnect presenting the *same*
+// incarnation resumes the channel (missing frames recovered via NACK
+// from the bounded resend window), while a *changed* incarnation means
+// the peer process restarted and its channel state is gone — the run
+// aborts and the next attempt re-establishes a fresh mesh, resuming
+// from checkpoints.
+//
+// Threads per process: one accept loop, one supervisor loop
+// (ConnectionSupervisor Tick: heartbeats, dead-peer detection,
+// reconnect with deterministic backoff, escalation to abort), and per
+// live connection one receiver plus one writer. The writer drains an
+// unbounded per-link outbound queue, so Endpoint::Send never blocks on
+// TCP backpressure — the classic SPMD distributed deadlock (all parties
+// stuck in a blocking send to each other) cannot happen. Frames sent
+// while a link is down are dropped and recovered by the reliable
+// layer's NACK/retransmit path after reconnection; in raw mode
+// (NetConfig::reliable = false) such frames are simply lost.
+//
+// Faults: a FaultPlan applies to outbound wire frames (drop / delay /
+// duplicate / truncate / corrupt, as in-memory) plus the socket-only
+// kinds — kSever closes the connection (fatal: reconnection refused
+// until the budget exhausts) and kMute suppresses all outbound traffic,
+// heartbeats included, for delay_ms (the peer's supervisor detects the
+// silence and reconnects). NetworkSim is not applied here: real wires
+// have real latency.
+
+struct SocketOptions {
+  // Reliable-channel tunables (same meaning as on the in-memory mesh).
+  NetConfig net;
+  // Heartbeat / reconnect / escalation tunables.
+  SupervisorConfig supervision;
+  // Deadline for Establish() to bring up the full mesh.
+  int establish_timeout_ms = 60'000;
+  // Per-connection handshake deadline (dial and accept side).
+  int handshake_timeout_ms = 5'000;
+  // Hard cap on one stream frame; a larger length prefix is rejected
+  // before any payload allocation (corrupt or hostile header).
+  uint64_t max_frame_bytes = uint64_t{1} << 30;
+  // Transport version offered in the handshake. Tests override it to
+  // exercise version-mismatch rejection; leave at default otherwise.
+  uint32_t handshake_version = kTransportVersion;
+  // Instance identity for crash detection; 0 derives a process-unique
+  // value (pid + instance counter).
+  uint64_t incarnation = 0;
+};
+
+class SocketNetwork;
+
+// Socket-backed implementation of the Endpoint abstraction. One per
+// SocketNetwork, driven by the party's protocol thread.
+class SocketEndpoint : public Endpoint {
+ public:
+  [[nodiscard]] Status Send(int to, Bytes msg) override;
+  Result<Bytes> Recv(int from) override;
+
+ private:
+  friend class SocketNetwork;
+  SocketEndpoint(SocketNetwork* net, int id, int num_parties)
+      : Endpoint(id, num_parties),
+        send_seq_(num_parties, 0),
+        recv_seq_(num_parties, 0),
+        resend_(num_parties),
+        reorder_(num_parties),
+        net_(net) {}
+
+  struct ResendEntry {
+    uint64_t seq = 0;
+    Bytes frame;
+  };
+
+  Status BeginOp();
+  Status SendRaw(int to, Bytes msg);
+  Result<Bytes> RecvRaw(int from);
+  Status SendReliable(int to, Bytes msg);
+  Result<Bytes> RecvReliable(int from);
+  Status ServiceControl();
+  Status HandleNack(int peer, uint64_t seq);
+  void SendNack(int to, uint64_t seq);
+  // Applies any scheduled fault for (id -> to, seq) to the wire copy and
+  // hands the surviving copies to the link writer.
+  Status PushWireFrame(int to, uint64_t seq, Bytes frame, bool retransmit);
+
+  // Per-channel state, touched only by the owning party thread.
+  std::vector<uint64_t> send_seq_;
+  std::vector<uint64_t> recv_seq_;
+  std::vector<std::deque<ResendEntry>> resend_;
+  std::vector<std::map<uint64_t, Bytes>> reorder_;
+  uint64_t ops_ = 0;
+  int64_t crashed_at_ = -1;
+  SocketNetwork* net_;
+};
+
+class SocketNetwork {
+ public:
+  SocketNetwork(int party_id, int num_parties,
+                SocketOptions options = SocketOptions());
+  ~SocketNetwork();
+
+  SocketNetwork(const SocketNetwork&) = delete;
+  SocketNetwork& operator=(const SocketNetwork&) = delete;
+
+  int party_id() const { return party_id_; }
+  int num_parties() const { return num_parties_; }
+  const NetConfig& config() const { return options_.net; }
+  const SocketOptions& options() const { return options_; }
+
+  // Binds the listener. `address` is "host:port" (TCP; port 0 picks an
+  // ephemeral port) or "unix:PATH" (Unix-domain; a stale socket file at
+  // PATH is removed). listen_address() reports the bound address with
+  // the actual port filled in.
+  [[nodiscard]] Status Bind(const std::string& address);
+  const std::string& listen_address() const { return listen_address_; }
+
+  // Brings up the full mesh: dials every lower-ranked peer (retrying
+  // with deterministic backoff until options.establish_timeout_ms),
+  // accepts every higher-ranked one, then starts supervision.
+  // `peer_addresses[j]` is party j's listen address; the self entry is
+  // ignored. Fails permanently on a transport-version mismatch.
+  [[nodiscard]] Status Establish(
+      const std::vector<std::string>& peer_addresses);
+
+  SocketEndpoint& endpoint() { return *endpoint_; }
+
+  // Security-with-abort across processes: records the cause, poisons the
+  // local inbound queues, and (when this party originated the abort)
+  // broadcasts a kAbort frame to every connected peer so their blocked
+  // receives wake promptly. First caller wins.
+  void Abort(Status cause, int origin_party);
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  Status abort_status() const;
+  // Sleeps up to `ms`, waking early on abort; true if aborted.
+  bool WaitForAbortMs(int ms);
+
+  // Socket-level fault injection; install before Establish.
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan* fault_plan() const { return fault_plan_.get(); }
+  uint64_t fired_fault_mask() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+  // This process's traffic counters plus supervision counters
+  // (reconnects, heartbeats). Cross-party aggregation is the caller's
+  // job — each process only sees itself.
+  NetworkStats stats() const;
+  // Liveness line for peer `p` ("connected, last heard N ms ago, ...");
+  // feeds Recv timeout diagnostics.
+  std::string DescribePeer(int peer) const;
+
+ private:
+  friend class SocketEndpoint;
+
+  // One connection generation: an fd plus its writer/receiver threads
+  // and outbound queue. A reconnect retires the old generation (threads
+  // joined, fd closed at reap time) and installs a new one; the
+  // generation owns its fd exclusively, so no thread ever writes to a
+  // recycled descriptor.
+  struct LinkGen {
+    int fd = -1;
+    std::shared_ptr<MessageQueue> outbound;
+    std::thread writer;
+    std::thread receiver;
+  };
+
+  struct PeerLink {
+    std::mutex mu;
+    std::unique_ptr<LinkGen> cur;                // null while down
+    std::vector<std::unique_ptr<LinkGen>> dead;  // awaiting join + close
+    uint64_t incarnation_seen = 0;               // 0 = never connected
+    std::string last_down_reason;                // why the last drop happened
+    std::atomic<int64_t> mute_until_ms{0};       // kMute fault deadline
+    std::atomic<bool> refuse_reconnect{false};   // fatal kSever fault
+  };
+
+  static int64_t NowMs();
+
+  Status ParseAndListen(const std::string& address);
+  // One dial attempt to peer `j` including the handshake; adopts the
+  // connection on success. InvalidArgument is permanent (version
+  // mismatch); other errors are retryable.
+  Status DialPeer(int j);
+  void AcceptLoop();
+  // Handshakes one inbound connection (accept side) and adopts or rejects
+  // it; owns `fd` either way.
+  void HandleInbound(int fd);
+  void SupervisorLoop();
+  void ReceiverLoop(int peer, LinkGen* gen);
+  void WriterLoop(int peer, LinkGen* gen);
+  void DispatchFrame(int peer, StreamFrame frame);
+  // Installs a handshaken fd as peer `p`'s current generation (retiring
+  // and reaping any previous one) and spawns its threads.
+  void AdoptConnection(int peer, int fd, uint64_t peer_incarnation);
+  // Retires the current generation: shuts the fd down and poisons the
+  // outbound queue so both threads exit on their own. Join + close
+  // happen later (AdoptConnection or teardown) — never from a thread
+  // that might be the generation's own receiver.
+  void SeverLink(int peer, const std::string& reason);
+  // True once every peer has a live connection.
+  bool AllConnectedLocked();
+  // Hands a ready stream frame to the link writer; silently dropped when
+  // the link is down (reliable layer recovers via NACK).
+  void EnqueueFrame(int peer, Bytes stream_frame);
+  // Abort without the peer broadcast (for aborts *received* from peers).
+  void LocalAbort(Status recorded);
+  // Records the abort and poisons the inbound queues; false if a prior
+  // abort already won.
+  bool LocalAbortInternal(Status recorded);
+  void MarkFaultFired(int action_index) {
+    fired_.fetch_or(uint64_t{1} << (action_index & 63),
+                    std::memory_order_relaxed);
+  }
+  MessageQueue& data_in(int peer) { return *data_in_[peer]; }
+  MessageQueue& ctrl_in(int peer) { return *ctrl_in_[peer]; }
+
+  int party_id_;
+  int num_parties_;
+  SocketOptions options_;
+  uint64_t incarnation_;
+  std::unique_ptr<SocketEndpoint> endpoint_;
+  std::unique_ptr<ConnectionSupervisor> supervisor_;
+
+  int listen_fd_ = -1;
+  std::string listen_address_;
+  std::string unix_path_;  // empty for TCP
+  std::vector<std::string> peer_addresses_;
+
+  std::vector<std::unique_ptr<PeerLink>> links_;
+  std::vector<std::unique_ptr<MessageQueue>> data_in_;
+  std::vector<std::unique_ptr<MessageQueue>> ctrl_in_;
+
+  std::thread accept_thread_;
+  std::thread supervisor_thread_;
+  std::atomic<bool> shutdown_{false};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+
+  std::unique_ptr<FaultPlan> fault_plan_;
+  std::atomic<uint64_t> fired_{0};
+  std::atomic<uint64_t> heartbeat_seq_{0};
+
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mu_;
+  std::condition_variable abort_cv_;
+  Status abort_status_;
+};
+
+// Loopback harness: runs `body(party_id, endpoint)` for `num_parties`
+// SocketNetworks over 127.0.0.1 TCP in one process — the socket-backend
+// twin of RunParties, used by RunFederation's socket mode and the
+// transport tests. Each party binds an ephemeral port, the mesh is
+// established, and statuses are combined with the same root-cause
+// preference as RunParties. `plans[i]` (when provided) installs a fault
+// plan on party i's network; `fired_fault_mask` (when non-null) receives
+// the OR of all parties' fired masks.
+Status RunLoopbackParties(
+    int num_parties, const SocketOptions& options,
+    const std::function<Status(int, Endpoint&)>& body,
+    NetworkStats* stats = nullptr, const std::vector<FaultPlan>& plans = {},
+    uint64_t* fired_fault_mask = nullptr);
+
+}  // namespace pivot
+
+#endif  // PIVOT_NET_SOCKET_H_

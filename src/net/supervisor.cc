@@ -1,0 +1,221 @@
+#include "net/supervisor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pivot {
+
+const char* PeerStateName(PeerState state) {
+  switch (state) {
+    case PeerState::kNeverConnected:
+      return "never-connected";
+    case PeerState::kConnected:
+      return "connected";
+    case PeerState::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+ConnectionSupervisor::ConnectionSupervisor(int num_parties, int self,
+                                           SupervisorConfig config,
+                                           Callbacks callbacks,
+                                           std::vector<bool> dials_to)
+    : num_parties_(num_parties),
+      self_(self),
+      config_(config),
+      callbacks_(std::move(callbacks)),
+      dials_to_(std::move(dials_to)),
+      peers_(num_parties) {
+  PIVOT_CHECK(self >= 0 && self < num_parties);
+  PIVOT_CHECK(static_cast<int>(dials_to_.size()) == num_parties);
+}
+
+void ConnectionSupervisor::StartEpisodeLocked(PeerSlot& slot, int64_t now_ms) {
+  slot.state = PeerState::kDown;
+  slot.episode_start_ms = now_ms;
+  slot.next_dial_ms = now_ms;
+  slot.dial_attempts = 0;
+  slot.backoff_ms = config_.backoff_base_ms;
+  slot.escalated = false;
+}
+
+void ConnectionSupervisor::NoteConnected(int peer, int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PeerSlot& slot = peers_[peer];
+  if (slot.state == PeerState::kDown) ++slot.reconnects;
+  slot.state = PeerState::kConnected;
+  slot.last_heard_ms = now_ms;
+  slot.next_heartbeat_ms = now_ms + config_.heartbeat_interval_ms;
+  slot.escalated = false;
+}
+
+void ConnectionSupervisor::NoteHeard(int peer, int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_[peer].last_heard_ms = now_ms;
+}
+
+void ConnectionSupervisor::NoteDown(int peer, int64_t now_ms,
+                                    const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PeerSlot& slot = peers_[peer];
+    if (slot.state == PeerState::kDown) return;
+    StartEpisodeLocked(slot, now_ms);
+  }
+  // The reason is folded into the sever callback so the transport can log
+  // or record it; the connection itself is already gone.
+  if (callbacks_.sever) callbacks_.sever(peer, reason);
+}
+
+int ConnectionSupervisor::Tick(int64_t now_ms) {
+  struct Sever {
+    int peer;
+    std::string reason;
+  };
+  std::vector<Sever> severs;
+  std::vector<int> heartbeats;
+  std::vector<int> dials;
+  struct Escalation {
+    int peer;
+    Status cause;
+  };
+  std::vector<Escalation> escalations;
+  int64_t next_due = now_ms + config_.heartbeat_interval_ms;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int p = 0; p < num_parties_; ++p) {
+      if (p == self_) continue;
+      PeerSlot& slot = peers_[p];
+      switch (slot.state) {
+        case PeerState::kNeverConnected:
+          break;  // Establish() owns initial connection setup
+        case PeerState::kConnected: {
+          const int64_t silent_ms =
+              slot.last_heard_ms < 0 ? 0 : now_ms - slot.last_heard_ms;
+          if (silent_ms > config_.heartbeat_timeout_ms) {
+            severs.push_back(
+                {p, "no frames from peer " + std::to_string(p) + " for " +
+                        std::to_string(silent_ms) +
+                        " ms (heartbeat timeout " +
+                        std::to_string(config_.heartbeat_timeout_ms) +
+                        " ms): declaring the connection dead"});
+            StartEpisodeLocked(slot, now_ms);
+            next_due = std::min(next_due, slot.next_dial_ms);
+            break;
+          }
+          if (now_ms >= slot.next_heartbeat_ms) {
+            heartbeats.push_back(p);
+            ++slot.heartbeats_sent;
+            slot.next_heartbeat_ms = now_ms + config_.heartbeat_interval_ms;
+          }
+          next_due = std::min(
+              {next_due, slot.next_heartbeat_ms,
+               slot.last_heard_ms + config_.heartbeat_timeout_ms + 1});
+          break;
+        }
+        case PeerState::kDown: {
+          if (slot.escalated) break;
+          const bool dialer = dials_to_[p];
+          const int64_t elapsed = now_ms - slot.episode_start_ms;
+          const bool time_exhausted = elapsed >= config_.reconnect_timeout_ms;
+          const bool attempts_exhausted =
+              dialer && slot.dial_attempts >= config_.reconnect_attempts;
+          if (time_exhausted || attempts_exhausted) {
+            slot.escalated = true;
+            escalations.push_back(
+                {p, Status::ProtocolError(
+                        "peer " + std::to_string(p) + " unreachable: " +
+                        (dialer
+                             ? std::to_string(slot.dial_attempts) +
+                                   " reconnect attempts over " +
+                                   std::to_string(elapsed) + " ms exhausted "
+                                   "the reconnection budget (" +
+                                   std::to_string(config_.reconnect_attempts) +
+                                   " attempts / " +
+                                   std::to_string(config_.reconnect_timeout_ms) +
+                                   " ms)"
+                             : "peer did not dial back within " +
+                                   std::to_string(elapsed) + " ms (budget " +
+                                   std::to_string(config_.reconnect_timeout_ms) +
+                                   " ms)"))});
+            break;
+          }
+          if (dialer && now_ms >= slot.next_dial_ms) {
+            // Burn the attempt and schedule the next one before the
+            // (blocking, lock-free) dial runs, so a concurrent event
+            // cannot double-spend the budget.
+            ++slot.dial_attempts;
+            slot.next_dial_ms = now_ms + slot.backoff_ms;
+            slot.backoff_ms =
+                std::min(slot.backoff_ms * 2, config_.backoff_max_ms);
+            dials.push_back(p);
+          }
+          if (dialer) {
+            next_due = std::min(next_due, slot.next_dial_ms);
+          }
+          next_due = std::min(
+              next_due, slot.episode_start_ms + config_.reconnect_timeout_ms);
+          break;
+        }
+      }
+    }
+  }
+
+  // Side effects run without the lock: dial blocks on connect(2), and
+  // sever/escalate re-enter the transport, which may feed events back
+  // into NoteDown/NoteConnected.
+  for (const Sever& s : severs) {
+    if (callbacks_.sever) callbacks_.sever(s.peer, s.reason);
+  }
+  for (int p : heartbeats) {
+    if (callbacks_.send_heartbeat) callbacks_.send_heartbeat(p);
+  }
+  for (int p : dials) {
+    if (!callbacks_.dial) continue;
+    const Status st = callbacks_.dial(p);
+    if (st.ok()) NoteConnected(p, now_ms);
+  }
+  for (const Escalation& e : escalations) {
+    if (callbacks_.escalate) callbacks_.escalate(e.peer, e.cause);
+  }
+
+  const int64_t sleep_ms = next_due - now_ms;
+  return static_cast<int>(std::clamp<int64_t>(
+      sleep_ms, 1, config_.heartbeat_interval_ms));
+}
+
+PeerHealth ConnectionSupervisor::Health(int peer, int64_t now_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PeerSlot& slot = peers_[peer];
+  PeerHealth health;
+  health.state = slot.state;
+  health.last_heard_age_ms =
+      slot.last_heard_ms < 0 ? -1 : now_ms - slot.last_heard_ms;
+  health.dial_attempts = slot.dial_attempts;
+  health.reconnects = slot.reconnects;
+  health.heartbeats_sent = slot.heartbeats_sent;
+  return health;
+}
+
+std::string ConnectionSupervisor::Describe(int peer, int64_t now_ms) const {
+  const PeerHealth h = Health(peer, now_ms);
+  std::string out =
+      "peer " + std::to_string(peer) + " " + PeerStateName(h.state);
+  if (h.last_heard_age_ms >= 0) {
+    out += ", last heard " + std::to_string(h.last_heard_age_ms) + " ms ago";
+  } else {
+    out += ", never heard from";
+  }
+  if (h.state == PeerState::kDown) {
+    out += ", " + std::to_string(h.dial_attempts) +
+           " dial attempts this episode";
+  }
+  out += ", " + std::to_string(h.reconnects) + " reconnects";
+  return out;
+}
+
+}  // namespace pivot

@@ -1,0 +1,145 @@
+#ifndef PIVOT_NET_SUPERVISOR_H_
+#define PIVOT_NET_SUPERVISOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pivot {
+
+// Connection supervision for the socket transport (DESIGN.md, "Transport
+// model"): per-peer heartbeats, dead-peer detection via missed-heartbeat
+// timeouts, reconnect with deterministic exponential backoff, and
+// escalation to the security-with-abort path when the retry budget is
+// exhausted.
+//
+// The supervisor itself is a passive state machine: it owns no thread and
+// no socket. SocketNetwork's supervisor thread calls Tick(now_ms)
+// periodically, and the transport's accept/receiver threads feed it
+// connection events (NoteConnected / NoteHeard / NoteDown). All side
+// effects — sending a heartbeat, tearing down a connection, dialing,
+// aborting the run — go through the Callbacks struct. That keeps the
+// state machine deterministic and unit-testable with fake callbacks and
+// fake clocks (tests/socket_test.cc), independent of real sockets.
+//
+// Time is passed in explicitly as a steady-clock millisecond reading;
+// the supervisor never reads a clock itself.
+
+struct SupervisorConfig {
+  // Heartbeat cadence on every live connection. Heartbeats are traffic
+  // like any other inbound frame, so a chatty protocol phase needs no
+  // extra traffic and an idle connection stays observably alive.
+  int heartbeat_interval_ms = 250;
+  // A peer silent (no frames of any kind) for longer than this is
+  // declared dead: the connection is severed and reconnection begins.
+  // Must comfortably exceed the heartbeat interval so a few lost
+  // heartbeats or a brief stall do not sever a healthy connection.
+  int heartbeat_timeout_ms = 3'000;
+  // Reconnection episode budget, bounded two ways: at most this many
+  // dial attempts and at most reconnect_timeout_ms of wall clock,
+  // whichever ends first. Exhaustion escalates to abort.
+  int reconnect_attempts = 10;
+  int reconnect_timeout_ms = 30'000;
+  // Deterministic exponential backoff between dial attempts (same shape
+  // as the reliable channel's NetConfig backoff).
+  int backoff_base_ms = 10;
+  int backoff_max_ms = 1'000;
+};
+
+enum class PeerState {
+  kNeverConnected,  // no connection established yet (pre-Establish)
+  kConnected,       // link up, heartbeats flowing
+  kDown,            // link lost, reconnection episode in progress
+};
+
+const char* PeerStateName(PeerState state);
+
+// Liveness snapshot for one peer; feeds Recv timeout diagnostics so a
+// hung-peer abort names *why* the peer looked dead.
+struct PeerHealth {
+  PeerState state = PeerState::kNeverConnected;
+  // Milliseconds since any frame arrived from the peer; -1 before the
+  // first frame.
+  int64_t last_heard_age_ms = -1;
+  // Dial attempts burned in the current reconnection episode.
+  int dial_attempts = 0;
+  uint64_t reconnects = 0;        // successful re-establishments
+  uint64_t heartbeats_sent = 0;
+};
+
+class ConnectionSupervisor {
+ public:
+  struct Callbacks {
+    // Best-effort heartbeat to a connected peer.
+    std::function<void(int peer)> send_heartbeat;
+    // Tear down the connection to a peer that missed its heartbeat
+    // deadline (close the fd, discard the stream parser).
+    std::function<void(int peer, const std::string& reason)> sever;
+    // One blocking dial attempt; OK means the connection (including the
+    // handshake) is re-established. Only invoked for peers this party is
+    // the dialer for.
+    std::function<Status(int peer)> dial;
+    // Reconnection budget exhausted: escalate to the abort path.
+    std::function<void(int peer, const Status& cause)> escalate;
+  };
+
+  // `dials_to[p]` marks the peers this party dials (by rank: party i
+  // dials j iff j < i); for the rest it accepts and, when they go down,
+  // can only wait for them to dial back — bounded by the episode's time
+  // budget alone.
+  ConnectionSupervisor(int num_parties, int self, SupervisorConfig config,
+                       Callbacks callbacks, std::vector<bool> dials_to);
+
+  // Event feed from the transport threads (thread-safe).
+  void NoteConnected(int peer, int64_t now_ms);
+  void NoteHeard(int peer, int64_t now_ms);
+  // Marks the link down (receiver saw EOF or a read error) and starts a
+  // reconnection episode. No-op if already down.
+  void NoteDown(int peer, int64_t now_ms, const std::string& reason);
+
+  // One supervision pass: emits due heartbeats, severs silent peers,
+  // drives due dial attempts, escalates exhausted episodes. Returns the
+  // number of milliseconds until the next scheduled action (a sleep hint
+  // for the calling thread, capped at heartbeat_interval_ms).
+  int Tick(int64_t now_ms);
+
+  PeerHealth Health(int peer, int64_t now_ms) const;
+  // Human-readable liveness line for Recv timeout diagnostics, e.g.
+  // "peer 2 connected, last heard 134 ms ago, 0 reconnects".
+  std::string Describe(int peer, int64_t now_ms) const;
+
+  const SupervisorConfig& config() const { return config_; }
+
+ private:
+  struct PeerSlot {
+    PeerState state = PeerState::kNeverConnected;
+    int64_t last_heard_ms = -1;
+    int64_t next_heartbeat_ms = 0;
+    // Reconnection episode (valid while state == kDown).
+    int64_t episode_start_ms = 0;
+    int64_t next_dial_ms = 0;
+    int dial_attempts = 0;
+    int backoff_ms = 0;
+    bool escalated = false;
+    uint64_t reconnects = 0;
+    uint64_t heartbeats_sent = 0;
+  };
+
+  void StartEpisodeLocked(PeerSlot& slot, int64_t now_ms);
+
+  int num_parties_;
+  int self_;
+  SupervisorConfig config_;
+  Callbacks callbacks_;
+  std::vector<bool> dials_to_;
+  mutable std::mutex mu_;
+  std::vector<PeerSlot> peers_;
+};
+
+}  // namespace pivot
+
+#endif  // PIVOT_NET_SUPERVISOR_H_

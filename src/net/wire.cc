@@ -1,0 +1,192 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace pivot {
+
+namespace {
+constexpr size_t kSeqCrcOffset = 13;
+}  // namespace
+
+void PutU64Le(uint8_t* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t GetU64Le(const uint8_t* in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+void PutU32Le(uint8_t* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t GetU32Le(const uint8_t* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+Bytes BuildSeqFrame(uint64_t seq, const Bytes& payload) {
+  Bytes frame(kSeqFrameHeader + payload.size());
+  PutU64Le(frame.data(), seq);
+  frame[8] = 0;
+  PutU32Le(frame.data() + 9, static_cast<uint32_t>(payload.size()));
+  PutU32Le(frame.data() + kSeqCrcOffset, 0);
+  std::copy(payload.begin(), payload.end(), frame.begin() + kSeqFrameHeader);
+  PutU32Le(frame.data() + kSeqCrcOffset, Crc32(frame.data(), frame.size()));
+  return frame;
+}
+
+bool ParseSeqFrame(const Bytes& frame, uint64_t* seq, Bytes* payload) {
+  if (frame.size() < kSeqFrameHeader) return false;
+  const uint32_t payload_len = GetU32Le(frame.data() + 9);
+  if (frame.size() != kSeqFrameHeader + payload_len) return false;
+  const uint32_t stored_crc = GetU32Le(frame.data() + kSeqCrcOffset);
+  const uint8_t zeros[4] = {0, 0, 0, 0};
+  uint32_t crc = Crc32Update(0, frame.data(), kSeqCrcOffset);
+  crc = Crc32Update(crc, zeros, 4);
+  crc = Crc32Update(crc, frame.data() + kSeqCrcOffset + 4,
+                    frame.size() - kSeqCrcOffset - 4);
+  if (crc != stored_crc) return false;
+  *seq = GetU64Le(frame.data());
+  payload->assign(frame.begin() + kSeqFrameHeader, frame.end());
+  return true;
+}
+
+Bytes EncodeStreamFrame(StreamFrameType type, const Bytes& body) {
+  Bytes frame(kStreamHeaderBytes + body.size());
+  PutU32Le(frame.data(), static_cast<uint32_t>(1 + body.size()));
+  frame[4] = static_cast<uint8_t>(type);
+  std::copy(body.begin(), body.end(), frame.begin() + kStreamHeaderBytes);
+  return frame;
+}
+
+Status StreamFrameReader::Feed(const uint8_t* data, size_t n,
+                               std::vector<StreamFrame>* out) {
+  size_t pos = 0;
+  while (pos < n) {
+    if (body_expected_ == 0) {
+      // Accumulate the 5-byte header; it may arrive in any number of
+      // pieces across reads.
+      const size_t want = kStreamHeaderBytes - header_fill_;
+      const size_t take = std::min(want, n - pos);
+      std::memcpy(header_ + header_fill_, data + pos, take);
+      header_fill_ += take;
+      pos += take;
+      if (header_fill_ < kStreamHeaderBytes) return Status::Ok();
+      const uint32_t length = GetU32Le(header_);
+      // Length covers the type byte, so zero means a headerless frame —
+      // malformed by construction. The upper bound is checked *here*,
+      // before the payload buffer is allocated.
+      if (length == 0) {
+        return Status::ProtocolError("stream frame with zero length");
+      }
+      if (static_cast<uint64_t>(length) - 1 > max_frame_bytes_) {
+        return Status::ProtocolError(
+            "stream frame length " + std::to_string(length - 1) +
+            " exceeds the " + std::to_string(max_frame_bytes_) +
+            "-byte limit (corrupt or hostile length prefix)");
+      }
+      pending_.type = header_[4];
+      pending_.body.clear();
+      pending_.body.reserve(length - 1);
+      body_expected_ = length - 1;
+      header_fill_ = 0;
+      if (body_expected_ == 0) {
+        out->push_back(std::move(pending_));
+        pending_ = StreamFrame{};
+        continue;
+      }
+    }
+    const size_t take = std::min(body_expected_, n - pos);
+    pending_.body.insert(pending_.body.end(), data + pos, data + pos + take);
+    pos += take;
+    body_expected_ -= take;
+    if (body_expected_ == 0) {
+      out->push_back(std::move(pending_));
+      pending_ = StreamFrame{};
+    }
+  }
+  return Status::Ok();
+}
+
+Bytes EncodeHello(const HelloFrame& hello) {
+  ByteWriter w;
+  w.WriteU32(kHandshakeMagic);
+  w.WriteU32(hello.version);
+  w.WriteI64(hello.party_id);
+  w.WriteI64(hello.num_parties);
+  w.WriteU64(hello.incarnation);
+  return w.Take();
+}
+
+Result<HelloFrame> DecodeHello(const Bytes& body) {
+  ByteReader r(body);
+  PIVOT_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kHandshakeMagic) {
+    return Status::ProtocolError("handshake magic mismatch (not a pivot "
+                                 "party endpoint?)");
+  }
+  HelloFrame hello;
+  PIVOT_ASSIGN_OR_RETURN(hello.version, r.ReadU32());
+  PIVOT_ASSIGN_OR_RETURN(int64_t party, r.ReadI64());
+  PIVOT_ASSIGN_OR_RETURN(int64_t parties, r.ReadI64());
+  PIVOT_ASSIGN_OR_RETURN(hello.incarnation, r.ReadU64());
+  if (!r.AtEnd()) return Status::ProtocolError("trailing bytes in handshake");
+  if (party < 0 || parties < 1 || party >= parties ||
+      parties > (1 << 20)) {
+    return Status::ProtocolError("handshake with implausible party ids");
+  }
+  hello.party_id = static_cast<int32_t>(party);
+  hello.num_parties = static_cast<int32_t>(parties);
+  return hello;
+}
+
+Bytes EncodeNackBody(uint64_t seq) {
+  Bytes body(8);
+  PutU64Le(body.data(), seq);
+  return body;
+}
+
+Result<uint64_t> DecodeNackBody(const Bytes& body) {
+  if (body.size() != 8) return Status::ProtocolError("malformed NACK body");
+  return GetU64Le(body.data());
+}
+
+Bytes EncodeHeartbeatBody(uint64_t counter) {
+  Bytes body(8);
+  PutU64Le(body.data(), counter);
+  return body;
+}
+
+Bytes EncodeAbortBody(const AbortFrame& abort) {
+  ByteWriter w;
+  w.WriteI64(abort.origin_party);
+  w.WriteU8(static_cast<uint8_t>(abort.code));
+  w.WriteString(abort.message);
+  return w.Take();
+}
+
+Result<AbortFrame> DecodeAbortBody(const Bytes& body) {
+  ByteReader r(body);
+  AbortFrame abort;
+  PIVOT_ASSIGN_OR_RETURN(int64_t origin, r.ReadI64());
+  abort.origin_party = static_cast<int32_t>(origin);
+  PIVOT_ASSIGN_OR_RETURN(uint8_t code, r.ReadU8());
+  if (code > static_cast<uint8_t>(StatusCode::kAborted)) {
+    return Status::ProtocolError("abort frame with unknown status code");
+  }
+  abort.code = static_cast<StatusCode>(code);
+  PIVOT_ASSIGN_OR_RETURN(abort.message, r.ReadString());
+  if (!r.AtEnd()) {
+    return Status::ProtocolError("trailing bytes in abort frame");
+  }
+  return abort;
+}
+
+}  // namespace pivot

@@ -1,8 +1,15 @@
 #include "pivot/checkpoint.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <utility>
 
 namespace pivot {
+
+namespace {
+constexpr uint32_t kStoreMagic = 0x50564353;  // 'PVCS'
+constexpr uint32_t kStoreVersion = 1;
+}  // namespace
 
 void CheckpointStore::BeginEpoch(uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -10,6 +17,7 @@ void CheckpointStore::BeginEpoch(uint64_t epoch) {
     // New progress: earlier epochs can never be resumed again.
     snapshots_.clear();
     epoch_ = epoch;
+    PersistLocked();
   }
 }
 
@@ -21,6 +29,7 @@ void CheckpointStore::Save(uint64_t epoch, uint64_t index, Bytes snapshot) {
   for (auto& entry : snapshots_) {
     if (entry.first == index) {
       entry.second = std::move(snapshot);
+      PersistLocked();
       return;
     }
   }
@@ -30,6 +39,7 @@ void CheckpointStore::Save(uint64_t epoch, uint64_t index, Bytes snapshot) {
   while (static_cast<int>(snapshots_.size()) > history_) {
     snapshots_.pop_front();
   }
+  PersistLocked();
 }
 
 uint64_t CheckpointStore::LatestIndex(uint64_t epoch) const {
@@ -52,6 +62,78 @@ void CheckpointStore::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   snapshots_.clear();
   epoch_ = 0;
+  PersistLocked();
+}
+
+void CheckpointStore::SetPersistPath(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  persist_path_ = std::move(path);
+  PersistLocked();
+}
+
+void CheckpointStore::PersistLocked() {
+  if (persist_path_.empty()) return;
+  ByteWriter w;
+  w.WriteU32(kStoreMagic);
+  w.WriteU32(kStoreVersion);
+  w.WriteU64(epoch_);
+  w.WriteU64(snapshots_.size());
+  for (const auto& entry : snapshots_) {
+    w.WriteU64(entry.first);
+    w.WriteBytes(entry.second);
+  }
+  // Temp file + rename: a SIGKILL mid-write leaves the previous file
+  // intact, so a relauncher never reads a half-written store.
+  const std::string tmp = persist_path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return;  // best effort: disk trouble must not abort training
+  const Bytes& buf = w.data();
+  const bool wrote =
+      std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  const bool closed = std::fclose(f) == 0;
+  if (wrote && closed) {
+    std::rename(tmp.c_str(), persist_path_.c_str());
+  } else {
+    std::remove(tmp.c_str());
+  }
+}
+
+Status CheckpointStore::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::Ok();  // no file yet: fresh start
+  Bytes buf;
+  uint8_t chunk[4096];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+  ByteReader r(buf);
+  PIVOT_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  PIVOT_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (magic != kStoreMagic) {
+    return Status::InvalidArgument("checkpoint store " + path +
+                                   ": bad magic (not a PVCS file)");
+  }
+  if (version != kStoreVersion) {
+    return Status::InvalidArgument(
+        "checkpoint store " + path + ": unsupported version " +
+        std::to_string(version) + " (expected " +
+        std::to_string(kStoreVersion) + ")");
+  }
+  PIVOT_ASSIGN_OR_RETURN(uint64_t epoch, r.ReadU64());
+  PIVOT_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  std::deque<std::pair<uint64_t, Bytes>> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    PIVOT_ASSIGN_OR_RETURN(uint64_t index, r.ReadU64());
+    PIVOT_ASSIGN_OR_RETURN(Bytes snapshot, r.ReadBytes());
+    loaded.emplace_back(index, std::move(snapshot));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ = epoch;
+  snapshots_ = std::move(loaded);
+  persist_path_ = path;
+  return Status::Ok();
 }
 
 void EncodeRngState(const RngState& state, ByteWriter& w) {

@@ -82,12 +82,30 @@ class CheckpointStore {
   Result<Bytes> Load(uint64_t index) const;
   void Clear();
 
+  // Mirrors the store to `path` after every mutation, making checkpoints
+  // survive a process SIGKILL: a relaunched party process calls
+  // LoadFromFile and rejoins the federation at the negotiated min-index.
+  // Writes are atomic (temp file + rename), so a crash mid-write leaves
+  // the previous file intact. File format 'PVCS': u32 magic, u32 version,
+  // u64 epoch, u64 snapshot count, then per snapshot u64 index + length-
+  // prefixed bytes.
+  void SetPersistPath(std::string path);
+  // Restores epoch and snapshots from `path`. A missing file is OK (fresh
+  // start, first launch); a malformed one is an error — a truncated or
+  // corrupt checkpoint file must not be silently treated as "no
+  // progress", because resuming from scratch would desynchronize the
+  // party from peers that kept their state.
+  [[nodiscard]] Status LoadFromFile(const std::string& path);
+
  private:
+  void PersistLocked();
+
   // Guarded: the owning party thread writes, but restarted threads and
   // the harness may read across restart boundaries.
   mutable std::mutex mu_;
   int history_;
   uint64_t epoch_ = 0;
+  std::string persist_path_;  // empty = in-memory only
   std::deque<std::pair<uint64_t, Bytes>> snapshots_;  // ascending index
 };
 

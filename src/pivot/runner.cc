@@ -3,8 +3,27 @@
 #include "common/check.h"
 #include "crypto/threshold_paillier.h"
 #include "net/network.h"
+#include "net/socket.h"
 
 namespace pivot {
+
+namespace {
+
+void AccumulateStats(NetworkStats& total, const NetworkStats& s) {
+  total.bytes_sent += s.bytes_sent;
+  total.bytes_received += s.bytes_received;
+  total.messages_sent += s.messages_sent;
+  total.messages_received += s.messages_received;
+  total.rounds += s.rounds;
+  total.retransmits += s.retransmits;
+  total.duplicates_suppressed += s.duplicates_suppressed;
+  total.corrupt_frames += s.corrupt_frames;
+  total.nacks_sent += s.nacks_sent;
+  total.reconnects += s.reconnects;
+  total.heartbeats += s.heartbeats;
+}
+
+}  // namespace
 
 Status RunFederationPartitioned(
     const VerticalPartition& partition, const FederationConfig& cfg,
@@ -25,6 +44,18 @@ Status RunFederationPartitioned(
     PIVOT_CHECK(cfg.checkpoint->num_parties() == m);
   }
 
+  const auto party_body = [&](int id, Endpoint& ep) -> Status {
+    PartyContext ctx(id, cfg.super_client, &ep, keys.pk,
+                     keys.partial_keys[id], partition.views[id],
+                     id == cfg.super_client ? partition.labels
+                                            : std::vector<double>{},
+                     cfg.params);
+    if (cfg.checkpoint != nullptr) {
+      ctx.set_checkpoint(&cfg.checkpoint->party(id));
+    }
+    return body(ctx);
+  };
+
   // Attempt loop: each attempt gets a fresh mesh (a restart tears down
   // all connections), while the checkpoint stores persist across
   // attempts. Transient faults that already fired are dropped from the
@@ -33,33 +64,94 @@ Status RunFederationPartitioned(
   NetworkStats total{};
   Status st = Status::Ok();
   for (int attempt = 0;; ++attempt) {
-    InMemoryNetwork net(m, cfg.net, cfg.network_sim);
-    net.set_fault_plan(plan);
-    st = RunParties(net, [&](int id, Endpoint& ep) -> Status {
-      PartyContext ctx(id, cfg.super_client, &ep, keys.pk,
-                       keys.partial_keys[id], partition.views[id],
-                       id == cfg.super_client ? partition.labels
-                                              : std::vector<double>{},
-                       cfg.params);
-      if (cfg.checkpoint != nullptr) {
-        ctx.set_checkpoint(&cfg.checkpoint->party(id));
-      }
-      return body(ctx);
-    });
-    const NetworkStats s = net.stats();
-    total.bytes_sent += s.bytes_sent;
-    total.bytes_received += s.bytes_received;
-    total.messages_sent += s.messages_sent;
-    total.messages_received += s.messages_received;
-    total.rounds += s.rounds;
-    total.retransmits += s.retransmits;
-    total.duplicates_suppressed += s.duplicates_suppressed;
-    total.corrupt_frames += s.corrupt_frames;
-    total.nacks_sent += s.nacks_sent;
+    uint64_t fired_mask = 0;
+    if (cfg.backend == NetBackend::kSocket) {
+      SocketOptions opts;
+      opts.net = cfg.net;
+      opts.supervision = cfg.supervision;
+      // Every party's network gets the full plan: fault actions key on
+      // the sending party, so each network only fires its own actions
+      // and OR-ing the masks reconstructs the global fired set.
+      std::vector<FaultPlan> plans(m, plan);
+      NetworkStats s{};
+      st = RunLoopbackParties(m, opts, party_body, &s, plans, &fired_mask);
+      AccumulateStats(total, s);
+    } else {
+      InMemoryNetwork net(m, cfg.net, cfg.network_sim);
+      net.set_fault_plan(plan);
+      st = RunParties(net, party_body);
+      AccumulateStats(total, net.stats());
+      fired_mask = net.fired_fault_mask();
+    }
     if (st.ok() || cfg.checkpoint == nullptr || attempt >= cfg.max_restarts) {
       break;
     }
-    plan = plan.WithoutFiredTransient(net.fired_fault_mask());
+    plan = plan.WithoutFiredTransient(fired_mask);
+  }
+  if (stats != nullptr) *stats = total;
+  return st;
+}
+
+Status RunPartyFederation(const VerticalPartition& partition,
+                          const PartyConfig& cfg,
+                          const std::function<Status(PartyContext&)>& body,
+                          NetworkStats* stats) {
+  const int m = static_cast<int>(cfg.addresses.size());
+  PIVOT_CHECK_MSG(m >= 1, "party mode needs at least one address");
+  PIVOT_CHECK(cfg.party_id >= 0 && cfg.party_id < m);
+  PIVOT_CHECK(cfg.super_client >= 0 && cfg.super_client < m);
+  PIVOT_CHECK(static_cast<int>(partition.views.size()) == m);
+
+  // Same deterministic key ceremony as the in-process harness: every
+  // process derives identical key material from run_seed, standing in for
+  // the out-of-band distribution a real deployment would use.
+  Rng key_rng(cfg.params.run_seed ^ 0x4b455953 /* "KEYS" */);
+  ThresholdPaillier keys =
+      GenerateThresholdPaillier(cfg.params.key_bits, m, key_rng);
+
+  // The checkpoint store outlives attempts; with a persist path it also
+  // outlives the process, which is what makes SIGKILL + relaunch resume
+  // possible.
+  CheckpointStore store(cfg.checkpoint_history);
+  if (!cfg.checkpoint_dir.empty()) {
+    const std::string path = cfg.checkpoint_dir + "/party" +
+                             std::to_string(cfg.party_id) + ".ckpt";
+    PIVOT_RETURN_IF_ERROR(store.LoadFromFile(path));
+    store.SetPersistPath(path);
+  }
+
+  FaultPlan plan = cfg.fault_plan;
+  NetworkStats total{};
+  Status st = Status::Ok();
+  for (int attempt = 0;; ++attempt) {
+    SocketOptions opts;
+    opts.net = cfg.net;
+    opts.supervision = cfg.supervision;
+    {
+      SocketNetwork net(cfg.party_id, m, opts);
+      net.set_fault_plan(plan);
+      st = net.Bind(cfg.addresses[cfg.party_id]);
+      if (st.ok()) st = net.Establish(cfg.addresses);
+      if (st.ok()) {
+        PartyContext ctx(cfg.party_id, cfg.super_client, &net.endpoint(),
+                         keys.pk, keys.partial_keys[cfg.party_id],
+                         partition.views[cfg.party_id],
+                         cfg.party_id == cfg.super_client
+                             ? partition.labels
+                             : std::vector<double>{},
+                         cfg.params);
+        ctx.set_checkpoint(&store);
+        st = body(ctx);
+      }
+      // Tell peers why this party is going down so their blocked
+      // receives wake immediately.
+      if (!st.ok() && st.code() != StatusCode::kAborted) {
+        net.Abort(st, cfg.party_id);
+      }
+      AccumulateStats(total, net.stats());
+      plan = plan.WithoutFiredTransient(net.fired_fault_mask());
+    }  // mesh torn down (and the listen address released) before a retry
+    if (st.ok() || attempt >= cfg.max_restarts) break;
   }
   if (stats != nullptr) *stats = total;
   return st;

@@ -3,12 +3,24 @@
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "data/dataset.h"
+#include "net/socket.h"
 #include "pivot/checkpoint.h"
 #include "pivot/context.h"
 
 namespace pivot {
+
+// Which transport the federation harness runs the party mesh over. Both
+// backends speak the same reliable frame format, and partitioning, key
+// generation and randomness are all derived from params.run_seed, so the
+// trained model is bit-identical across backends.
+enum class NetBackend {
+  kInMemory,  // one thread per party, std::deque mesh (net/network.h)
+  kSocket,    // one SocketNetwork per party over 127.0.0.1 (net/socket.h)
+};
 
 // In-process federation harness: plays the paper's initialization stage
 // (vertical alignment, hyper-parameter consensus, threshold key
@@ -20,6 +32,12 @@ struct FederationConfig {
   // The client holding the labels (the paper's super client).
   int super_client = 0;
   PivotParams params;
+  // Transport backend. kSocket runs the same party threads over real
+  // loopback TCP connections with connection supervision; NetworkSim is
+  // ignored there (real wires have real latency).
+  NetBackend backend = NetBackend::kInMemory;
+  // Heartbeat/reconnect tunables for the socket backend.
+  SupervisorConfig supervision;
   // Optional LAN emulation (latency/bandwidth); see net/network.h.
   NetworkSim network_sim;
   // Optional deterministic fault injection (chaos testing); see
@@ -64,6 +82,55 @@ Status RunFederationPartitioned(
 // preparing test-set slices inside `body`.
 std::vector<std::vector<double>> SliceRowsForParty(const Dataset& data,
                                                    int party, int num_parties);
+
+// ----- real multi-process deployment (pivot_cli party mode) ------------
+
+// Configuration of ONE party process in a multi-process federation. Every
+// process loads the full dataset and partitions it deterministically
+// (PartitionVertically keyed on nothing but the data), and derives the
+// threshold keys from params.run_seed — so no out-of-band exchange is
+// needed and the final model is bit-identical to the single-process run.
+struct PartyConfig {
+  int party_id = 0;
+  // addresses[j] = party j's listen address ("host:port" or "unix:PATH").
+  // This party binds its own entry and dials/accepts the rest by rank.
+  std::vector<std::string> addresses;
+  int super_client = 0;
+  PivotParams params;
+  // Reliable-channel tunables; same generous default recv timeout as
+  // FederationConfig.
+  NetConfig net = [] {
+    NetConfig c;
+    c.recv_timeout_ms = 600'000;
+    return c;
+  }();
+  SupervisorConfig supervision;
+  // Directory for this party's persistent checkpoint store
+  // (<dir>/party<id>.ckpt). When set, snapshots survive a process
+  // SIGKILL: the relaunched process reloads the store and rejoins the
+  // federation at the negotiated min-index. Empty = in-memory
+  // checkpoints only (restarts within the process still resume).
+  std::string checkpoint_dir;
+  int checkpoint_history = 4;
+  // Attempts beyond the first. A peer crash surfaces here as an abort
+  // (changed handshake incarnation); each retry tears the mesh down,
+  // rebinds the same address and re-establishes. Several attempts can be
+  // burned while processes converge on a fresh mesh, so this should be
+  // more generous than the in-memory max_restarts.
+  int max_restarts = 5;
+  FaultPlan fault_plan;
+};
+
+// Runs one party of a multi-process federation over the socket transport:
+// binds, establishes the mesh, then executes `body(ctx)` with this
+// party's view, restarting (up to max_restarts) on failures so the
+// surviving processes ride out a peer crash + relaunch. Returns the final
+// attempt's status. `stats` (optional) accumulates this process's
+// traffic across attempts.
+Status RunPartyFederation(const VerticalPartition& partition,
+                          const PartyConfig& cfg,
+                          const std::function<Status(PartyContext&)>& body,
+                          NetworkStats* stats = nullptr);
 
 }  // namespace pivot
 

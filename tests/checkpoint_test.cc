@@ -1,6 +1,10 @@
 #include "pivot/checkpoint.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
 
 #include "common/rng.h"
 
@@ -77,6 +81,55 @@ TEST(CheckpointStoreTest, ClearResetsEverything) {
   store.Clear();
   EXPECT_EQ(store.LatestIndex(2), CheckpointStore::kNone);
   EXPECT_FALSE(store.Load(1).ok());
+}
+
+TEST(CheckpointStoreFileTest, PersistAndReloadRoundTrip) {
+  const std::string path = "/tmp/pivot_ckpt_file_test_" +
+                           std::to_string(::getpid()) + ".ckpt";
+  std::remove(path.c_str());
+  {
+    CheckpointStore store;
+    store.SetPersistPath(path);
+    store.BeginEpoch(2);
+    store.Save(2, 5, Blob(5));
+    store.Save(2, 6, Blob(6));
+  }  // store gone; only the file survives — like a SIGKILL'd process
+  CheckpointStore reloaded;
+  ASSERT_TRUE(reloaded.LoadFromFile(path).ok());
+  EXPECT_EQ(reloaded.LatestIndex(2), 6u);
+  EXPECT_EQ(reloaded.Load(5).value(), Blob(5));
+  EXPECT_EQ(reloaded.Load(6).value(), Blob(6));
+  // LoadFromFile also adopts the path: further saves keep persisting.
+  reloaded.Save(2, 7, Blob(7));
+  CheckpointStore again;
+  ASSERT_TRUE(again.LoadFromFile(path).ok());
+  EXPECT_EQ(again.LatestIndex(2), 7u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStoreFileTest, MissingFileIsAFreshStart) {
+  CheckpointStore store;
+  EXPECT_TRUE(
+      store.LoadFromFile("/tmp/pivot_ckpt_file_test_never_written").ok());
+  EXPECT_EQ(store.LatestIndex(0), CheckpointStore::kNone);
+}
+
+TEST(CheckpointStoreFileTest, MalformedFileIsAnError) {
+  // A corrupt store must NOT silently become "no progress": resuming
+  // from scratch would desynchronize this party from its peers.
+  const std::string path = "/tmp/pivot_ckpt_file_test_bad_" +
+                           std::to_string(::getpid()) + ".ckpt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a checkpoint store", f);
+    std::fclose(f);
+  }
+  CheckpointStore store;
+  const Status st = store.LoadFromFile(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("magic"), std::string::npos) << st.ToString();
+  std::remove(path.c_str());
 }
 
 TEST(FederationCheckpointTest, OneStorePerParty) {

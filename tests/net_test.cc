@@ -8,6 +8,7 @@
 
 #include "net/codec.h"
 #include "net/fault.h"
+#include "net/wire.h"
 
 namespace pivot {
 namespace {
@@ -473,13 +474,15 @@ TEST(NetConfigTest, FromEnvOverridesFields) {
   setenv("PIVOT_NET_BACKOFF_BASE_MS", "3", 1);
   setenv("PIVOT_NET_BACKOFF_MAX_MS", "77", 1);
   setenv("PIVOT_NET_RESEND_FRAMES", "9", 1);
-  const NetConfig cfg = NetConfig::FromEnv();
+  const Result<NetConfig> cfg_or = NetConfig::FromEnv();
   unsetenv("PIVOT_NET_RECV_TIMEOUT_MS");
   unsetenv("PIVOT_NET_RETRY_BUDGET");
   unsetenv("PIVOT_NET_RELIABLE");
   unsetenv("PIVOT_NET_BACKOFF_BASE_MS");
   unsetenv("PIVOT_NET_BACKOFF_MAX_MS");
   unsetenv("PIVOT_NET_RESEND_FRAMES");
+  ASSERT_TRUE(cfg_or.ok()) << cfg_or.status().ToString();
+  const NetConfig& cfg = cfg_or.value();
   EXPECT_EQ(cfg.recv_timeout_ms, 1234);
   EXPECT_EQ(cfg.retry_budget, 5);
   EXPECT_FALSE(cfg.reliable);
@@ -487,8 +490,51 @@ TEST(NetConfigTest, FromEnvOverridesFields) {
   EXPECT_EQ(cfg.backoff_max_ms, 77);
   EXPECT_EQ(cfg.resend_buffer_frames, 9);
   // Unset variables leave the base untouched.
-  const NetConfig plain = NetConfig::FromEnv();
-  EXPECT_TRUE(plain.reliable);
+  const Result<NetConfig> plain = NetConfig::FromEnv();
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain.value().reliable);
+}
+
+TEST(NetConfigTest, FromEnvRejectsUnparsableValues) {
+  setenv("PIVOT_NET_RECV_TIMEOUT_MS", "12s", 1);
+  const Result<NetConfig> cfg = NetConfig::FromEnv();
+  unsetenv("PIVOT_NET_RECV_TIMEOUT_MS");
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_EQ(cfg.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(cfg.status().message().find("PIVOT_NET_RECV_TIMEOUT_MS"),
+            std::string::npos)
+      << cfg.status().ToString();
+  EXPECT_NE(cfg.status().message().find("12s"), std::string::npos)
+      << cfg.status().ToString();
+}
+
+TEST(NetConfigTest, FromEnvRejectsNonPositiveTimeoutsAndBudgets) {
+  const auto reject = [](const char* name, const char* value,
+                         const char* field) {
+    setenv(name, value, 1);
+    const Result<NetConfig> cfg = NetConfig::FromEnv();
+    unsetenv(name);
+    ASSERT_FALSE(cfg.ok()) << name << "=" << value;
+    EXPECT_EQ(cfg.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(cfg.status().message().find(field), std::string::npos)
+        << cfg.status().ToString();
+  };
+  reject("PIVOT_NET_RECV_TIMEOUT_MS", "0", "recv_timeout_ms");
+  reject("PIVOT_NET_RECV_TIMEOUT_MS", "-5", "recv_timeout_ms");
+  reject("PIVOT_NET_RETRY_BUDGET", "-1", "retry_budget");
+  reject("PIVOT_NET_BACKOFF_BASE_MS", "0", "backoff_base_ms");
+  reject("PIVOT_NET_BACKOFF_MAX_MS", "-3", "backoff_max_ms");
+  reject("PIVOT_NET_RESEND_FRAMES", "0", "resend_buffer_frames");
+}
+
+TEST(NetConfigTest, FromEnvRejectsBackoffMaxBelowBase) {
+  setenv("PIVOT_NET_BACKOFF_BASE_MS", "100", 1);
+  setenv("PIVOT_NET_BACKOFF_MAX_MS", "50", 1);
+  const Result<NetConfig> cfg = NetConfig::FromEnv();
+  unsetenv("PIVOT_NET_BACKOFF_BASE_MS");
+  unsetenv("PIVOT_NET_BACKOFF_MAX_MS");
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_EQ(cfg.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(FaultPlanTest, TransientOnlyMixHasNoFatalActions) {
@@ -567,6 +613,108 @@ TEST(CodecTest, CiphertextVectorRoundTrip) {
   ASSERT_EQ(back.size(), 2u);
   EXPECT_EQ(back[0].value, BigInt(5));
   EXPECT_EQ(back[1].value, BigInt(1) << 300);
+}
+
+// ----- socket stream framing (net/wire.h) ------------------------------
+//
+// The incremental reader must survive every split TCP can produce:
+// partial writes on the sender side show up as short reads here, so a
+// frame may arrive in any number of pieces, including one byte at a
+// time, or glued to its neighbors in a single read.
+
+TEST(StreamFramingTest, OneByteAtATimeReassembles) {
+  const Bytes frame =
+      EncodeStreamFrame(StreamFrameType::kData, Bytes{0xAA, 0xBB, 0xCC});
+  StreamFrameReader reader(1 << 20);
+  std::vector<StreamFrame> out;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_TRUE(reader.Feed(&frame[i], 1, &out).ok());
+    if (i + 1 < frame.size()) {
+      EXPECT_TRUE(out.empty()) << "frame completed " << (frame.size() - i - 1)
+                               << " bytes early";
+      // After the first byte the reader is always mid-frame.
+      EXPECT_TRUE(reader.mid_frame());
+    }
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, static_cast<uint8_t>(StreamFrameType::kData));
+  EXPECT_EQ(out[0].body, (Bytes{0xAA, 0xBB, 0xCC}));
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST(StreamFramingTest, CoalescedFramesSplitAtEveryOffset) {
+  // Two frames in one buffer, cut at every possible position: both must
+  // come out intact regardless of where the read boundary lands.
+  Bytes wire = EncodeStreamFrame(StreamFrameType::kNack, EncodeNackBody(7));
+  const Bytes second =
+      EncodeStreamFrame(StreamFrameType::kHeartbeat, EncodeHeartbeatBody(3));
+  wire.insert(wire.end(), second.begin(), second.end());
+  for (size_t cut = 0; cut <= wire.size(); ++cut) {
+    StreamFrameReader reader(1 << 20);
+    std::vector<StreamFrame> out;
+    ASSERT_TRUE(reader.Feed(wire.data(), cut, &out).ok());
+    ASSERT_TRUE(reader.Feed(wire.data() + cut, wire.size() - cut, &out).ok());
+    ASSERT_EQ(out.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(out[0].type, static_cast<uint8_t>(StreamFrameType::kNack));
+    EXPECT_EQ(out[1].type, static_cast<uint8_t>(StreamFrameType::kHeartbeat));
+    EXPECT_FALSE(reader.mid_frame());
+  }
+}
+
+TEST(StreamFramingTest, MidFrameDropIsVisible) {
+  // A connection that dies halfway through a frame leaves the reader
+  // mid-frame; the receiver loop reports this in its drop diagnostics.
+  const Bytes frame = EncodeStreamFrame(StreamFrameType::kData, Bytes(64, 9));
+  StreamFrameReader reader(1 << 20);
+  std::vector<StreamFrame> out;
+  ASSERT_TRUE(reader.Feed(frame.data(), frame.size() / 2, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(reader.mid_frame());
+}
+
+TEST(StreamFramingTest, ZeroLengthPrefixRejected) {
+  // Length counts the type byte, so zero cannot encode any frame.
+  const uint8_t header[5] = {0, 0, 0, 0, 0};
+  StreamFrameReader reader(1 << 20);
+  std::vector<StreamFrame> out;
+  Status st = reader.Feed(header, sizeof(header), &out);
+  EXPECT_EQ(st.code(), StatusCode::kProtocolError) << st.ToString();
+}
+
+TEST(StreamFramingTest, OversizedLengthPrefixRejectedBeforeAllocation) {
+  // A corrupt or hostile length prefix must fail when the *header*
+  // completes — no payload buffer may be sized from an untrusted length.
+  // (If the reader tried to allocate first, this 4 GiB claim from five
+  // bytes of input would be an OOM lever.)
+  uint8_t header[5] = {0xFF, 0xFF, 0xFF, 0xFF, 1};
+  StreamFrameReader reader(/*max_frame_bytes=*/1024);
+  std::vector<StreamFrame> out;
+  Status st = reader.Feed(header, sizeof(header), &out);
+  ASSERT_EQ(st.code(), StatusCode::kProtocolError) << st.ToString();
+  EXPECT_NE(st.ToString().find("length prefix"), std::string::npos);
+}
+
+TEST(StreamFramingTest, MaxSizedFrameAccepted) {
+  // The limit is inclusive: a body of exactly max_frame_bytes parses.
+  const Bytes body(1024, 0x5A);
+  const Bytes frame = EncodeStreamFrame(StreamFrameType::kData, body);
+  StreamFrameReader reader(/*max_frame_bytes=*/1024);
+  std::vector<StreamFrame> out;
+  ASSERT_TRUE(reader.Feed(frame.data(), frame.size(), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].body, body);
+}
+
+TEST(StreamFramingTest, EmptyBodyFrameCompletesOnHeader) {
+  // Heartbeat-style frames with an empty body are legal: length 1 covers
+  // just the type byte and the frame completes with no body bytes.
+  const Bytes frame = EncodeStreamFrame(StreamFrameType::kAbort, Bytes{});
+  StreamFrameReader reader(1 << 20);
+  std::vector<StreamFrame> out;
+  ASSERT_TRUE(reader.Feed(frame.data(), frame.size(), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].body.empty());
+  EXPECT_FALSE(reader.mid_frame());
 }
 
 TEST(CodecTest, MalformedInputRejected) {

@@ -21,6 +21,18 @@
 //       protocol sweep per batch. Prints throughput/latency stats and the
 //       cost report instead of per-row predictions.
 //
+//   pivot_cli party --party-id I --peers addr0,addr1,... --data train.csv
+//             --out PREFIX [--super S] [--checkpoint-dir DIR]
+//             [--max-restarts R] [train flags]
+//       Launches ONE party of a real multi-process federation over the
+//       socket transport (net/socket.h). Addresses are "host:port" or
+//       "unix:PATH", one per party in rank order; each process binds its
+//       own entry and dials/accepts the rest. With --checkpoint-dir the
+//       party persists its checkpoints, so a SIGKILL'd process can be
+//       relaunched with the same command line and rejoin the federation,
+//       resuming at the negotiated min-index for a bit-identical final
+//       model. Writes only this party's view, PREFIX.party<I>.bin.
+//
 // CSV format: headerless numeric rows, last column = label.
 
 #include <algorithm>
@@ -82,7 +94,11 @@ int Usage() {
                "  pivot_cli serve --data requests.csv --model PREFIX\n"
                "            [--parties M] [--batch-size B] [--max-wait MS]\n"
                "            [--repeat R] [--prewarm 0|1] "
-               "[--crypto-threads T]\n");
+               "[--crypto-threads T]\n"
+               "  pivot_cli party --party-id I --peers addr0,addr1,...\n"
+               "            --data train.csv --out PREFIX [--super S]\n"
+               "            [--checkpoint-dir DIR] [--max-restarts R]\n"
+               "            [train flags]\n");
   return 2;
 }
 
@@ -124,7 +140,12 @@ int RunTrain(const Args& args) {
   cfg.params.crypto_threads = args.GetInt("crypto-threads", 1);
   // Reliable-channel tunables (timeouts, retry budget, backoff) are
   // environment-overridable; see net/network.h.
-  cfg.net = NetConfig::FromEnv(cfg.net);
+  Result<NetConfig> net_cfg = NetConfig::FromEnv(cfg.net);
+  if (!net_cfg.ok()) {
+    std::fprintf(stderr, "error: %s\n", net_cfg.status().ToString().c_str());
+    return 1;
+  }
+  cfg.net = net_cfg.value();
 
   std::printf("training a %s-protocol Pivot tree: %zu samples, %zu features, "
               "%d parties...\n",
@@ -181,6 +202,96 @@ int RunTrain(const Args& args) {
                 static_cast<unsigned long long>(ops.ckpt_restores),
                 static_cast<unsigned long long>(ops.ckpt_restore_us));
   }
+  return 0;
+}
+
+// One party process of a multi-process federation (socket transport).
+int RunParty(const Args& args) {
+  const std::string data_path = args.Get("data", "");
+  const std::string out_prefix = args.Get("out", "");
+  const std::string peers = args.Get("peers", "");
+  if (data_path.empty() || out_prefix.empty() || peers.empty() ||
+      args.flags.find("party-id") == args.flags.end()) {
+    return Usage();
+  }
+
+  PartyConfig cfg;
+  cfg.party_id = args.GetInt("party-id", 0);
+  for (size_t start = 0; start <= peers.size();) {
+    size_t comma = peers.find(',', start);
+    if (comma == std::string::npos) comma = peers.size();
+    cfg.addresses.push_back(peers.substr(start, comma - start));
+    start = comma + 1;
+  }
+  const int m = static_cast<int>(cfg.addresses.size());
+  if (cfg.party_id < 0 || cfg.party_id >= m) {
+    std::fprintf(stderr, "error: --party-id %d out of range for %d peers\n",
+                 cfg.party_id, m);
+    return 1;
+  }
+  cfg.super_client = args.GetInt("super", 0);
+  cfg.checkpoint_dir = args.Get("checkpoint-dir", "");
+  cfg.max_restarts = args.GetInt("max-restarts", 5);
+
+  Result<Dataset> data = LoadCsv(data_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  const bool regression = args.Get("task", "classification") == "regression";
+  cfg.params.tree.task =
+      regression ? TreeTask::kRegression : TreeTask::kClassification;
+  cfg.params.tree.num_classes =
+      args.GetInt("classes", regression ? 2 : data.value().NumClasses());
+  cfg.params.tree.max_depth = args.GetInt("depth", 4);
+  cfg.params.tree.max_splits = args.GetInt("splits", 8);
+  const bool enhanced = args.Get("protocol", "basic") == "enhanced";
+  cfg.params.key_bits = args.GetInt("key-bits", enhanced ? 512 : 256);
+  cfg.params.crypto_threads = args.GetInt("crypto-threads", 1);
+  Result<NetConfig> net_cfg = NetConfig::FromEnv(cfg.net);
+  if (!net_cfg.ok()) {
+    std::fprintf(stderr, "error: %s\n", net_cfg.status().ToString().c_str());
+    return 1;
+  }
+  cfg.net = net_cfg.value();
+
+  // Every process loads the full dataset and partitions deterministically;
+  // the result matches the in-process harness bit for bit.
+  VerticalPartition partition = PartitionVertically(data.value(), m);
+
+  std::fprintf(stderr,
+               "party %d/%d (%s, super=%d): training a %s-protocol Pivot "
+               "tree over sockets...\n",
+               cfg.party_id, m, cfg.addresses[cfg.party_id].c_str(),
+               cfg.super_client, enhanced ? "enhanced" : "basic");
+
+  NetworkStats net_stats;
+  Status st = RunPartyFederation(
+      partition, cfg,
+      [&](PartyContext& ctx) -> Status {
+        TrainTreeOptions opts;
+        opts.protocol = enhanced ? Protocol::kEnhanced : Protocol::kBasic;
+        PIVOT_ASSIGN_OR_RETURN(PivotTree tree, TrainPivotTree(ctx, opts));
+        const std::string path =
+            out_prefix + ".party" + std::to_string(ctx.id()) + ".bin";
+        return SaveModelBytes(SerializePivotTree(tree), path);
+      },
+      &net_stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "party %d failed: %s\n", cfg.party_id,
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "party %d done: %.2f MB sent in %llu messages; "
+               "%llu retransmits, %llu reconnects, %llu heartbeats\n",
+               cfg.party_id,
+               static_cast<double>(net_stats.bytes_sent) / 1e6,
+               static_cast<unsigned long long>(net_stats.messages_sent),
+               static_cast<unsigned long long>(net_stats.retransmits),
+               static_cast<unsigned long long>(net_stats.reconnects),
+               static_cast<unsigned long long>(net_stats.heartbeats));
   return 0;
 }
 
@@ -265,7 +376,12 @@ int RunServe(const Args& args) {
   cfg.params.tree.num_classes = views[0].num_classes;
   cfg.params.key_bits = views[0].protocol == Protocol::kEnhanced ? 512 : 256;
   cfg.params.crypto_threads = args.GetInt("crypto-threads", 1);
-  cfg.net = NetConfig::FromEnv(cfg.net);
+  Result<NetConfig> net_cfg = NetConfig::FromEnv(cfg.net);
+  if (!net_cfg.ok()) {
+    std::fprintf(stderr, "error: %s\n", net_cfg.status().ToString().c_str());
+    return 1;
+  }
+  cfg.net = net_cfg.value();
 
   serve::ServeOptions opts;
   opts.batch_size = std::min(4096, std::max(1, args.GetInt("batch-size", 16)));
@@ -363,6 +479,7 @@ int main(int argc, char** argv) {
   Result<Args> args = ParseArgs(argc, argv);
   if (!args.ok()) return Usage();
   if (args.value().command == "train") return RunTrain(args.value());
+  if (args.value().command == "party") return RunParty(args.value());
   if (args.value().command == "predict") return RunPredict(args.value());
   if (args.value().command == "serve") return RunServe(args.value());
   return Usage();

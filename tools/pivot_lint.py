@@ -50,6 +50,15 @@ Rules (see DESIGN.md, "Correctness tooling"):
                     escalates to the abort path instead of spinning
                     forever (see DESIGN.md, "Fault model").
 
+  raw-socket        raw socket API use — socket(2)/::send/::recv and
+                    friends, sockaddr types, or the BSD socket headers —
+                    in src/, tools/, or bench/ outside src/net/. All
+                    byte-moving goes through the Endpoint abstraction so
+                    framing, reliability, supervision, and fault
+                    injection cannot be bypassed (see DESIGN.md,
+                    "Transport model"). Tests are exempt (they drive
+                    SocketNetwork directly).
+
 Usage:
   tools/pivot_lint.py [ROOT]            lint the whole tree (default: cwd)
   tools/pivot_lint.py ROOT --files F... lint specific files only
@@ -87,6 +96,16 @@ RE_RETRY_KEYWORD = re.compile(
     r"retry|retransmit|resend|backoff|nack", re.IGNORECASE)
 RE_RETRY_BOUND = re.compile(
     r"budget|deadline|max_restarts", re.IGNORECASE)
+# Raw socket surface: the BSD socket headers, the sockaddr family, and
+# ::-qualified (or socket(2) itself, bare) syscalls. Lowercase send/recv
+# are matched only with explicit :: qualification so Endpoint method
+# calls (ep.Send / ep->Recv) and unrelated identifiers never trip it.
+RE_RAW_SOCKET = re.compile(
+    r"#\s*include\s*<(?:sys/socket\.h|sys/un\.h|netinet/[^>]+|arpa/inet\.h)>"
+    r"|\bsockaddr(?:_in|_un|_storage)?\b"
+    r"|::\s*(?:socket|send|recv|sendto|recvfrom|sendmsg|recvmsg|connect|"
+    r"bind|listen|accept|setsockopt|getsockname)\s*\("
+    r"|(?<![A-Za-z0-9_:.>])socket\s*\(")
 
 
 class Finding:
@@ -246,6 +265,20 @@ def check_unbounded_retry(rel, lines, findings):
                 "persistent fault escalates instead of spinning forever"))
 
 
+def check_raw_socket(rel, lines, findings):
+    if not rel.startswith(("src/", "tools/", "bench/")):
+        return
+    if rel.startswith("src/net/"):
+        return
+    for i, line in enumerate(lines, 1):
+        if RE_RAW_SOCKET.search(strip_comment(line)):
+            findings.append(Finding(
+                rel, i, "raw-socket",
+                "raw socket API outside src/net/; all transport goes "
+                "through Endpoint/SocketNetwork so framing, reliability, "
+                "supervision and fault injection cannot be bypassed"))
+
+
 CHECKS = (
     check_banned_random,
     check_secret_print,
@@ -254,6 +287,7 @@ CHECKS = (
     check_unbounded_wait,
     check_raw_std_thread,
     check_unbounded_retry,
+    check_raw_socket,
 )
 
 

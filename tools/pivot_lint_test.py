@@ -391,5 +391,68 @@ class ToolsAndBenchCoverageTest(unittest.TestCase):
         self.assertEqual(findings, [])
 
 
+class RawSocketTest(unittest.TestCase):
+    def test_flags_socket_header_include(self):
+        findings = run_lint(
+            {"src/pivot/runner.cc": "#include <sys/socket.h>\n"})
+        self.assertEqual(rules(findings), ["raw-socket"])
+
+    def test_flags_netinet_and_unix_headers(self):
+        findings = run_lint(
+            {"src/serve/session.cc": "#include <netinet/in.h>\n",
+             "tools/pivot_cli.cc": "#include <sys/un.h>\n"})
+        self.assertEqual(rules(findings), ["raw-socket"])
+        self.assertEqual(len(findings), 2)
+
+    def test_flags_socket_call(self):
+        findings = run_lint(
+            {"src/pivot/runner.cc":
+             "int fd = socket(AF_INET, SOCK_STREAM, 0);\n"})
+        self.assertEqual(rules(findings), ["raw-socket"])
+
+    def test_flags_qualified_send_recv(self):
+        findings = run_lint(
+            {"tools/pivot_cli.cc": "::send(fd, buf, n, 0);\n"
+                                   "::recv(fd, buf, n, 0);\n"})
+        self.assertEqual(rules(findings), ["raw-socket"])
+        self.assertEqual(len(findings), 2)
+
+    def test_flags_sockaddr_types(self):
+        findings = run_lint(
+            {"bench/bench_net.cc": "sockaddr_in addr{};\n"})
+        self.assertEqual(rules(findings), ["raw-socket"])
+
+    def test_allows_net_layer_home(self):
+        code = ("#include <sys/socket.h>\n"
+                "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n"
+                "sockaddr_in sin{};\n")
+        findings = run_lint({"src/net/socket.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_endpoint_methods_not_flagged(self):
+        code = ("st = ep.Send(1, msg);\n"
+                "r = ep->Recv(0);\n"
+                "net.endpoint().Send(2, bytes);\n")
+        findings = run_lint({"src/pivot/runner.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_identifiers_containing_socket_not_flagged(self):
+        code = ("SocketNetwork net(0, 2);\n"
+                "websocket_config cfg;\n"
+                "Status OpenSocket(int x);\n")
+        findings = run_lint({"src/pivot/runner.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_tests_exempt(self):
+        findings = run_lint(
+            {"tests/socket_test.cc": "#include <sys/socket.h>\n"})
+        self.assertEqual(findings, [])
+
+    def test_ignores_comments(self):
+        findings = run_lint(
+            {"src/pivot/runner.cc": "// dials via socket(2) internally\n"})
+        self.assertEqual(findings, [])
+
+
 if __name__ == "__main__":
     unittest.main()
