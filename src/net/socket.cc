@@ -705,6 +705,7 @@ void SocketNetwork::DispatchFrame(int peer, StreamFrame frame) {
 
 void SocketNetwork::SupervisorLoop() {
   while (!shutdown_.load(std::memory_order_acquire)) {
+    if (options_.on_tick) options_.on_tick();
     const int sleep_ms = supervisor_->Tick(NowMs());
     std::unique_lock<std::mutex> lock(sleep_mu_);
     sleep_cv_.wait_for(lock, std::chrono::milliseconds(sleep_ms), [this] {

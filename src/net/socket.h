@@ -83,6 +83,12 @@ struct SocketOptions {
   // Instance identity for crash detection; 0 derives a process-unique
   // value (pid + instance counter).
   uint64_t incarnation = 0;
+  // Invoked once per supervisor pass (roughly every heartbeat interval)
+  // from the supervisor thread, while the network is up. The process
+  // orchestrator uses this as its liveness export: the party-side hook
+  // writes ALIVE to the control pipe and checks for a pending shutdown
+  // request. Must be cheap and must not block.
+  std::function<void()> on_tick;
 };
 
 class SocketNetwork;

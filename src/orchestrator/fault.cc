@@ -1,0 +1,150 @@
+#include "orchestrator/fault.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace pivot {
+namespace orch {
+
+namespace {
+
+Result<ProcFaultKind> ParseKind(const std::string& word) {
+  if (word == "kill") return ProcFaultKind::kKill;
+  if (word == "stop") return ProcFaultKind::kStop;
+  if (word == "cont") return ProcFaultKind::kCont;
+  if (word == "term") return ProcFaultKind::kTerm;
+  return Status::InvalidArgument("fault plan: unknown kind '" + word +
+                                 "' (want kill|stop|cont|term)");
+}
+
+void SortByTime(std::vector<ProcFault>& faults) {
+  std::stable_sort(faults.begin(), faults.end(),
+                   [](const ProcFault& a, const ProcFault& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+}
+
+}  // namespace
+
+const char* ProcFaultKindName(ProcFaultKind kind) {
+  switch (kind) {
+    case ProcFaultKind::kKill:
+      return "kill";
+    case ProcFaultKind::kStop:
+      return "stop";
+    case ProcFaultKind::kCont:
+      return "cont";
+    case ProcFaultKind::kTerm:
+      return "term";
+  }
+  return "unknown";
+}
+
+std::string ProcFault::ToString() const {
+  return std::to_string(at_ms) + ":" + ProcFaultKindName(kind) + ":" +
+         std::to_string(party);
+}
+
+Result<ProcFaultPlan> ProcFaultPlan::Parse(const std::string& text,
+                                           int num_parties) {
+  ProcFaultPlan plan;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t semi = text.find(';', start);
+    if (semi == std::string::npos) semi = text.size();
+    std::string entry = text.substr(start, semi - start);
+    start = semi + 1;
+    // strip whitespace
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\t')) {
+      entry.erase(entry.begin());
+    }
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) {
+      entry.pop_back();
+    }
+    if (entry.empty()) continue;
+
+    const size_t c1 = entry.find(':');
+    const size_t c2 = c1 == std::string::npos ? std::string::npos
+                                              : entry.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      return Status::InvalidArgument(
+          "fault plan: expected 'at_ms:kind:party', got '" + entry + "'");
+    }
+    ProcFault fault;
+    try {
+      fault.at_ms = std::stoll(entry.substr(0, c1));
+      fault.party = std::stoi(entry.substr(c2 + 1));
+    } catch (...) {
+      return Status::InvalidArgument("fault plan: bad number in '" + entry +
+                                     "'");
+    }
+    PIVOT_ASSIGN_OR_RETURN(fault.kind,
+                           ParseKind(entry.substr(c1 + 1, c2 - c1 - 1)));
+    if (fault.at_ms < 0) {
+      return Status::InvalidArgument("fault plan: negative time in '" +
+                                     entry + "'");
+    }
+    if (fault.party < 0 || fault.party >= num_parties) {
+      return Status::InvalidArgument(
+          "fault plan: party " + std::to_string(fault.party) +
+          " out of range for " + std::to_string(num_parties) + " parties");
+    }
+    plan.faults_.push_back(fault);
+  }
+  SortByTime(plan.faults_);
+  return plan;
+}
+
+ProcFaultPlan ProcFaultPlan::FromSeed(uint64_t seed, int num_parties,
+                                      int64_t window_ms, int count) {
+  ProcFaultPlan plan;
+  if (num_parties < 1 || window_ms < 8 || count < 1) return plan;
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (int i = 0; i < count; ++i) {
+    ProcFault fault;
+    fault.at_ms = window_ms / 8 +
+                  static_cast<int64_t>(rng.NextBelow(
+                      static_cast<uint64_t>(window_ms - window_ms / 8)));
+    fault.party = static_cast<int>(rng.NextBelow(
+        static_cast<uint64_t>(num_parties)));
+    // 3:1 kill vs stop. Every stop is paired with a cont so a seeded plan
+    // can never leave a party frozen past the stall detector forever.
+    if (rng.NextBelow(4) == 0) {
+      fault.kind = ProcFaultKind::kStop;
+      ProcFault thaw;
+      thaw.at_ms = fault.at_ms + 1'000 +
+                   static_cast<int64_t>(rng.NextBelow(2'000));
+      thaw.party = fault.party;
+      thaw.kind = ProcFaultKind::kCont;
+      plan.faults_.push_back(fault);
+      plan.faults_.push_back(thaw);
+    } else {
+      fault.kind = ProcFaultKind::kKill;
+      plan.faults_.push_back(fault);
+    }
+  }
+  SortByTime(plan.faults_);
+  return plan;
+}
+
+std::vector<ProcFault> ProcFaultPlan::TakeDue(int64_t elapsed_ms) {
+  std::vector<ProcFault> due;
+  while (next_ < faults_.size() && faults_[next_].at_ms <= elapsed_ms) {
+    due.push_back(faults_[next_]);
+    ++next_;
+  }
+  return due;
+}
+
+std::string ProcFaultPlan::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < faults_.size(); ++i) {
+    if (i > 0) out += ";";
+    out += faults_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace orch
+}  // namespace pivot

@@ -1,0 +1,75 @@
+#ifndef PIVOT_ORCHESTRATOR_FAULT_H_
+#define PIVOT_ORCHESTRATOR_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pivot {
+namespace orch {
+
+// Process-level chaos driver (tier 3 of the fault ladder; tiers 1-2 are
+// the in-process FaultPlan in pivot/fault.h and the socket-sever chaos in
+// net/). Faults here are real signals delivered to real party processes
+// by the orchestrator's supervise loop: SIGKILL exercises crash-resume
+// through fork/exec respawn, SIGSTOP/SIGCONT exercise the stall detector
+// (a stopped party is alive but mute, so the orchestrator must converge
+// it to the crash path), SIGTERM exercises graceful shutdown.
+//
+// Plans are deterministic: either parsed from an explicit schedule
+// string or derived from a seed via the repo's Rng, so a chaos run can
+// be replayed bit-for-bit from its seed alone.
+
+enum class ProcFaultKind {
+  kKill,  // SIGKILL: hard crash, no cleanup
+  kStop,  // SIGSTOP: freeze; stall detector must notice
+  kCont,  // SIGCONT: thaw a frozen party
+  kTerm,  // SIGTERM: graceful shutdown request
+};
+
+const char* ProcFaultKindName(ProcFaultKind kind);
+
+struct ProcFault {
+  int64_t at_ms = 0;  // offset from orchestrator start
+  int party = 0;
+  ProcFaultKind kind = ProcFaultKind::kKill;
+
+  std::string ToString() const;  // "1500:kill:1"
+};
+
+class ProcFaultPlan {
+ public:
+  ProcFaultPlan() = default;
+
+  // Parses "at_ms:kind:party[;at_ms:kind:party...]", e.g.
+  // "1500:kill:1;4000:stop:2;6000:cont:2". Whitespace around entries is
+  // ignored; entries are sorted by at_ms.
+  static Result<ProcFaultPlan> Parse(const std::string& text,
+                                     int num_parties);
+
+  // Derives `count` faults from a seed: times uniform in
+  // [window_ms/8, window_ms], parties uniform, kinds weighted toward
+  // kKill with occasional kStop (each kStop is paired with a kCont
+  // 1-3 s later so the plan cannot permanently freeze the federation).
+  static ProcFaultPlan FromSeed(uint64_t seed, int num_parties,
+                                int64_t window_ms, int count);
+
+  // Faults due at or before `elapsed_ms` that have not been taken yet.
+  // Each fault is handed out exactly once.
+  std::vector<ProcFault> TakeDue(int64_t elapsed_ms);
+
+  bool Exhausted() const { return next_ >= faults_.size(); }
+  const std::vector<ProcFault>& faults() const { return faults_; }
+  std::string ToString() const;  // ";"-joined schedule
+
+ private:
+  std::vector<ProcFault> faults_;  // sorted by at_ms
+  size_t next_ = 0;
+};
+
+}  // namespace orch
+}  // namespace pivot
+
+#endif  // PIVOT_ORCHESTRATOR_FAULT_H_

@@ -1,0 +1,201 @@
+#include "orchestrator/process.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+namespace pivot {
+namespace orch {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+// Child-side helper between fork and exec: async-signal-safe calls only
+// (open/dup2/close/chdir/execv/_exit — no allocation, no stdio).
+[[noreturn]] void ExecChild(const ChildSpec& spec,
+                            const std::vector<char*>& argv) {
+#ifdef __linux__
+  // Die with the orchestrator: a SIGKILLed supervisor must not leak a
+  // silent background federation.
+  ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+#endif
+  if (!spec.cwd.empty() && ::chdir(spec.cwd.c_str()) != 0) _exit(125);
+  if (!spec.stdout_path.empty()) {
+    int fd = ::open(spec.stdout_path.c_str(),
+                    O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0 || ::dup2(fd, STDOUT_FILENO) < 0) _exit(126);
+    if (fd != STDOUT_FILENO) ::close(fd);
+  }
+  if (!spec.stderr_path.empty()) {
+    int fd = ::open(spec.stderr_path.c_str(),
+                    O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0 || ::dup2(fd, STDERR_FILENO) < 0) _exit(126);
+    if (fd != STDERR_FILENO) ::close(fd);
+  }
+  // Close everything above stderr except the fds this child inherits, so
+  // no party holds a sibling's control pipe open (a dangling write end
+  // would keep the orchestrator's read side from ever seeing EOF).
+  const long max_fd = ::sysconf(_SC_OPEN_MAX);
+  for (int fd = STDERR_FILENO + 1; fd < (max_fd > 0 ? max_fd : 1024); ++fd) {
+    if (std::find(spec.inherit_fds.begin(), spec.inherit_fds.end(), fd) ==
+        spec.inherit_fds.end()) {
+      ::close(fd);
+    }
+  }
+  ::execv(argv[0], argv.data());
+  _exit(127);
+}
+
+}  // namespace
+
+Result<int> SpawnChild(const ChildSpec& spec) {
+  if (spec.argv.empty()) {
+    return Status::InvalidArgument("SpawnChild: empty argv");
+  }
+  // Built before fork: the child must not allocate.
+  std::vector<char*> argv;
+  argv.reserve(spec.argv.size() + 1);
+  for (const std::string& a : spec.argv) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return Errno("fork failed");
+  if (pid == 0) ExecChild(spec, argv);
+  return static_cast<int>(pid);
+}
+
+std::string ExitEvent::Describe() const {
+  if (exited) return "exit code " + std::to_string(exit_code);
+  if (signaled) {
+    const char* name = ::strsignal(signal);
+    return "killed by signal " + std::to_string(signal) +
+           (name != nullptr ? std::string(" (") + name + ")" : "");
+  }
+  return "unknown exit";
+}
+
+Result<ExitEvent> ReapChild() {
+  int wstatus = 0;
+  const pid_t pid = ::waitpid(-1, &wstatus, WNOHANG);
+  if (pid == 0 || (pid < 0 && errno == ECHILD)) {
+    return Status::NotFound("no exited child");
+  }
+  if (pid < 0) return Errno("waitpid failed");
+  ExitEvent ev;
+  ev.pid = static_cast<int>(pid);
+  if (WIFEXITED(wstatus)) {
+    ev.exited = true;
+    ev.exit_code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    ev.signaled = true;
+    ev.signal = WTERMSIG(wstatus);
+  }
+  return ev;
+}
+
+Status SignalProcess(int pid, int signo) {
+  if (pid <= 0) {
+    // Guard against kill(0, ...) / kill(-1, ...): a stale pid must never
+    // fan a chaos signal out to the whole process group.
+    return Status::InvalidArgument("SignalProcess: bad pid " +
+                                   std::to_string(pid));
+  }
+  if (::kill(static_cast<pid_t>(pid), signo) != 0) {
+    if (errno == ESRCH) {
+      return Status::NotFound("process " + std::to_string(pid) + " is gone");
+    }
+    return Errno("kill(" + std::to_string(pid) + ", " +
+                 std::to_string(signo) + ") failed");
+  }
+  return Status::Ok();
+}
+
+Result<Pipe> MakePipe(bool nonblocking_read) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) return Errno("pipe failed");
+  if (nonblocking_read) {
+    const int flags = ::fcntl(fds[0], F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK) < 0) {
+      const Status st = Errno("fcntl(O_NONBLOCK) failed");
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return st;
+    }
+  }
+  Pipe p;
+  p.read_fd = fds[0];
+  p.write_fd = fds[1];
+  return p;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void ClosePipe(Pipe& pipe) {
+  CloseFd(pipe.read_fd);
+  CloseFd(pipe.write_fd);
+  pipe.read_fd = pipe.write_fd = -1;
+}
+
+std::string ReadAvailable(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EAGAIN (drained), EOF, or error: caller only needs the bytes
+  }
+  return out;
+}
+
+Status WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write failed");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+void SleepMs(int ms) {
+  timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1'000'000L;
+  ::nanosleep(&ts, nullptr);
+}
+
+int64_t SteadyClockMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace orch
+}  // namespace pivot

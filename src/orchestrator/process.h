@@ -1,0 +1,90 @@
+#ifndef PIVOT_ORCHESTRATOR_PROCESS_H_
+#define PIVOT_ORCHESTRATOR_PROCESS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pivot {
+namespace orch {
+
+// Thin fork/exec/waitpid/kill wrappers for the orchestrator. This file
+// (and its .cc) is the ONLY place in src/, tools/, or bench/ allowed to
+// touch the process-control syscalls — the `raw-process` lint rule
+// (tools/pivot_lint.py) enforces the confinement, for the same reason
+// raw sockets are confined to src/net/: supervision policy must not be
+// bypassable by ad-hoc kill/wait calls scattered through the tree.
+//
+// The orchestrator is strictly single-threaded, which is what makes
+// fork() here safe: there are no locks to inherit in a half-held state
+// and no helper threads whose absence the child could trip over.
+
+// One child launch: argv (argv[0] = binary path), stdout/stderr capture
+// files (appended, so a respawned party keeps one continuous log), an
+// optional working directory, and the fds the child must inherit (the
+// control-protocol pipe ends). Every other descriptor above stderr is
+// closed in the child so one party cannot hold a sibling's pipe open.
+struct ChildSpec {
+  std::vector<std::string> argv;
+  std::string stdout_path;
+  std::string stderr_path;
+  std::string cwd;                 // empty = inherit
+  std::vector<int> inherit_fds;
+};
+
+// Forks and execs `spec`. On Linux the child asks the kernel to deliver
+// SIGTERM when the orchestrator dies (PR_SET_PDEATHSIG), so a killed
+// orchestrator cannot leak a silent background federation. Returns the
+// child pid; exec failure surfaces as the child exiting with code 127.
+Result<int> SpawnChild(const ChildSpec& spec);
+
+// One reaped child (waitpid WNOHANG). Exactly one of `exited` /
+// `signaled` is true.
+struct ExitEvent {
+  int pid = -1;
+  bool exited = false;
+  int exit_code = 0;
+  bool signaled = false;
+  int signal = 0;
+
+  // "exit code N" or "killed by signal N".
+  std::string Describe() const;
+};
+
+// Non-blocking reap of any exited child. Returns NotFound when no child
+// has exited (or none exist); callers poll this from the supervise loop.
+Result<ExitEvent> ReapChild();
+
+// Sends `signo` to `pid`. NotFound once the process is gone.
+[[nodiscard]] Status SignalProcess(int pid, int signo);
+
+// An inter-process pipe for the control protocol. `read_fd` lives in the
+// orchestrator (O_NONBLOCK so the supervise loop never blocks on a quiet
+// party); `write_fd` is inherited by the child.
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+};
+Result<Pipe> MakePipe(bool nonblocking_read);
+void ClosePipe(Pipe& pipe);
+void CloseFd(int fd);
+
+// Drains whatever is currently readable from a non-blocking fd.
+// Returns the bytes read; empty on EAGAIN or EOF.
+std::string ReadAvailable(int fd);
+
+// Best-effort write of a full buffer to a (blocking) fd.
+[[nodiscard]] Status WriteAll(int fd, const std::string& data);
+
+// Sleeps the calling thread (nanosleep; no <thread> dependency).
+void SleepMs(int ms);
+
+// Steady-clock milliseconds, for the supervise loop's explicit clock.
+int64_t SteadyClockMs();
+
+}  // namespace orch
+}  // namespace pivot
+
+#endif  // PIVOT_ORCHESTRATOR_PROCESS_H_

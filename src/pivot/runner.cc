@@ -127,11 +127,33 @@ Status RunPartyFederation(const VerticalPartition& partition,
     SocketOptions opts;
     opts.net = cfg.net;
     opts.supervision = cfg.supervision;
+    // Bridge the supervisor's periodic tick to the orchestrator hooks:
+    // export liveness, and convert a pending shutdown request into a
+    // mesh abort so blocked receives wake within a heartbeat.
+    SocketNetwork* live_net = nullptr;
+    if (cfg.on_alive || cfg.shutdown_requested) {
+      opts.on_tick = [&cfg, &live_net]() {
+        if (cfg.on_alive) cfg.on_alive();
+        if (live_net != nullptr && cfg.shutdown_requested &&
+            cfg.shutdown_requested()) {
+          live_net->Abort(Status::Aborted("shutdown requested"),
+                          cfg.party_id);
+        }
+      };
+    }
     {
       SocketNetwork net(cfg.party_id, m, opts);
+      live_net = &net;
       net.set_fault_plan(plan);
       st = net.Bind(cfg.addresses[cfg.party_id]);
       if (st.ok()) st = net.Establish(cfg.addresses);
+      if (st.ok() && cfg.on_mesh_ready) {
+        // Readiness barrier: report the mesh up and wait for GO before
+        // any protocol traffic, so training starts simultaneously
+        // across the federation (see orchestrator/supervisor.h).
+        st = cfg.on_mesh_ready(attempt,
+                               [&net]() { return net.aborted(); });
+      }
       if (st.ok()) {
         PartyContext ctx(cfg.party_id, cfg.super_client, &net.endpoint(),
                          keys.pk, keys.partial_keys[cfg.party_id],
@@ -152,6 +174,12 @@ Status RunPartyFederation(const VerticalPartition& partition,
       plan = plan.WithoutFiredTransient(net.fired_fault_mask());
     }  // mesh torn down (and the listen address released) before a retry
     if (st.ok() || attempt >= cfg.max_restarts) break;
+    if (cfg.shutdown_requested && cfg.shutdown_requested()) {
+      // Graceful shutdown: stop retrying. The persisted checkpoint store
+      // already holds the latest snapshot (it mirrors every mutation),
+      // so a future relaunch resumes from here.
+      break;
+    }
   }
   if (stats != nullptr) *stats = total;
   return st;

@@ -119,6 +119,29 @@ struct PartyConfig {
   // more generous than the in-memory max_restarts.
   int max_restarts = 5;
   FaultPlan fault_plan;
+
+  // ----- orchestrator control hooks (all optional) ---------------------
+  // Wired by `pivot_cli party --control-fd/--go-fd` when the process runs
+  // under the federation orchestrator (src/orchestrator/); all default to
+  // unset for standalone parties.
+  //
+  // Called after the socket mesh is fully established, before `body`
+  // runs: the party reports READY over the control pipe and blocks at
+  // the readiness barrier until the orchestrator answers GO. `aborted`
+  // polls this attempt's mesh abort flag so a peer dying at the barrier
+  // fails the attempt promptly instead of waiting out the GO deadline.
+  // A non-ok return fails the attempt (and is retried like any other
+  // attempt failure).
+  std::function<Status(int attempt, const std::function<bool()>& aborted)>
+      on_mesh_ready;
+  // Invoked about once per heartbeat interval from the supervisor thread
+  // while the mesh is up; exports liveness to the orchestrator's stall
+  // detector. Must be cheap and must not block.
+  std::function<void()> on_alive;
+  // Polled from the supervisor tick and between attempts. Returning true
+  // aborts the mesh (waking any blocked Recv within a heartbeat) and
+  // stops the attempt loop without burning retries: graceful shutdown.
+  std::function<bool()> shutdown_requested;
 };
 
 // Runs one party of a multi-process federation over the socket transport:

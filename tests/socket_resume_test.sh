@@ -19,7 +19,9 @@ if [ ! -x "$CLI" ]; then
 fi
 CLI=$(cd "$(dirname "$CLI")" && pwd)/$(basename "$CLI")
 
-DIR=$(mktemp -d /tmp/pivot_socket_resume.XXXXXX)
+# Per-run scratch under $TMPDIR so parallel ctest invocations (and CI
+# sandboxes with a private TMPDIR) never collide on socket paths.
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/pivot_socket_resume.XXXXXX")
 PIDS=""
 trap 'kill -9 $PIDS 2>/dev/null || true; rm -rf "$DIR"' EXIT
 cd "$DIR"

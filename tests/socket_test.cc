@@ -185,6 +185,107 @@ TEST(SupervisorTest, DescribeNamesStateAndSilence) {
   EXPECT_NE(line.find("last heard 150 ms ago"), std::string::npos) << line;
 }
 
+TEST(SupervisorTest, HeartbeatBoundaryIsExclusive) {
+  // The sever condition is strictly silent_ms > heartbeat_timeout_ms: a
+  // peer heard from exactly timeout ms ago is still alive. An inclusive
+  // comparison would sever healthy connections whose heartbeat landed
+  // precisely on the supervision tick.
+  RecordingCallbacks rec;
+  ConnectionSupervisor sup(2, 1, FastConfig(), rec.Bind(), {true, false});
+  sup.NoteConnected(0, 0);
+  sup.NoteHeard(0, 100);
+  sup.Tick(500);  // silent for exactly 400 ms == timeout: alive
+  EXPECT_TRUE(rec.severs.empty());
+  EXPECT_EQ(sup.Health(0, 500).state, PeerState::kConnected);
+  sup.Tick(501);  // 401 ms: dead
+  ASSERT_EQ(rec.severs.size(), 1u);
+  EXPECT_EQ(sup.Health(0, 501).state, PeerState::kDown);
+}
+
+TEST(SupervisorTest, RedialBackoffSaturatesAtTheCap) {
+  RecordingCallbacks rec;
+  SupervisorConfig cfg = FastConfig();
+  cfg.reconnect_attempts = 6;
+  cfg.reconnect_timeout_ms = 10'000;
+  ConnectionSupervisor sup(2, 1, cfg, rec.Bind(), {true, false});
+  sup.NoteConnected(0, 0);
+  sup.NoteDown(0, 1'000, "drop");
+  for (int64_t t = 1'000; t <= 1'200; ++t) {
+    rec.now = t;
+    sup.Tick(t);
+  }
+  // Gaps double from backoff_base_ms (10) until backoff_max_ms (40),
+  // then hold there: 1000, +10, +20, +40, +40, +40.
+  ASSERT_EQ(rec.dials.size(), 6u);
+  const int64_t expected[] = {1'000, 1'010, 1'030, 1'070, 1'110, 1'150};
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(rec.dials[i], (std::pair<int64_t, int>{expected[i], 0}))
+        << "dial " << i;
+  }
+}
+
+TEST(SupervisorTest, ReconnectionResetsTheDialBudgetMidEpisode) {
+  // A successful redial ends the episode; a later sever starts a FRESH
+  // one with full attempt budget and base backoff. Without the reset, a
+  // long run would eventually abort on its total (not consecutive)
+  // failure count.
+  RecordingCallbacks rec;
+  ConnectionSupervisor sup(2, 1, FastConfig(), rec.Bind(), {true, false});
+  sup.NoteConnected(0, 0);
+  sup.NoteDown(0, 1'000, "first drop");
+  rec.now = 1'000;
+  sup.Tick(1'000);  // attempt 1 fails (dial_result defaults to error)
+  rec.now = 1'010;
+  rec.dial_result = Status::Ok();
+  sup.Tick(1'010);  // attempt 2 succeeds
+  ASSERT_EQ(rec.dials.size(), 2u);
+  EXPECT_EQ(sup.Health(0, 1'011).state, PeerState::kConnected);
+  EXPECT_EQ(sup.Health(0, 1'011).reconnects, 1u);
+
+  rec.dial_result = Status::ProtocolError("dial refused by test");
+  sup.NoteDown(0, 2'000, "second drop");
+  rec.dials.clear();
+  for (int64_t t = 2'000; t <= 2'100; ++t) {
+    rec.now = t;
+    sup.Tick(t);
+  }
+  // Full budget (3) again, backoff restarted at base: 2000, +10, +20.
+  // Without the reset only one attempt would remain and the escalation
+  // would name a single-dial episode.
+  ASSERT_EQ(rec.dials.size(), 3u);
+  EXPECT_EQ(rec.dials[0].first, 2'000);
+  EXPECT_EQ(rec.dials[1].first, 2'010);
+  EXPECT_EQ(rec.dials[2].first, 2'030);
+  ASSERT_EQ(rec.escalations.size(), 1u);
+  EXPECT_NE(rec.escalations[0].second.message().find("3 reconnect attempts"),
+            std::string::npos)
+      << rec.escalations[0].second.message();
+}
+
+TEST(SupervisorTest, AcceptorEpisodeClockResetsOnDialBack) {
+  // The acceptor side has no attempt budget — only the episode wall
+  // clock — and that clock must restart when the peer dials back in and
+  // then drops again mid-backoff. The second episode gets its full time
+  // budget; severs do not accumulate across reconnections.
+  RecordingCallbacks rec;
+  ConnectionSupervisor sup(2, 0, FastConfig(), rec.Bind(), {false, false});
+  sup.NoteConnected(1, 0);
+  sup.NoteDown(1, 1'000, "first drop");
+  sup.Tick(1'900);  // 900 ms into the 1000 ms episode: still waiting
+  EXPECT_TRUE(rec.escalations.empty());
+  sup.NoteConnected(1, 1'950);  // peer dialed back just in time
+  sup.NoteHeard(1, 1'950);
+  sup.NoteDown(1, 2'100, "second drop");
+  sup.Tick(2'950);  // 850 ms into the SECOND episode, 1950 ms since the
+  EXPECT_TRUE(rec.escalations.empty());  // first: no escalation
+  sup.Tick(3'100);  // 1000 ms episode budget spent
+  ASSERT_EQ(rec.escalations.size(), 1u);
+  EXPECT_EQ(rec.escalations[0].first, 1);
+  EXPECT_NE(rec.escalations[0].second.message().find("did not dial back"),
+            std::string::npos);
+  EXPECT_TRUE(rec.dials.empty()) << "acceptors never dial";
+}
+
 // ----- tier 2: real loopback meshes ------------------------------------
 
 SocketOptions FastSocketOptions(int recv_timeout_ms = 5'000) {

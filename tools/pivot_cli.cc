@@ -23,7 +23,8 @@
 //
 //   pivot_cli party --party-id I --peers addr0,addr1,... --data train.csv
 //             --out PREFIX [--super S] [--checkpoint-dir DIR]
-//             [--max-restarts R] [train flags]
+//             [--max-restarts R] [--control-fd N --go-fd N
+//             [--go-timeout-ms MS]] [train flags]
 //       Launches ONE party of a real multi-process federation over the
 //       socket transport (net/socket.h). Addresses are "host:port" or
 //       "unix:PATH", one per party in rank order; each process binds its
@@ -32,15 +33,45 @@
 //       relaunched with the same command line and rejoin the federation,
 //       resuming at the negotiated min-index for a bit-identical final
 //       model. Writes only this party's view, PREFIX.party<I>.bin.
+//       SIGTERM/SIGINT request a graceful shutdown: the mesh is aborted,
+//       the persisted checkpoint store already holds the latest snapshot,
+//       and the process exits with the distinct code 3 so a supervisor
+//       can tell "asked to stop" from "crashed". Under the orchestrator,
+//       --control-fd/--go-fd carry the readiness/liveness protocol: the
+//       party writes HELLO/READY/ALIVE/BYE lines and blocks at the
+//       readiness barrier until the orchestrator answers GO.
+//
+//   pivot_cli orchestrate --spec federation.spec [--workdir DIR]
+//             [--faults SCHED | --chaos-seed N [--chaos-count K]
+//             [--chaos-window-ms MS]] [--deadline-ms MS]
+//       One-command federation: reads the spec (src/orchestrator/spec.h
+//       documents the format), renders one `pivot_cli party` command per
+//       party, spawns and supervises them (readiness barrier, health-
+//       checked restarts with deterministic backoff, restart budgets,
+//       SIGTERM-propagating teardown), optionally injects seeded
+//       process-level chaos (SIGKILL/SIGSTOP/SIGCONT/SIGTERM), and
+//       verifies + fingerprints the collected model views. Writes
+//       report.json into the workdir. Exit codes: 0 success, 1 failure
+//       (report names the root-cause party), 4 interrupted.
 //
 // CSV format: headerless numeric rows, last column = label.
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <mutex>
 #include <string>
+
+#include "orchestrator/fault.h"
+#include "orchestrator/orchestrator.h"
+#include "orchestrator/process.h"
+#include "orchestrator/spec.h"
 
 #include "common/op_counters.h"
 #include "data/dataset.h"
@@ -53,6 +84,33 @@
 using namespace pivot;
 
 namespace {
+
+// Exit code for "asked to stop and stopped cleanly" — distinct from 0
+// (finished training) and 1 (failed), so the orchestrator can tell a
+// graceful shutdown from a crash when aggregating exit codes.
+constexpr int kGracefulShutdownExit = 3;
+
+// Set by the SIGTERM/SIGINT handler; polled from the runner's supervisor
+// tick (which aborts the mesh, waking blocked receives within a
+// heartbeat) and from the party/orchestrator loops.
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleShutdownSignal(int /*signo*/) { g_shutdown = 1; }
+
+// SA_RESTART keeps mid-syscall protocol reads intact: the handler only
+// sets the flag, and the supervisor tick turns it into a mesh abort.
+void InstallShutdownHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  // A peer (or the orchestrator) closing a pipe mid-write must surface
+  // as an error return, not kill the process.
+  signal(SIGPIPE, SIG_IGN);
+}
 
 struct Args {
   std::string command;
@@ -98,7 +156,12 @@ int Usage() {
                "  pivot_cli party --party-id I --peers addr0,addr1,...\n"
                "            --data train.csv --out PREFIX [--super S]\n"
                "            [--checkpoint-dir DIR] [--max-restarts R]\n"
-               "            [train flags]\n");
+               "            [--control-fd N --go-fd N [--go-timeout-ms MS]]\n"
+               "            [train flags]\n"
+               "  pivot_cli orchestrate --spec federation.spec\n"
+               "            [--workdir DIR] [--deadline-ms MS]\n"
+               "            [--faults SCHED | --chaos-seed N\n"
+               "            [--chaos-count K] [--chaos-window-ms MS]]\n");
   return 2;
 }
 
@@ -207,6 +270,7 @@ int RunTrain(const Args& args) {
 
 // One party process of a multi-process federation (socket transport).
 int RunParty(const Args& args) {
+  InstallShutdownHandlers();
   const std::string data_path = args.Get("data", "");
   const std::string out_prefix = args.Get("out", "");
   const std::string peers = args.Get("peers", "");
@@ -214,6 +278,11 @@ int RunParty(const Args& args) {
       args.flags.find("party-id") == args.flags.end()) {
     return Usage();
   }
+  // Orchestrator control protocol (both fds inherited from the spawning
+  // orchestrator; -1 = standalone party, no protocol).
+  const int control_fd = args.GetInt("control-fd", -1);
+  const int go_fd = args.GetInt("go-fd", -1);
+  const int go_timeout_ms = args.GetInt("go-timeout-ms", 120'000);
 
   PartyConfig cfg;
   cfg.party_id = args.GetInt("party-id", 0);
@@ -256,6 +325,62 @@ int RunParty(const Args& args) {
   }
   cfg.net = net_cfg.value();
 
+  if (control_fd >= 0) {
+    (void)orch::WriteAll(control_fd, "HELLO pid=" +
+                                         std::to_string(::getpid()) + "\n");
+    // Liveness export: one ALIVE per supervisor tick feeds the
+    // orchestrator's stall detector (a SIGSTOPped party goes mute and
+    // gets force-killed into the crash-resume path).
+    cfg.on_alive = [control_fd]() {
+      (void)orch::WriteAll(control_fd, "ALIVE\n");
+    };
+    // Readiness barrier: announce the mesh is up, then hold all protocol
+    // traffic until the orchestrator's GO. The nonce (pid.attempt) makes
+    // a stale GO addressed to a previous incarnation or attempt
+    // unmistakable — it is simply skipped.
+    cfg.on_mesh_ready = [control_fd, go_fd, go_timeout_ms](
+                            int attempt,
+                            const std::function<bool()>& aborted) -> Status {
+      const std::string nonce = std::to_string(::getpid()) + "." +
+                                std::to_string(attempt);
+      std::fprintf(stderr, "party: mesh up, READY nonce=%s\n", nonce.c_str());
+      PIVOT_RETURN_IF_ERROR(
+          orch::WriteAll(control_fd, "READY nonce=" + nonce + "\n"));
+      if (go_fd < 0) return Status::Ok();
+      const std::string want = "GO " + nonce;
+      std::string buf;
+      const int64_t barrier_deadline = orch::SteadyClockMs() + go_timeout_ms;
+      while (orch::SteadyClockMs() < barrier_deadline) {
+        if (g_shutdown != 0) {
+          return Status::Aborted("shutdown requested at the barrier");
+        }
+        if (aborted()) {
+          // A peer died while we waited; fail the attempt now so the
+          // rebuilt mesh can re-enter the barrier, instead of burning
+          // the whole GO deadline against a half-up federation.
+          return Status::Aborted("mesh aborted at the readiness barrier");
+        }
+        buf += orch::ReadAvailable(go_fd);
+        size_t start = 0;
+        size_t nl;
+        while ((nl = buf.find('\n', start)) != std::string::npos) {
+          if (buf.compare(start, nl - start, want) == 0) {
+            std::fprintf(stderr, "party: GO received for nonce=%s\n",
+                         nonce.c_str());
+            return Status::Ok();
+          }
+          start = nl + 1;  // stale GO for an earlier incarnation: skip
+        }
+        buf.erase(0, start);
+        orch::SleepMs(20);
+      }
+      return Status::ProtocolError(
+          "no GO from the orchestrator within " +
+          std::to_string(go_timeout_ms) + " ms at the readiness barrier");
+    };
+  }
+  cfg.shutdown_requested = []() { return g_shutdown != 0; };
+
   // Every process loads the full dataset and partitions deterministically;
   // the result matches the in-process harness bit for bit.
   VerticalPartition partition = PartitionVertically(data.value(), m);
@@ -278,6 +403,22 @@ int RunParty(const Args& args) {
         return SaveModelBytes(SerializePivotTree(tree), path);
       },
       &net_stats);
+  const int exit_code =
+      st.ok() ? 0 : (g_shutdown != 0 ? kGracefulShutdownExit : 1);
+  if (control_fd >= 0) {
+    (void)orch::WriteAll(control_fd,
+                         "BYE code=" + std::to_string(exit_code) + "\n");
+  }
+  if (exit_code == kGracefulShutdownExit) {
+    // The persistent checkpoint store mirrors every snapshot to disk as
+    // it is taken (pivot/checkpoint.h), so the latest state is already
+    // flushed; a relaunch resumes from here bit-identically.
+    std::fprintf(stderr,
+                 "party %d: graceful shutdown (checkpoints persisted); "
+                 "relaunch to resume\n",
+                 cfg.party_id);
+    return kGracefulShutdownExit;
+  }
   if (!st.ok()) {
     std::fprintf(stderr, "party %d failed: %s\n", cfg.party_id,
                  st.ToString().c_str());
@@ -473,6 +614,97 @@ int RunServe(const Args& args) {
   return 0;
 }
 
+// Resolves the running binary's own path so the orchestrator can spawn
+// party processes of the exact same build; falls back to argv[0].
+std::string SelfExe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return argv0 != nullptr ? std::string(argv0) : std::string("pivot_cli");
+}
+
+// One-command federation: spawn + supervise every party (see
+// src/orchestrator/orchestrator.h).
+int RunOrchestrate(const Args& args, const char* argv0) {
+  InstallShutdownHandlers();
+  const std::string spec_path = args.Get("spec", "");
+  if (spec_path.empty()) return Usage();
+  Result<orch::FederationSpec> spec = orch::LoadFederationSpec(spec_path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "error: %s\n", spec.status().ToString().c_str());
+    return 2;
+  }
+
+  orch::OrchestratorOptions options;
+  options.spec = spec.value();
+  std::string workdir = args.Get("workdir", "");
+  if (workdir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    workdir = std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
+              "/pivot_orch." + std::to_string(::getpid());
+  }
+  if (workdir.front() != '/') {
+    char cwd[4096];
+    if (::getcwd(cwd, sizeof(cwd)) != nullptr) {
+      workdir = std::string(cwd) + "/" + workdir;
+    }
+  }
+  options.workdir = workdir;
+  options.cli =
+      spec.value().cli.empty() ? SelfExe(argv0) : spec.value().cli;
+  options.deadline_ms = args.GetInt("deadline-ms", 0);
+
+  const std::string faults = args.Get("faults", "");
+  if (!faults.empty()) {
+    Result<orch::ProcFaultPlan> plan =
+        orch::ProcFaultPlan::Parse(faults, spec.value().parties);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+      return 2;
+    }
+    options.faults = plan.value();
+  } else if (args.flags.find("chaos-seed") != args.flags.end()) {
+    const uint64_t seed =
+        std::strtoull(args.Get("chaos-seed", "0").c_str(), nullptr, 10);
+    options.faults = orch::ProcFaultPlan::FromSeed(
+        seed, spec.value().parties, args.GetInt("chaos-window-ms", 8'000),
+        args.GetInt("chaos-count", 3));
+  }
+  options.interrupted = []() { return g_shutdown != 0; };
+
+  orch::Orchestrator orchestrator(std::move(options));
+  Result<orch::OrchestratorReport> run = orchestrator.Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const orch::OrchestratorReport& report = run.value();
+  std::printf("federation %s in %lld ms (workdir %s)\n",
+              report.ok ? "complete"
+                        : (report.interrupted ? "interrupted" : "FAILED"),
+              static_cast<long long>(report.wall_ms), workdir.c_str());
+  for (const orch::PartyOutcome& p : report.parties) {
+    std::printf("  party %d: %s, %d restart(s), last exit %d (%s)\n",
+                p.party, p.phase.c_str(), p.restarts, p.last_exit_code,
+                p.last_exit.empty() ? "never exited" : p.last_exit.c_str());
+  }
+  if (report.ok) {
+    std::printf("model fingerprint: %s\n", report.model_fingerprint.c_str());
+    std::printf("model views: %s/%s.party*.bin\n", workdir.c_str(),
+                spec.value().out.c_str());
+  } else {
+    std::printf("root cause: %s\n", report.root_cause.c_str());
+    if (report.root_cause_party >= 0) {
+      std::printf("root-cause party: %d\n", report.root_cause_party);
+    }
+  }
+  std::printf("report: %s\n", report.report_path.c_str());
+  return report.ExitCode();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -482,5 +714,8 @@ int main(int argc, char** argv) {
   if (args.value().command == "party") return RunParty(args.value());
   if (args.value().command == "predict") return RunPredict(args.value());
   if (args.value().command == "serve") return RunServe(args.value());
+  if (args.value().command == "orchestrate") {
+    return RunOrchestrate(args.value(), argv[0]);
+  }
   return Usage();
 }

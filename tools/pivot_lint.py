@@ -59,6 +59,16 @@ Rules (see DESIGN.md, "Correctness tooling"):
                     "Transport model"). Tests are exempt (they drive
                     SocketNetwork directly).
 
+  raw-process       process-control syscalls — fork/exec*/kill/waitpid
+                    and friends, system(3)/popen(3) — in src/, tools/,
+                    or bench/ outside src/orchestrator/. Child processes
+                    are spawned, signalled, and reaped only through
+                    orchestrator/process.h so every child is supervised,
+                    its logs captured, and its exit reaped and
+                    attributed (see DESIGN.md, "Orchestration model").
+                    Tests are exempt (shell-script harnesses kill
+                    parties directly).
+
 Usage:
   tools/pivot_lint.py [ROOT]            lint the whole tree (default: cwd)
   tools/pivot_lint.py ROOT --files F... lint specific files only
@@ -106,6 +116,15 @@ RE_RAW_SOCKET = re.compile(
     r"|::\s*(?:socket|send|recv|sendto|recvfrom|sendmsg|recvmsg|connect|"
     r"bind|listen|accept|setsockopt|getsockname)\s*\("
     r"|(?<![A-Za-z0-9_:.>])socket\s*\(")
+# Process-control surface. Only full identifiers followed by '(' are
+# matched, so cv.wait_for(...), kill_sent, force_kill(...) and "SIGKILL"
+# strings never trip it; ::-qualified calls still do (':' is outside the
+# lookbehind class). Plain wait() is deliberately absent — it collides
+# with condition_variable::wait, and waitpid covers the repo.
+RE_RAW_PROCESS = re.compile(
+    r"(?<![A-Za-z0-9_])(?:fork|vfork|execv|execve|execvp|execvpe|execl|"
+    r"execlp|execle|posix_spawn|posix_spawnp|waitpid|wait3|wait4|kill|"
+    r"killpg|system|popen)\s*\(")
 
 
 class Finding:
@@ -279,6 +298,20 @@ def check_raw_socket(rel, lines, findings):
                 "supervision and fault injection cannot be bypassed"))
 
 
+def check_raw_process(rel, lines, findings):
+    if not rel.startswith(("src/", "tools/", "bench/")):
+        return
+    if rel.startswith("src/orchestrator/"):
+        return
+    for i, line in enumerate(lines, 1):
+        if RE_RAW_PROCESS.search(strip_comment(line)):
+            findings.append(Finding(
+                rel, i, "raw-process",
+                "process-control syscall outside src/orchestrator/; "
+                "fork/exec/kill/waitpid go through orchestrator/process.h "
+                "so every child is supervised, logged, and reaped"))
+
+
 CHECKS = (
     check_banned_random,
     check_secret_print,
@@ -288,6 +321,7 @@ CHECKS = (
     check_raw_std_thread,
     check_unbounded_retry,
     check_raw_socket,
+    check_raw_process,
 )
 
 

@@ -454,5 +454,51 @@ class RawSocketTest(unittest.TestCase):
         self.assertEqual(findings, [])
 
 
+class RawProcessTest(unittest.TestCase):
+    def test_flags_fork_and_exec(self):
+        findings = run_lint(
+            {"src/pivot/runner.cc": "pid_t pid = fork();\n"
+                                    "execv(argv[0], argv.data());\n"})
+        self.assertEqual(rules(findings), ["raw-process"])
+        self.assertEqual(len(findings), 2)
+
+    def test_flags_qualified_kill_and_waitpid(self):
+        findings = run_lint(
+            {"tools/pivot_cli.cc": "::kill(pid, SIGTERM);\n"
+                                   "::waitpid(-1, &st, WNOHANG);\n"})
+        self.assertEqual(rules(findings), ["raw-process"])
+        self.assertEqual(len(findings), 2)
+
+    def test_flags_system_and_popen(self):
+        findings = run_lint(
+            {"bench/bench_x.cc": 'system("rm -rf scratch");\n'
+                                 'FILE* f = popen("ls", "r");\n'})
+        self.assertEqual(rules(findings), ["raw-process"])
+        self.assertEqual(len(findings), 2)
+
+    def test_allows_orchestrator_home(self):
+        code = ("const pid_t pid = ::fork();\n"
+                "::execv(argv[0], argv.data());\n"
+                "::kill(pid, SIGKILL);\n"
+                "::waitpid(-1, &wstatus, WNOHANG);\n")
+        findings = run_lint({"src/orchestrator/process.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_lookalike_identifiers_not_flagged(self):
+        code = ("cv.wait_for(lock, 20ms);\n"
+                "slot.kill_sent = true;\n"
+                "callbacks.force_kill(party, pid, reason);\n"
+                'log("SIGKILL delivered");\n'
+                "int ecosystem(int x);\n")
+        findings = run_lint({"src/pivot/runner.cc": code})
+        self.assertEqual(findings, [])
+
+    def test_tests_and_comments_exempt(self):
+        findings = run_lint(
+            {"tests/chaos_test.cc": "::kill(victim, SIGKILL);\n",
+             "src/pivot/runner.cc": "// the orchestrator calls kill(2)\n"})
+        self.assertEqual(findings, [])
+
+
 if __name__ == "__main__":
     unittest.main()
